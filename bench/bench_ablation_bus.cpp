@@ -1,0 +1,101 @@
+// bench_ablation_bus — design-space exploration around the VTA communication
+// architecture (the exploration the OSSS methodology is built for):
+//
+//   * bus width sweep        — how the OPB data path width moves IDWT time,
+//   * serialisation chunk    — RMI chunk size vs contention/latency trade,
+//   * arbitration policy     — priority vs FIFO vs round-robin on the bus,
+//   * CPU memory traffic     — background load from the processors.
+//
+// All runs use the 7a-style mapping (4 processors, IDWT on the shared bus),
+// where communication effects are most visible.
+#include <decoder/decoder.hpp>
+
+#include <cstdio>
+
+namespace {
+
+decoder::model_config base_cfg()
+{
+    auto c = decoder::config_for(decoder::model_version::v7a);
+    return c;
+}
+
+void run_and_print(const decoder::workload& wl, const char* label,
+                   const decoder::model_config& cfg)
+{
+    const auto r = decoder::run_custom_model(wl, false, cfg);
+    std::printf("  %-34s decode=%8.1f ms  idwt=%7.2f ms  bus_wait=%8.2f ms  ok=%s\n",
+                label, r.decode_time.to_ms(), r.idwt_time.to_ms(), r.bus_wait.to_ms(),
+                r.image_ok ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== Ablation — communication architecture (7a mapping, lossless) ===\n");
+    const auto wl = decoder::workload::standard();
+
+    std::printf("\nbus width sweep:\n");
+    for (int width : {8, 16, 32, 64}) {
+        auto c = base_cfg();
+        c.bus_width_bits = width;
+        char label[64];
+        std::snprintf(label, sizeof label, "OPB %d bit", width);
+        run_and_print(wl, label, c);
+    }
+
+    std::printf("\nserialisation chunk size sweep:\n");
+    for (std::size_t chunk : {64u, 256u, 1024u, 4096u, 65536u}) {
+        auto c = base_cfg();
+        c.bus_burst_bytes = chunk;
+        char label[64];
+        std::snprintf(label, sizeof label, "chunk %zu B", chunk);
+        run_and_print(wl, label, c);
+    }
+
+    std::printf("\nbus arbitration policy:\n");
+    for (auto pol : {osss::scheduling_policy::priority, osss::scheduling_policy::fifo,
+                     osss::scheduling_policy::round_robin}) {
+        auto c = base_cfg();
+        c.bus_policy = pol;
+        run_and_print(wl, osss::policy_name(pol), c);
+    }
+
+    std::printf("\nprocessor memory-traffic fraction:\n");
+    for (double f : {0.0, 0.05, 0.12, 0.25, 0.4}) {
+        auto c = base_cfg();
+        c.cpu_mem_fraction = f;
+        char label[64];
+        std::snprintf(label, sizeof label, "mem fraction %.2f", f);
+        run_and_print(wl, label, c);
+    }
+
+    std::printf("\nOPB vs PLB class comparison (uncontended 4 KiB transfer):\n");
+    {
+        const sim::time clk = sim::time::ns(10);
+        osss::opb_bus opb{"opb", clk};
+        osss::plb_bus plb{"plb", clk};
+        osss::p2p_channel p2p{"p2p", clk};
+        std::printf("  %-12s %10.2f us\n", "OPB 32-bit", opb.uncontended_latency(4096).to_us());
+        std::printf("  %-12s %10.2f us\n", "PLB 64-bit", plb.uncontended_latency(4096).to_us());
+        std::printf("  %-12s %10.2f us\n", "P2P 32-bit", p2p.uncontended_latency(4096).to_us());
+    }
+
+    std::printf("\nbus-vs-P2P with the same everything else:\n");
+    {
+        auto c = base_cfg();
+        run_and_print(wl, "IDWT links on shared bus (7a)", c);
+        c.idwt_p2p = true;
+        run_and_print(wl, "IDWT links on P2P (7b)", c);
+    }
+
+    std::printf("\nbus technology upgrade (our extension):\n");
+    {
+        auto c = base_cfg();
+        run_and_print(wl, "OPB 32-bit (7a)", c);
+        c.use_plb = true;
+        run_and_print(wl, "PLB 64-bit pipelined", c);
+    }
+    return 0;
+}

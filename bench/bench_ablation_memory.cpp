@@ -1,0 +1,60 @@
+// bench_ablation_memory — design choices around memories and decoder
+// scalability:
+//
+//   * block-RAM ports — the explicit-memory insertion step's main knob:
+//     a dual-port tile store halves the Shared Object's access time,
+//   * resolution scalability — decode at 1/2^d resolution (fewer IDWT levels),
+//   * SNR scalability — truncate tier-1 coding passes (less MQ work),
+//
+// the last two being the complexity/quality knobs a system integrator would
+// trade against the hardware budget explored in Table 1.
+#include <decoder/decoder.hpp>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <cstdio>
+
+int main()
+{
+    const auto wl = decoder::workload::standard();
+
+    std::printf("=== Ablation — explicit memory (6b mapping, lossless) ===\n");
+    for (int ports : {1, 2}) {
+        auto cfg = decoder::config_for(decoder::model_version::v6b);
+        cfg.bram_ports = ports;
+        const auto r = decoder::run_custom_model(wl, false, cfg);
+        std::printf("  tile store %d-port BRAM: idwt=%7.2f ms  decode=%8.1f ms  ok=%s\n",
+                    ports, r.idwt_time.to_ms(), r.decode_time.to_ms(),
+                    r.image_ok ? "yes" : "NO");
+    }
+
+    std::printf("\n=== Decoder complexity scalability (native codec, lossless) ===\n");
+    const auto& cs = wl.lossless().codestream;
+    j2k::decoder dec{cs};
+
+    std::printf("\nresolution scalability (discard d wavelet levels):\n");
+    for (int d = 0; d <= 3; ++d) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto img = dec.decode_reduced(d);
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf("  d=%d: %3dx%3d output, host decode %6.1f ms\n", d, img.width(),
+                    img.height(), ms);
+    }
+
+    std::printf("\nSNR scalability (truncate tier-1 passes):\n");
+    for (int passes : {2, 5, 10, 20, 0}) {
+        dec.set_max_passes(passes);
+        j2k::decode_stats st;
+        const auto img = dec.decode_all(&st);
+        const double q = j2k::psnr(wl.original(), img);
+        std::printf("  passes=%-3s  MQ decisions=%9llu   PSNR=%s\n",
+                    passes == 0 ? "all" : std::to_string(passes).c_str(),
+                    static_cast<unsigned long long>(st.t1.mq_decisions),
+                    std::isinf(q) ? "exact" : (std::to_string(q) + " dB").c_str());
+    }
+    dec.set_max_passes(0);
+    return 0;
+}

@@ -1,0 +1,54 @@
+// bench_ablation_parallel — scaling of the software parallelisation: how the
+// decoder responds to 1..8 arithmetic-decoder tasks, on the application layer
+// and on both VTA mappings.  Extends the paper's v4/v5/7a/7b exploration
+// ("7b does better scale with increasing parallelism").
+#include <decoder/decoder.hpp>
+
+#include <cstdio>
+
+int main()
+{
+    std::printf("=== Ablation — software parallelism scaling (lossless) ===\n");
+    const auto wl = decoder::workload::standard();
+    const double base =
+        decoder::run_model(wl, decoder::model_version::v1, false).decode_time.to_ms();
+    std::printf("v1 (SW only) baseline: %.1f ms\n", base);
+
+    std::printf("\n%-8s | %-26s | %-26s | %-26s\n", "tasks", "application layer",
+                "VTA, IDWT on bus (7a-like)", "VTA, IDWT on P2P (7b-like)");
+    std::printf("%-8s | %12s %11s | %12s %11s | %12s %11s\n", "", "decode[ms]", "speedup",
+                "decode[ms]", "speedup", "decode[ms]", "speedup");
+    for (int tasks : {1, 2, 4, 8}) {
+        auto app = decoder::config_for(decoder::model_version::v5);
+        app.sw_tasks = tasks;
+        auto bus = decoder::config_for(decoder::model_version::v7a);
+        bus.sw_tasks = tasks;
+        auto p2p = decoder::config_for(decoder::model_version::v7b);
+        p2p.sw_tasks = tasks;
+        const auto ra = decoder::run_custom_model(wl, false, app);
+        const auto rb = decoder::run_custom_model(wl, false, bus);
+        const auto rp = decoder::run_custom_model(wl, false, p2p);
+        if (!(ra.image_ok && rb.image_ok && rp.image_ok)) {
+            std::printf("decode mismatch at %d tasks!\n", tasks);
+            return 1;
+        }
+        std::printf("%-8d | %12.1f %10.2fx | %12.1f %10.2fx | %12.1f %10.2fx\n", tasks,
+                    ra.decode_time.to_ms(), base / ra.decode_time.to_ms(),
+                    rb.decode_time.to_ms(), base / rb.decode_time.to_ms(),
+                    rp.decode_time.to_ms(), base / rp.decode_time.to_ms());
+    }
+
+    std::printf("\nIDWT service time under the same sweep (bus vs P2P):\n");
+    std::printf("%-8s | %14s | %14s\n", "tasks", "bus idwt[ms]", "p2p idwt[ms]");
+    for (int tasks : {1, 2, 4, 8}) {
+        auto bus = decoder::config_for(decoder::model_version::v7a);
+        bus.sw_tasks = tasks;
+        auto p2p = decoder::config_for(decoder::model_version::v7b);
+        p2p.sw_tasks = tasks;
+        const auto rb = decoder::run_custom_model(wl, false, bus);
+        const auto rp = decoder::run_custom_model(wl, false, p2p);
+        std::printf("%-8d | %14.2f | %14.2f\n", tasks, rb.idwt_time.to_ms(),
+                    rp.idwt_time.to_ms());
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+// bench_j2k_kernels — google-benchmark microbenchmarks of the codec kernels
+// (MQ coder, DWT, tier-1, full codec) underlying all experiments.
+#include <j2k/j2k.hpp>
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+std::vector<int> random_bits(std::size_t n, double p, std::uint32_t seed)
+{
+    std::mt19937 rng{seed};
+    std::bernoulli_distribution d{p};
+    std::vector<int> bits(n);
+    for (auto& b : bits) b = d(rng) ? 1 : 0;
+    return bits;
+}
+
+void BM_MqEncode(benchmark::State& state)
+{
+    const auto bits = random_bits(1 << 16, 0.2, 42);
+    for (auto _ : state) {
+        j2k::mq_encoder enc;
+        j2k::mq_context cx;
+        for (int b : bits) enc.encode(cx, b);
+        benchmark::DoNotOptimize(enc.flush());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_MqEncode);
+
+void BM_MqDecode(benchmark::State& state)
+{
+    const auto bits = random_bits(1 << 16, 0.2, 42);
+    j2k::mq_encoder enc;
+    j2k::mq_context cx;
+    for (int b : bits) enc.encode(cx, b);
+    const auto bytes = enc.flush();
+    for (auto _ : state) {
+        j2k::mq_decoder dec{bytes};
+        j2k::mq_context dcx;
+        int sink = 0;
+        for (std::size_t i = 0; i < bits.size(); ++i) sink ^= dec.decode(dcx);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_MqDecode);
+
+void BM_Dwt53Forward(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    j2k::plane p{n, n};
+    std::mt19937 rng{1};
+    for (auto& v : p.samples()) v = static_cast<std::int32_t>(rng() % 256);
+    for (auto _ : state) {
+        j2k::plane copy = p;
+        j2k::dwt53_forward(copy, 3);
+        benchmark::DoNotOptimize(copy.samples().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_Dwt53Forward)->Arg(64)->Arg(256);
+
+void BM_Dwt97Inverse(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<double> buf(static_cast<std::size_t>(n) * n);
+    std::mt19937 rng{1};
+    for (auto& v : buf) v = static_cast<double>(rng() % 256) - 128.0;
+    j2k::dwt97_forward(buf, n, n, 3);
+    for (auto _ : state) {
+        std::vector<double> copy = buf;
+        j2k::dwt97_inverse(copy, n, n, 3);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_Dwt97Inverse)->Arg(64)->Arg(256);
+
+void BM_Tier1Decode(benchmark::State& state)
+{
+    std::mt19937 rng{9};
+    std::vector<std::int32_t> coeffs(32 * 32);
+    for (auto& c : coeffs) {
+        c = static_cast<std::int32_t>(rng() % 128);
+        if (rng() % 2) c = -c;
+        if (rng() % 4) c = 0;  // realistic sparsity
+    }
+    const auto cb = j2k::tier1_encode(coeffs.data(), 32, 32, j2k::band::hl);
+    std::vector<std::int32_t> out(coeffs.size());
+    for (auto _ : state) {
+        j2k::tier1_decode(cb, out.data(), j2k::band::hl);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 * 32);
+}
+BENCHMARK(BM_Tier1Decode);
+
+void BM_FullDecode(benchmark::State& state)
+{
+    const bool lossy = state.range(0) != 0;
+    const auto img = j2k::make_test_image(256, 256, 3);
+    j2k::codec_params p;
+    p.tile_width = 64;
+    p.tile_height = 64;
+    p.mode = lossy ? j2k::wavelet::w9_7 : j2k::wavelet::w5_3;
+    const auto cs = j2k::encode(img, p);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(j2k::decode(cs));
+    }
+    state.SetLabel(lossy ? "lossy" : "lossless");
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(cs.size()));
+}
+BENCHMARK(BM_FullDecode)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// bench_rd_curve — rate/distortion behaviour of the codec (our extension
+// figure): bytes vs PSNR along three axes the library supports:
+//
+//   * quality layers of one progressive stream (prefix decoding),
+//   * quantiser step sweep (one stream per rate, lossy 9/7),
+//   * coding-pass truncation of a lossless stream.
+#include <j2k/j2k.hpp>
+
+#include <cmath>
+#include <string>
+#include <cstdio>
+
+namespace {
+
+void print_point(const char* what, std::size_t bytes, double psnr, double raw)
+{
+    if (std::isinf(psnr))
+        std::printf("  %-28s %8zu B  %6.2f:1   exact\n", what, bytes, raw / static_cast<double>(bytes));
+    else
+        std::printf("  %-28s %8zu B  %6.2f:1   %6.2f dB\n", what, bytes,
+                    raw / static_cast<double>(bytes), psnr);
+}
+
+}  // namespace
+
+int main()
+{
+    const auto img = j2k::make_test_image(256, 256, 3);
+    const double raw = 256.0 * 256.0 * 3.0;
+    std::printf("=== Rate/distortion — 256x256x3 test image ===\n");
+
+    std::printf("\nquality-progressive stream (8 layers, 5/3 reversible):\n");
+    {
+        j2k::codec_params p;
+        p.quality_layers = 8;
+        const auto cs = j2k::encode(img, p);
+        const auto info = j2k::read_header(cs);
+        j2k::decoder dec{cs};
+        for (int L = 1; L <= 8; ++L) {
+            dec.set_max_quality_layers(L);
+            const auto out = dec.decode_all();
+            // Bytes needed for this quality = end of layer L (prefix size).
+            const std::size_t tiles = static_cast<std::size_t>(info.tile_count());
+            const std::size_t last = static_cast<std::size_t>(L - 1) * tiles + tiles - 1;
+            const std::size_t prefix = info.chunk_offsets[last] + info.chunk_lengths[last];
+            char label[32];
+            std::snprintf(label, sizeof label, "layers 1..%d", L);
+            print_point(label, prefix, j2k::psnr(img, out), raw);
+        }
+    }
+
+    std::printf("\nquantiser sweep (9/7 irreversible, one stream each):\n");
+    for (double denom : {512.0, 128.0, 32.0, 8.0}) {
+        j2k::codec_params p;
+        p.mode = j2k::wavelet::w9_7;
+        p.quant.base_step = 1.0 / denom;
+        const auto cs = j2k::encode(img, p);
+        char label[32];
+        std::snprintf(label, sizeof label, "step 1/%.0f", denom);
+        print_point(label, cs.size(), j2k::psnr(img, j2k::decode(cs)), raw);
+    }
+
+    std::printf("\npass truncation (complexity scalability, lossless stream):\n");
+    {
+        const auto cs = j2k::encode(img, j2k::codec_params{});
+        j2k::decoder dec{cs};
+        for (int passes : {3, 8, 15, 25, 0}) {
+            dec.set_max_passes(passes);
+            j2k::decode_stats st;
+            const auto out = dec.decode_all(&st);
+            char label[40];
+            std::snprintf(label, sizeof label, "passes %-3s (%llu Mdec)",
+                          passes == 0 ? "all" : std::to_string(passes).c_str(),
+                          static_cast<unsigned long long>(st.t1.mq_decisions / 1000000));
+            print_point(label, cs.size(), j2k::psnr(img, out), raw);
+        }
+    }
+    return 0;
+}

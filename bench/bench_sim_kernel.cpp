@@ -1,0 +1,97 @@
+// bench_sim_kernel — google-benchmark microbenchmarks of the discrete-event
+// kernel (events/sec, context-switch cost), bounding the cost of the VTA
+// simulations.
+#include <osss/osss.hpp>
+#include <sim/sim.hpp>
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+void BM_DelayEvents(benchmark::State& state)
+{
+    const int n_proc = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::kernel k;
+        for (int p = 0; p < n_proc; ++p) {
+            k.spawn([]() -> sim::process {
+                for (int i = 0; i < 1000; ++i) co_await sim::delay(sim::time::ns(10));
+            }());
+        }
+        k.run();
+        benchmark::DoNotOptimize(k.activations());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n_proc * 1000);
+}
+BENCHMARK(BM_DelayEvents)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_PingPongEvents(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::kernel k;
+        sim::event a{"a"};
+        sim::event b{"b"};
+        k.spawn([](sim::event& ea, sim::event& eb) -> sim::process {
+            for (int i = 0; i < 1000; ++i) {
+                ea.notify();
+                co_await eb.wait();
+            }
+        }(a, b));
+        k.spawn([](sim::event& ea, sim::event& eb) -> sim::process {
+            for (int i = 0; i < 1000; ++i) {
+                co_await ea.wait();
+                eb.notify();
+            }
+        }(a, b));
+        k.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_PingPongEvents);
+
+void BM_SharedObjectCalls(benchmark::State& state)
+{
+    struct counter {
+        long v = 0;
+    };
+    const int clients = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::kernel k;
+        osss::shared_object<counter> so{"so", osss::scheduling_policy::round_robin};
+        std::vector<osss::shared_object<counter>::client> cls;
+        cls.reserve(static_cast<std::size_t>(clients));
+        for (int c = 0; c < clients; ++c) cls.push_back(so.make_client("c"));
+        for (int c = 0; c < clients; ++c) {
+            k.spawn([](osss::shared_object<counter>& s,
+                       osss::shared_object<counter>::client& cl) -> sim::process {
+                auto inc = [](counter& x) { ++x.v; };
+                for (int i = 0; i < 200; ++i) co_await s.call(cl, inc);
+            }(so, cls[static_cast<std::size_t>(c)]));
+        }
+        k.run();
+        benchmark::DoNotOptimize(so.object().v);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * clients * 200);
+}
+BENCHMARK(BM_SharedObjectCalls)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_OpbBusTransactions(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::kernel k;
+        osss::opb_bus bus{"opb", sim::time::ns(10)};
+        for (int m = 0; m < 4; ++m) {
+            k.spawn([](osss::opb_bus& b, int id) -> sim::process {
+                for (int i = 0; i < 250; ++i) co_await b.transact(id, 64);
+            }(bus, m));
+        }
+        k.run();
+        benchmark::DoNotOptimize(bus.stats().transactions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_OpbBusTransactions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// bench_sim_scaling — how the simulation itself scales: wall-clock cost,
+// coroutine activations and simulated/real-time ratio of the VTA models as
+// the workload grows.  This bounds the methodology's practical usefulness —
+// the paper's selling point is that OSSS models stay "rather fast" compared
+// with RTL simulation.
+#include <decoder/decoder.hpp>
+
+#include <chrono>
+#include <cstdio>
+
+namespace {
+
+struct run_metrics {
+    double wall_ms;
+    double simulated_ms;
+};
+
+run_metrics timed_run(const decoder::workload& wl, decoder::model_version v)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = decoder::run_model(wl, v, false);
+    const double wall =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!r.image_ok) std::fprintf(stderr, "  (decode mismatch!)\n");
+    return {wall, r.decode_time.to_ms()};
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== Simulation performance — model cost vs workload size ===\n\n");
+    std::printf("%-22s | %-26s | %-26s\n", "", "app layer (v3)", "VTA (7b)");
+    std::printf("%-22s | %12s %12s | %12s %12s\n", "workload", "wall[ms]", "sim/wall",
+                "wall[ms]", "sim/wall");
+    for (int side : {2, 4, 8}) {
+        const auto wl = decoder::workload::standard(side, 64);
+        const auto app = timed_run(wl, decoder::model_version::v3);
+        const auto vta = timed_run(wl, decoder::model_version::v7b);
+        char label[64];
+        std::snprintf(label, sizeof label, "%d tiles (%dx%d)", side * side, side * 64,
+                      side * 64);
+        std::printf("%-22s | %12.1f %11.0fx | %12.1f %11.0fx\n", label, app.wall_ms,
+                    app.simulated_ms / std::max(0.001, app.wall_ms), vta.wall_ms,
+                    vta.simulated_ms / std::max(0.001, vta.wall_ms));
+    }
+    std::printf("\n(sim/wall > 1 means the cycle-approximate model runs faster than\n"
+                "real time on this host — the property that makes Table 1-style\n"
+                "exploration cheap compared with RTL simulation.)\n");
+    return 0;
+}

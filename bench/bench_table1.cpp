@@ -1,0 +1,98 @@
+// bench_table1 — regenerates Table 1 of the paper: decoding time and IDWT
+// time for all nine model versions (Application Layer 1–5, VTA Layer 6a–7b),
+// lossless and lossy, for 16 tiles with 3 components at 100 MHz.
+//
+// Absolute milliseconds depend on the back-annotation anchors (180 ms/tile
+// arithmetic decoding, Figure 1 shares); the checked claims are the paper's
+// relative statements, printed at the bottom.
+#include <decoder/decoder.hpp>
+
+#include <cstdio>
+#include <map>
+
+namespace {
+
+using decoder::model_version;
+
+const char* row_label(model_version v)
+{
+    switch (v) {
+        case model_version::v1: return "1   SW only";
+        case model_version::v2: return "2   HW/SW not parallel";
+        case model_version::v3: return "3   HW/SW parallel (3 IDWT modules)";
+        case model_version::v4: return "4   SW parallel (cp. 2)";
+        case model_version::v5: return "5   SW & HW/SW parallel (cp. 3)";
+        case model_version::v6a: return "6a  HW/SW SO on bus only";
+        case model_version::v6b: return "6b  HW/SW SO on bus & P2P";
+        case model_version::v7a: return "7a  HW/SW SO on bus only";
+        case model_version::v7b: return "7b  HW/SW SO on bus & P2P";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== Table 1 — Simulation results ===\n");
+    std::printf("(decoding 16 tiles with 3 components, 100 MHz)\n\n");
+    const auto wl = decoder::workload::standard();
+
+    std::map<std::pair<model_version, bool>, decoder::model_result> r;
+    for (bool lossy : {false, true})
+        for (const auto& res : decoder::run_all_models(wl, lossy))
+            r[{res.version, lossy}] = res;
+
+    auto dt = [&](model_version v, bool lossy) { return r[{v, lossy}].decode_time.to_ms(); };
+    auto it = [&](model_version v, bool lossy) { return r[{v, lossy}].idwt_time.to_ms(); };
+
+    std::printf("%-38s | %21s | %21s\n", "", "Decoding Time [ms]", "IDWT Time [ms]");
+    std::printf("%-38s | %10s %10s | %10s %10s\n", "Version of JPEG Decoder Model",
+                "lossless", "lossy", "lossless", "lossy");
+    std::printf("%.38s-+-%.21s-+-%.21s\n",
+                "--------------------------------------",
+                "---------------------", "---------------------");
+    std::printf("Application Layer\n");
+    for (auto v : {model_version::v1, model_version::v2, model_version::v3,
+                   model_version::v4, model_version::v5}) {
+        std::printf("%-38s | %10.1f %10.1f | %10.2f %10.2f\n", row_label(v),
+                    dt(v, false), dt(v, true), it(v, false), it(v, true));
+    }
+    std::printf("Virtual Target Architecture Layer\n");
+    for (auto v : {model_version::v6a, model_version::v6b, model_version::v7a,
+                   model_version::v7b}) {
+        std::printf("%-38s | %10.1f %10.1f | %10.2f %10.2f\n", row_label(v),
+                    dt(v, false), dt(v, true), it(v, false), it(v, true));
+    }
+
+    bool all_ok = true;
+    for (const auto& [k, res] : r) all_ok &= res.image_ok;
+    std::printf("\nall models decoded the image correctly: %s\n", all_ok ? "yes" : "NO");
+
+    std::printf("\n--- paper claims vs measured ---\n");
+    std::printf("%-52s %10s %10s\n", "claim (lossless/lossy)", "paper", "measured");
+    std::printf("%-52s %10s %6.2f/%.2f\n", "v2 speed-up vs v1", "1.10/1.19",
+                dt(model_version::v1, false) / dt(model_version::v2, false),
+                dt(model_version::v1, true) / dt(model_version::v2, true));
+    std::printf("%-52s %10s %6.2f/%.2f\n", "v4/v5 speed-up vs v1", "4.5/5.0",
+                dt(model_version::v1, false) / dt(model_version::v4, false),
+                dt(model_version::v1, true) / dt(model_version::v4, true));
+    std::printf("%-52s %10s %6.2f/%.2f\n", "IDWT slowdown v3 -> 6a (refinement+memory)",
+                "<= 8x",
+                it(model_version::v6a, false) / it(model_version::v3, false),
+                it(model_version::v6a, true) / it(model_version::v3, true));
+    std::printf("%-52s %10s %6.2f/%.2f\n", "HW IDWT speed-up 6b vs SW-only v1", "12/16",
+                it(model_version::v1, false) / it(model_version::v6b, false),
+                it(model_version::v1, true) / it(model_version::v6b, true));
+    std::printf("%-52s %10s %6.2f/%.2f\n", "7a IDWT vs 6a IDWT (bus contention)", "> 1",
+                it(model_version::v7a, false) / it(model_version::v6a, false),
+                it(model_version::v7a, true) / it(model_version::v6a, true));
+    std::printf("%-52s %10s %6.2f/%.2f\n", "7b IDWT vs 6b IDWT (same P2P links)", "~ 1",
+                it(model_version::v7b, false) / it(model_version::v6b, false),
+                it(model_version::v7b, true) / it(model_version::v6b, true));
+    std::printf("%-52s %10s %6.4f/%.4f\n", "v5 decode vs v4 decode (7-client SO)",
+                ">= 1.000",
+                dt(model_version::v5, false) / dt(model_version::v4, false),
+                dt(model_version::v5, true) / dt(model_version::v4, true));
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// design_space_exploration — the paper's Figure 3 flow as a program: start
+// from the SW-only model, explore the application-layer restructurings, then
+// the VTA mappings, printing what each step buys (or costs).
+#include <decoder/decoder.hpp>
+
+#include <cstdio>
+
+int main()
+{
+    using decoder::model_version;
+    std::printf("=== JPEG 2000 decoder — design space exploration (lossless) ===\n\n");
+    const auto wl = decoder::workload::standard();
+
+    struct step {
+        model_version v;
+        const char* what;
+    };
+    const step steps[] = {
+        {model_version::v1, "start: software-only reference"},
+        {model_version::v2, "move IQ+IDWT into a HW Shared Object (blocking co-processor)"},
+        {model_version::v3, "pipeline tiles; split IDWT into 3 HW blocks + params SO"},
+        {model_version::v4, "parallelise the arithmetic decoder over 4 SW tasks"},
+        {model_version::v5, "combine both (7 clients on the HW/SW Shared Object)"},
+        {model_version::v6a, "map to VTA: 1 CPU, everything on the OPB bus"},
+        {model_version::v6b, "VTA: move the IDWT links to point-to-point channels"},
+        {model_version::v7a, "VTA: 4 CPUs, IDWT on the bus"},
+        {model_version::v7b, "VTA: 4 CPUs, IDWT on P2P"},
+    };
+
+    double base = 0;
+    for (const auto& s : steps) {
+        const auto r = decoder::run_model(wl, s.v, false);
+        if (s.v == model_version::v1) base = r.decode_time.to_ms();
+        std::printf("model %-3s %-62s\n", decoder::version_name(s.v), s.what);
+        std::printf("          decode %8.1f ms (speed-up %4.2fx)   IDWT %7.2f ms   %s\n\n",
+                    r.decode_time.to_ms(), base / r.decode_time.to_ms(),
+                    r.idwt_time.to_ms(), r.image_ok ? "image OK" : "IMAGE WRONG");
+    }
+
+    std::printf("structural inventory of the chosen implementation (7b):\n\n%s\n",
+                decoder::describe_model(model_version::v7b).report().c_str());
+    return 0;
+}

@@ -1,0 +1,74 @@
+// jpeg2000_roundtrip — the codec library on its own: encode an image in both
+// modes, decode it in one shot and stage by stage, report sizes and quality.
+#include <j2k/j2k.hpp>
+
+#include <cstdio>
+
+int main()
+{
+    const j2k::image img = j2k::make_test_image(256, 256, 3);
+    std::printf("input: %dx%d, %d components, %d bpp (%zu bytes raw)\n", img.width(),
+                img.height(), img.components(), img.bit_depth(),
+                static_cast<std::size_t>(img.width()) * img.height() * img.components());
+
+    // ---- lossless (5/3 reversible) ----
+    j2k::codec_params lossless;
+    lossless.mode = j2k::wavelet::w5_3;
+    lossless.tile_width = 64;
+    lossless.tile_height = 64;
+    const auto cs_ll = j2k::encode(img, lossless);
+    const j2k::image out_ll = j2k::decode(cs_ll);
+    std::printf("\nlossless: %zu bytes (%.2f:1), exact: %s\n", cs_ll.size(),
+                static_cast<double>(img.width()) * img.height() * img.components() /
+                    static_cast<double>(cs_ll.size()),
+                out_ll == img ? "yes" : "NO");
+
+    // ---- lossy (9/7 irreversible) at a few rates ----
+    std::printf("\nlossy rate/quality sweep:\n");
+    for (double step : {1.0 / 256, 1.0 / 64, 1.0 / 16}) {
+        j2k::codec_params lossy = lossless;
+        lossy.mode = j2k::wavelet::w9_7;
+        lossy.quant.base_step = step;
+        const auto cs = j2k::encode(img, lossy);
+        const auto out = j2k::decode(cs);
+        std::printf("  base step 1/%-4.0f  %7zu bytes (%5.2f:1)   PSNR %5.2f dB\n",
+                    1.0 / step, cs.size(),
+                    static_cast<double>(img.width()) * img.height() * img.components() /
+                        static_cast<double>(cs.size()),
+                    j2k::psnr(img, out));
+    }
+
+    // ---- staged decoding (the structure the OSSS models build on) ----
+    std::printf("\nstaged decode of the lossless stream:\n");
+    j2k::decoder dec{cs_ll};
+    j2k::decode_stats stats;
+    j2k::image assembled{dec.info().width, dec.info().height, dec.info().components,
+                         dec.info().bit_depth};
+    const auto grid = dec.tiles();
+    for (int t = 0; t < dec.tile_count(); ++t) {
+        const auto coeffs = dec.entropy_decode(t, &stats.t1);  // MQ + tier-1
+        const auto wavelet = dec.dequantize(coeffs);           // IQ
+        const auto pixels = dec.idwt(wavelet);                 // IDWT
+        for (int c = 0; c < dec.info().components; ++c)
+            j2k::insert_tile(assembled.comp(c), pixels.comps[static_cast<std::size_t>(c)],
+                             grid[static_cast<std::size_t>(t)]);
+    }
+    dec.finish(assembled);  // ICT + DC shift
+    std::printf("  %d tiles, %llu MQ decisions, staged == one-shot: %s\n",
+                dec.tile_count(),
+                static_cast<unsigned long long>(stats.t1.mq_decisions),
+                assembled == out_ll ? "yes" : "NO");
+
+    // ---- scalability: the decoder's two complexity knobs ----
+    std::printf("\nscalability:\n");
+    for (int d = 1; d <= 2; ++d) {
+        const auto small = dec.decode_reduced(d);
+        std::printf("  resolution 1/%d: %dx%d\n", 1 << d, small.width(), small.height());
+    }
+    dec.set_max_passes(8);
+    const auto coarse = dec.decode_all();
+    std::printf("  8 coding passes: PSNR %.1f dB at a fraction of the MQ work\n",
+                j2k::psnr(img, coarse));
+    dec.set_max_passes(0);
+    return assembled == out_ll && out_ll == img ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// progressive_streaming — quality-progressive JPEG 2000 in action: encode one
+// layered stream, simulate a slow download, and decode each prefix as it
+// arrives, writing the improving reconstructions as PPM files.
+#include <j2k/j2k.hpp>
+
+#include <cmath>
+#include <cstdio>
+
+int main()
+{
+    const j2k::image img = j2k::make_test_image(256, 256, 3);
+    j2k::codec_params p;
+    p.quality_layers = 6;
+    p.tile_width = 64;
+    p.tile_height = 64;
+    const auto cs = j2k::encode(img, p);
+    const auto info = j2k::read_header(cs);
+    std::printf("progressive stream: %zu bytes, %d quality layers, %d tiles\n\n",
+                cs.size(), info.quality_layers, info.tile_count());
+
+    // "Download" the stream in 20%-steps; decode whatever layers are complete.
+    j2k::decoder dec{cs};
+    int last_layers = -1;
+    for (int pct = 20; pct <= 100; pct += 20) {
+        const std::size_t received = cs.size() * static_cast<std::size_t>(pct) / 100;
+        const int layers = info.layers_in_prefix(received);
+        std::printf("received %3d%% (%7zu B) -> %d complete layer%s", pct, received,
+                    layers, layers == 1 ? "" : "s");
+        if (layers == 0 || layers == last_layers) {
+            std::printf("  (no new image)\n");
+            continue;
+        }
+        last_layers = layers;
+        dec.set_max_quality_layers(layers);
+        const j2k::image out = dec.decode_all();
+        const double q = j2k::psnr(img, out);
+        char path[64];
+        std::snprintf(path, sizeof path, "progressive_L%d.ppm", layers);
+        j2k::save_pnm(out, path);
+        if (std::isinf(q))
+            std::printf("  -> %s (exact)\n", path);
+        else
+            std::printf("  -> %s (%.2f dB)\n", path, q);
+    }
+
+    std::printf("\nresolution-progressive views of the final image:\n");
+    dec.set_max_quality_layers(0);
+    for (int d = 2; d >= 0; --d) {
+        const j2k::image r = dec.decode_reduced(d);
+        char path[64];
+        std::snprintf(path, sizeof path, "progressive_res%d.ppm", d);
+        j2k::save_pnm(r, path);
+        std::printf("  1/%d resolution: %3dx%3d -> %s\n", 1 << d, r.width(), r.height(),
+                    path);
+    }
+    return 0;
+}

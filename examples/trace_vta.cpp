@@ -1,0 +1,82 @@
+// trace_vta — observe a Virtual Target Architecture model with a VCD trace.
+//
+// Builds a small VTA scene (four masters sharing an OPB bus + a guarded
+// Shared Object) and runs a monitor process that samples bus occupancy, the
+// number of queued masters and the object's queue into a VCD file, viewable
+// with any waveform viewer (gtkwave etc.).
+#include <osss/osss.hpp>
+#include <sim/sim.hpp>
+
+#include <cstdio>
+
+namespace {
+
+struct job_queue {
+    int jobs = 0;
+};
+
+}  // namespace
+
+int main()
+{
+    sim::kernel k;
+    const sim::time clk = sim::time::ns(10);
+
+    osss::opb_bus bus{"opb", clk};
+    osss::shared_object<job_queue> so{"jobs", osss::scheduling_policy::round_robin};
+    osss::object_socket<job_queue> sock{so};
+
+    sim::vcd_writer vcd{"vta_trace.vcd", "vta"};
+    const int v_bus_busy = vcd.add_variable("opb_busy", 1);
+    const int v_bus_pend = vcd.add_variable("opb_pending", 8);
+    const int v_jobs = vcd.add_variable("job_queue", 8);
+    const int v_grants = vcd.add_variable("bus_grants", 16);
+    vcd.start();
+
+    // Four producers hammer the Shared Object through the bus with payloads
+    // of different sizes and phases.
+    for (int m = 0; m < 4; ++m) {
+        auto port = osss::service_port<job_queue>::rmi(
+            sock, "producer_" + std::to_string(m), bus, m);
+        k.spawn([](osss::service_port<job_queue> p, int id) -> sim::process {
+            for (int i = 0; i < 20; ++i) {
+                co_await sim::delay(sim::time::us(1 + id));
+                auto push = [](job_queue& q) { ++q.jobs; };
+                co_await p.call(static_cast<std::size_t>(256 << id), 8, push);
+            }
+        }(port, m), "producer");
+    }
+    // One consumer drains the queue through a guarded call.
+    {
+        auto port = osss::service_port<job_queue>::rmi(sock, "consumer", bus, 9);
+        k.spawn([](osss::service_port<job_queue> p) -> sim::process {
+            for (int i = 0; i < 80; ++i) {
+                auto ready = [](const job_queue& q) { return q.jobs > 0; };
+                auto pop = [](job_queue& q) { --q.jobs; };
+                co_await p.call_when(8, 64, ready, pop);
+            }
+        }(port), "consumer");
+    }
+    // Monitor: samples every 100 ns into the VCD.
+    k.spawn([](sim::kernel& kr, osss::opb_bus& b, osss::shared_object<job_queue>& q,
+               sim::vcd_writer& w, int vb, int vp, int vj, int vg) -> sim::process {
+        for (int i = 0; i < 4000; ++i) {
+            w.record(vb, b.busy() ? 1 : 0, kr.now());
+            w.record(vp, b.pending_masters(), kr.now());
+            w.record(vj, static_cast<std::uint64_t>(q.object().jobs), kr.now());
+            w.record(vg, b.arbitration().grants, kr.now());
+            co_await sim::delay(sim::time::ns(100));
+        }
+    }(k, bus, so, vcd, v_bus_busy, v_bus_pend, v_jobs, v_grants), "monitor");
+
+    const sim::time end = k.run(sim::time::us(400));
+    std::printf("simulated %s:\n", end.str().c_str());
+    std::printf("  bus: %llu transactions, %llu beats, busy %s, wait %s\n",
+                static_cast<unsigned long long>(bus.stats().transactions),
+                static_cast<unsigned long long>(bus.stats().data_beats),
+                bus.stats().busy_time.str().c_str(), bus.stats().wait_time.str().c_str());
+    std::printf("  shared object: %llu calls\n",
+                static_cast<unsigned long long>(so.total_calls()));
+    std::printf("  trace written to vta_trace.vcd\n");
+    return 0;
+}

@@ -1,0 +1,6 @@
+// decoder/decoder.hpp — umbrella header for the JPEG 2000 case-study models.
+#pragma once
+
+#include "models.hpp"    // IWYU pragma: export
+#include "timing.hpp"    // IWYU pragma: export
+#include "workload.hpp"  // IWYU pragma: export

@@ -1,0 +1,570 @@
+#include "models.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace decoder {
+
+namespace {
+
+using cfg_t = model_config;
+
+std::vector<std::int32_t> flatten(const j2k::tile_coeffs& tc)
+{
+    std::vector<std::int32_t> out;
+    for (const auto& p : tc.comps)
+        out.insert(out.end(), p.samples().begin(), p.samples().end());
+    return out;
+}
+
+j2k::image tile_image(const j2k::tile_pixels& tp, int bit_depth)
+{
+    j2k::image img{tp.rect.width, tp.rect.height, static_cast<int>(tp.comps.size()),
+                   bit_depth};
+    for (std::size_t c = 0; c < tp.comps.size(); ++c) img.comp(static_cast<int>(c)) = tp.comps[c];
+    return img;
+}
+
+/// State of the HW/SW Shared Object: tile store, IQ, job queue, results.
+struct hw_so_data {
+    struct job {
+        int tile = 0;
+        j2k::tile_wavelet tw;
+    };
+    std::deque<job> jobs;
+    std::map<int, j2k::tile_pixels> results;
+    osss::xilinx_block_ram<std::int32_t>* ram = nullptr;  ///< VTA tile store
+};
+
+/// State of the IDWT-params Shared Object: parameter exchange and the
+/// arbitration point between IDWT2D and the two filter blocks.
+struct params_so_data {
+    struct filter_job {
+        int tile = 0;
+        bool lossy = false;
+        const j2k::tile_wavelet* tw = nullptr;  // data stays in the HW domain
+    };
+    std::optional<filter_job> job;
+    std::map<int, j2k::tile_pixels> done;
+    std::uint64_t param_words = 0;
+};
+
+class pipeline_model {
+public:
+    pipeline_model(const workload& wl, bool lossy, model_version ver)
+        : pipeline_model{wl, lossy, ver, config_for(ver)}
+    {
+    }
+
+    pipeline_model(const workload& wl, bool lossy, model_version ver, const cfg_t& cfg)
+        : wl_{wl},
+          lossy_{lossy},
+          ver_{ver},
+          cfg_{cfg},
+          md_{wl.mode(lossy)},
+          dec_{md_.codestream},
+          T_{sw_timing::calibrate(md_, lossy)},
+          hw_so_{"hw_sw_so", osss::scheduling_policy::priority},
+          params_so_{"idwt_params_so", osss::scheduling_policy::fifo},
+          out_{dec_.info().width, dec_.info().height, dec_.info().components,
+               dec_.info().bit_depth},
+          grid_{dec_.tiles()}
+    {
+        const std::uint64_t tile_samples = md_.per_tile.front().samples;
+        if (cfg_.vta) {
+            if (cfg_.use_plb) {
+                osss::plb_bus::config pcfg;
+                pcfg.max_burst_bytes = cfg_.bus_burst_bytes;
+                pcfg.policy = cfg_.bus_policy;
+                bus_ = std::make_unique<osss::plb_bus>("plb", clk_, pcfg);
+            } else {
+                osss::opb_bus::config bcfg;
+                bcfg.width_bits = cfg_.bus_width_bits;
+                bcfg.max_burst_bytes = cfg_.bus_burst_bytes;
+                bcfg.policy = cfg_.bus_policy;
+                bus_ = std::make_unique<osss::opb_bus>("opb", clk_, bcfg);
+            }
+            for (int i = 0; i < cfg_.sw_tasks; ++i) {
+                cpus_.push_back(std::make_unique<osss::processor>(
+                    "microblaze_" + std::to_string(i), clk_));
+                // Instruction/data traffic of each MicroBlaze shares the OPB.
+                cpus_.back()->attach_bus(*bus_, 100 + i, cfg_.cpu_mem_fraction,
+                                         sim::time::us(100));
+            }
+            tile_ram_ = std::make_unique<osss::xilinx_block_ram<std::int32_t>>(
+                "tile_store", clk_, tile_samples,
+                osss::xilinx_block_ram<std::int32_t>::config{cfg_.bram_ports, 1});
+            hw_so_.object().ram = tile_ram_.get();
+            hw_sock_ = std::make_unique<osss::object_socket<hw_so_data>>(hw_so_);
+            params_sock_ = std::make_unique<osss::object_socket<params_so_data>>(params_so_);
+
+            for (int i = 0; i < cfg_.sw_tasks; ++i)
+                sw_ports_.push_back(osss::service_port<hw_so_data>::rmi(
+                    *hw_sock_, "sw_task_" + std::to_string(i), *bus_, i));
+            if (cfg_.idwt_p2p) {
+                p2p_fetch_ = std::make_unique<osss::p2p_channel>("p2p_idwt_fetch", clk_);
+                p2p_wb_ = std::make_unique<osss::p2p_channel>("p2p_idwt_wb", clk_);
+                hw_fetch_port_ = osss::service_port<hw_so_data>::rmi(
+                    *hw_sock_, "idwt2d_fetch", *p2p_fetch_, 10, 1);
+                hw_wb_port_ = osss::service_port<hw_so_data>::rmi(
+                    *hw_sock_, "idwt2d_wb", *p2p_wb_, 11, 1);
+            } else {
+                hw_fetch_port_ = osss::service_port<hw_so_data>::rmi(
+                    *hw_sock_, "idwt2d_fetch", *bus_, 10, 1);
+                hw_wb_port_ = osss::service_port<hw_so_data>::rmi(
+                    *hw_sock_, "idwt2d_wb", *bus_, 11, 1);
+            }
+            // Parameter links are always dedicated point-to-point channels.
+            for (int i = 0; i < 3; ++i)
+                p2p_params_.push_back(
+                    std::make_unique<osss::p2p_channel>("p2p_params_" + std::to_string(i), clk_));
+            p2d_port_ = osss::service_port<params_so_data>::rmi(*params_sock_, "idwt2d",
+                                                                *p2p_params_[0], 20);
+            p53_port_ = osss::service_port<params_so_data>::rmi(*params_sock_, "idwt53",
+                                                                *p2p_params_[1], 21);
+            p97_port_ = osss::service_port<params_so_data>::rmi(*params_sock_, "idwt97",
+                                                                *p2p_params_[2], 22);
+        } else {
+            for (int i = 0; i < cfg_.sw_tasks; ++i)
+                sw_ports_.push_back(osss::service_port<hw_so_data>::direct(
+                    hw_so_, "sw_task_" + std::to_string(i)));
+            hw_fetch_port_ = osss::service_port<hw_so_data>::direct(hw_so_, "idwt2d_fetch", 1);
+            hw_wb_port_ = osss::service_port<hw_so_data>::direct(hw_so_, "idwt2d_wb", 1);
+            p2d_port_ = osss::service_port<params_so_data>::direct(params_so_, "idwt2d");
+            p53_port_ = osss::service_port<params_so_data>::direct(params_so_, "idwt53");
+            p97_port_ = osss::service_port<params_so_data>::direct(params_so_, "idwt97");
+        }
+    }
+
+    [[nodiscard]] model_result run()
+    {
+        for (int i = 0; i < cfg_.sw_tasks; ++i) k_.spawn(sw_proc(i), "sw_task");
+        if (cfg_.hw_modules) {
+            k_.spawn(idwt2d_proc(), "idwt2d");
+            k_.spawn(filter_proc(false), "idwt53");
+            k_.spawn(filter_proc(true), "idwt97");
+        }
+        const sim::time end = k_.run();
+
+        model_result r;
+        r.version = ver_;
+        r.lossy = lossy_;
+        r.decode_time = end;
+        r.idwt_time = idwt_time_;
+        r.image_ok = out_ == md_.expected;
+        if (bus_) {
+            r.bus_transactions = bus_->stats().transactions;
+            r.bus_wait = bus_->stats().wait_time;
+        }
+        r.so_calls = so_calls_;
+        return r;
+    }
+
+private:
+    // ---- software side -----------------------------------------------------
+
+    template <typename Fn>
+    [[nodiscard]] auto sw_exec(int id, sim::time t, Fn fn)
+        -> sim::task<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        if (cfg_.vta) {
+            if constexpr (std::is_void_v<R>) {
+                co_await cpus_[static_cast<std::size_t>(id)]->execute(t, fn);
+            } else {
+                co_return co_await cpus_[static_cast<std::size_t>(id)]->execute(t, fn);
+            }
+        } else {
+            if constexpr (std::is_void_v<R>) {
+                co_await osss::eet(t, fn);
+            } else {
+                co_return co_await osss::eet(t, fn);
+            }
+        }
+    }
+
+    [[nodiscard]] sim::process sw_proc(int id)
+    {
+        co_await sw_body(id);
+    }
+
+    [[nodiscard]] sim::task<void> sw_body(int id)
+    {
+        int prev = -1;
+        for (int t = id; t < wl_.tile_count(); t += cfg_.sw_tasks) {
+            const tile_work& w = md_.per_tile[static_cast<std::size_t>(t)];
+            // Arithmetic decoding (the 180 ms/tile EET block of the paper).
+            auto arith_fn = [this, t] { return dec_.entropy_decode(t); };
+            j2k::tile_coeffs tc = co_await sw_exec(id, T_.arith(w), arith_fn);
+            co_await submit_tile(id, t, std::move(tc));
+            if (!cfg_.pipelined) {
+                co_await collect_tile(id, t);
+            } else {
+                if (prev >= 0) co_await collect_tile(id, prev);
+                prev = t;
+            }
+        }
+        if (cfg_.pipelined && prev >= 0) co_await collect_tile(id, prev);
+    }
+
+    /// Transfer the entropy-decoded tile into the Shared Object; the object
+    /// stores it (block RAM at VTA), performs the IQ, and either queues an
+    /// IDWT job (module structure) or runs the IDWT itself (co-processor).
+    [[nodiscard]] sim::task<void> submit_tile(int id, int t, j2k::tile_coeffs tc)
+    {
+        const tile_work& w = md_.per_tile[static_cast<std::size_t>(t)];
+        const std::size_t wire_bytes = w.samples * 2;  // 16-bit coefficients
+        auto flat = std::make_shared<std::vector<std::int32_t>>(flatten(tc));
+        ++so_calls_;
+        // NOTE: lambdas passed to coroutine call chains are bound to locals
+        // first — GCC 12 double-destroys temporary closures inside co_await
+        // full-expressions (fixed in GCC 13).
+        auto submit_fn =
+            [this, t, w, tc = std::move(tc), flat](hw_so_data& s) -> sim::task<void> {
+                if (s.ram) co_await s.ram->write_block(0, *flat);
+                // Shared-Object housekeeping (the "data structure to transfer
+                // large objects" management — only the tile-store variant)
+                // plus the per-client scheduler cost.
+                if (cfg_.hw_modules) co_await sim::delay(so_handling(w));
+                co_await sim::delay(so_scheduler_overhead());
+                // IQ — computed by the Shared Object.
+                const double cps =
+                    cfg_.vta ? H_.vta_iq_cycles_per_sample : H_.app_iq_cycles_per_sample;
+                co_await sim::delay(H_.cycles(cps, w.samples, clk_));
+                j2k::tile_wavelet tw = dec_.dequantize(tc);
+                if (cfg_.hw_modules) {
+                    s.jobs.push_back({t, std::move(tw)});
+                } else {
+                    // v2/v4: the SO is the whole co-processor (IQ + IDWT).
+                    const sim::time ts = H_.cycles(idwt_cps(), w.samples, clk_);
+                    co_await sim::delay(ts);
+                    idwt_time_ += ts;
+                    s.results.emplace(t, dec_.idwt(tw));
+                }
+            };
+        co_await sw_ports_[static_cast<std::size_t>(id)].call(wire_bytes, 8, submit_fn);
+    }
+
+    /// Fetch the finished tile from the Shared Object and run ICT + DC shift
+    /// on the software side.
+    [[nodiscard]] sim::task<void> collect_tile(int id, int t)
+    {
+        const tile_work& w = md_.per_tile[static_cast<std::size_t>(t)];
+        const std::size_t wire_bytes = w.samples * 2;
+        ++so_calls_;
+        auto ready = [t](const hw_so_data& s) { return s.results.count(t) > 0; };
+        auto fetch_fn = [this, t, w](hw_so_data& s) -> sim::task<j2k::tile_pixels> {
+            if (s.ram) {
+                std::vector<std::int32_t> scratch(w.samples);
+                co_await s.ram->read_block(0, scratch);
+            }
+            if (cfg_.hw_modules) co_await sim::delay(so_handling(w));
+            co_await sim::delay(so_scheduler_overhead());
+            auto node = s.results.extract(t);
+            co_return std::move(node.mapped());
+        };
+        j2k::tile_pixels tp = co_await sw_ports_[static_cast<std::size_t>(id)].call_when(
+            16, wire_bytes, ready, fetch_fn);
+        auto finish_fn = [this, t, tp = std::move(tp)] {
+            j2k::image timg = tile_image(tp, out_.bit_depth());
+            dec_.finish(timg);
+            for (int c = 0; c < out_.components(); ++c)
+                j2k::insert_tile(out_.comp(c), timg.comp(c),
+                                 grid_[static_cast<std::size_t>(t)]);
+        };
+        co_await sw_exec(id, T_.ict(w) + T_.dc(w), finish_fn);
+    }
+
+    // ---- hardware side -----------------------------------------------------
+
+    /// Tile-management time of the HW/SW Shared Object ("store and transfer
+    /// large objects within the object") — charged on every tile movement.
+    [[nodiscard]] sim::time so_handling(const tile_work& w) const
+    {
+        return sim::time::ns_f(H_.so_handling_ns_per_sample * static_cast<double>(w.samples));
+    }
+
+    /// Scheduler/guard-evaluation overhead of the HW/SW Shared Object: its
+    /// arbiter grows with the number of connected clients, which is what
+    /// makes model 5 (seven clients) slightly slower than model 4.
+    [[nodiscard]] sim::time so_scheduler_overhead() const
+    {
+        // Guard evaluation is pairwise (every waiter re-checks on every state
+        // change), so the cost grows superlinearly with the client count.
+        const int clients = cfg_.sw_tasks + (cfg_.hw_modules ? 3 : 0);
+        return sim::time::ns(1500) * (clients * clients);
+    }
+
+    [[nodiscard]] double idwt_cps() const noexcept
+    {
+        if (cfg_.vta)
+            return lossy_ ? H_.vta_idwt97_cycles_per_sample : H_.vta_idwt53_cycles_per_sample;
+        return lossy_ ? H_.app_idwt97_cycles_per_sample : H_.app_idwt53_cycles_per_sample;
+    }
+
+    /// IDWT2D control block: pulls jobs from the HW/SW SO, exchanges
+    /// parameter sequences with the filter blocks via the params SO, writes
+    /// results back.  Its service time per tile is the Table 1 "IDWT time".
+    [[nodiscard]] sim::process idwt2d_proc()
+    {
+        const std::size_t tile_bytes = md_.per_tile.front().samples * 2;
+        for (int count = 0; count < wl_.tile_count(); ++count) {
+            // Synchronise on job availability (not part of the service time).
+            auto has_job = [](const hw_so_data& s) { return !s.jobs.empty(); };
+            auto noop = [](hw_so_data&) {};
+            co_await hw_fetch_port_.call_when(8, 8, has_job, noop);
+            const sim::time t0 = k_.now();
+
+            auto fetch_fn = [this](hw_so_data& s) -> sim::task<hw_so_data::job> {
+                if (s.ram) {
+                    std::vector<std::int32_t> scratch(s.ram->size());
+                    co_await s.ram->read_block(0, scratch);
+                }
+                co_await sim::delay(so_handling(md_.per_tile.front()) + so_scheduler_overhead());
+                auto j = std::move(s.jobs.front());
+                s.jobs.pop_front();
+                co_return j;
+            };
+            hw_so_data::job job = co_await hw_fetch_port_.call(16, tile_bytes, fetch_fn);
+            const tile_work& w = md_.per_tile[static_cast<std::size_t>(job.tile)];
+
+            // Parameter sequences per component and decomposition level.
+            auto param_fn = [](params_so_data& p) { p.param_words += 16; };
+            for (int c = 0; c < dec_.info().components; ++c)
+                for (int l = 0; l < dec_.info().levels; ++l)
+                    co_await p2d_port_.call(64, 16, param_fn);
+            // Dispatch to the filter block matching the stream mode.
+            auto dispatch_fn = [this, &job](params_so_data& p) {
+                p.job = params_so_data::filter_job{job.tile, lossy_, &job.tw};
+            };
+            co_await p2d_port_.call(64, 8, dispatch_fn);
+            // Wait for the filter's completion notification.
+            auto is_done = [t = job.tile](const params_so_data& p) {
+                return p.done.count(t) > 0;
+            };
+            auto take_fn = [t = job.tile](params_so_data& p) {
+                auto node = p.done.extract(t);
+                return std::move(node.mapped());
+            };
+            j2k::tile_pixels tp = co_await p2d_port_.call_when(8, 16, is_done, take_fn);
+            // Write the spatial tile back into the Shared Object.
+            auto wb_fn = [this, t = job.tile, w, tp = std::move(tp)](hw_so_data& s) mutable
+                -> sim::task<void> {
+                if (s.ram) {
+                    std::vector<std::int32_t> scratch(w.samples, 0);
+                    co_await s.ram->write_block(0, scratch);
+                }
+                co_await sim::delay(so_handling(w) + so_scheduler_overhead());
+                s.results.emplace(t, std::move(tp));
+            };
+            co_await hw_wb_port_.call(tile_bytes, 8, wb_fn);
+            idwt_time_ += k_.now() - t0;
+        }
+    }
+
+    /// Filter block (IDWT53 or IDWT97): takes jobs of its mode from the
+    /// params SO, performs the (charged and real) inverse transform.
+    [[nodiscard]] sim::process filter_proc(bool is97)
+    {
+        auto& port = is97 ? p97_port_ : p53_port_;
+        for (;;) {
+            auto my_job = [is97](const params_so_data& p) {
+                return p.job && p.job->lossy == is97;
+            };
+            auto take_fn = [](params_so_data& p) {
+                auto j = *p.job;
+                p.job.reset();
+                return j;
+            };
+            params_so_data::filter_job fj = co_await port.call_when(8, 64, my_job, take_fn);
+            const tile_work& w = md_.per_tile[static_cast<std::size_t>(fj.tile)];
+            co_await sim::delay(H_.cycles(idwt_cps(), w.samples, clk_));
+            j2k::tile_pixels tp = dec_.idwt(*fj.tw);
+            auto done_fn = [fj, tp = std::move(tp)](params_so_data& p) mutable {
+                p.done.emplace(fj.tile, std::move(tp));
+            };
+            co_await port.call(16, 8, done_fn);
+        }
+    }
+
+    // ---- members ------------------------------------------------------------
+
+    const workload& wl_;
+    bool lossy_;
+    model_version ver_;
+    cfg_t cfg_;
+    const mode_data& md_;
+    sim::kernel k_;
+    sim::time clk_ = sim::time::ns(10);  // 100 MHz system clock
+    j2k::decoder dec_;
+    sw_timing T_;
+    hw_timing H_;
+
+    std::vector<std::unique_ptr<osss::processor>> cpus_;
+    std::unique_ptr<osss::rmi_channel> bus_;
+    std::unique_ptr<osss::p2p_channel> p2p_fetch_;
+    std::unique_ptr<osss::p2p_channel> p2p_wb_;
+    std::vector<std::unique_ptr<osss::p2p_channel>> p2p_params_;
+    std::unique_ptr<osss::xilinx_block_ram<std::int32_t>> tile_ram_;
+
+    osss::shared_object<hw_so_data> hw_so_;
+    osss::shared_object<params_so_data> params_so_;
+    std::unique_ptr<osss::object_socket<hw_so_data>> hw_sock_;
+    std::unique_ptr<osss::object_socket<params_so_data>> params_sock_;
+
+    std::vector<osss::service_port<hw_so_data>> sw_ports_;
+    osss::service_port<hw_so_data> hw_fetch_port_;
+    osss::service_port<hw_so_data> hw_wb_port_;
+    osss::service_port<params_so_data> p2d_port_;
+    osss::service_port<params_so_data> p53_port_;
+    osss::service_port<params_so_data> p97_port_;
+
+    j2k::image out_;
+    sim::time idwt_time_{};
+    std::uint64_t so_calls_ = 0;
+    std::vector<j2k::tile_rect> grid_;
+};
+
+/// Version 1 — the software-only reference structure.
+model_result run_v1(const workload& wl, bool lossy)
+{
+    const mode_data& md = wl.mode(lossy);
+    const sw_timing T = sw_timing::calibrate(md, lossy);
+    sim::kernel k;
+    j2k::decoder dec{md.codestream};
+    j2k::image out{dec.info().width, dec.info().height, dec.info().components,
+                   dec.info().bit_depth};
+    sim::time idwt_time{};
+    const auto grid = dec.tiles();
+
+    k.spawn(
+        [](sim::kernel&, const workload& w, bool ly, const sw_timing& t, j2k::decoder& d,
+           j2k::image& o, sim::time& it,
+           const std::vector<j2k::tile_rect>& g) -> sim::process {
+            const mode_data& m = w.mode(ly);
+            for (int i = 0; i < w.tile_count(); ++i) {
+                const tile_work& tw = m.per_tile[static_cast<std::size_t>(i)];
+                auto arith_fn = [&] { return d.entropy_decode(i); };
+                auto tc = co_await osss::eet(t.arith(tw), arith_fn);
+                auto iq_fn = [&] { return d.dequantize(tc); };
+                auto twav = co_await osss::eet(t.iq(tw), iq_fn);
+                it += t.idwt(tw);
+                auto idwt_fn = [&] { return d.idwt(twav); };
+                auto tp = co_await osss::eet(t.idwt(tw), idwt_fn);
+                auto finish_fn = [&] {
+                    j2k::image timg = tile_image(tp, o.bit_depth());
+                    d.finish(timg);
+                    for (int c = 0; c < o.components(); ++c)
+                        j2k::insert_tile(o.comp(c), timg.comp(c),
+                                         g[static_cast<std::size_t>(i)]);
+                };
+                co_await osss::eet(t.ict(tw) + t.dc(tw), finish_fn);
+            }
+        }(k, wl, lossy, T, dec, out, idwt_time, grid),
+        "sw_only");
+
+    const sim::time end = k.run();
+    model_result r;
+    r.version = model_version::v1;
+    r.lossy = lossy;
+    r.decode_time = end;
+    r.idwt_time = idwt_time;
+    r.image_ok = out == md.expected;
+    return r;
+}
+
+}  // namespace
+
+model_config config_for(model_version v) noexcept
+{
+    model_config c;
+    switch (v) {
+        case model_version::v1: break;
+        case model_version::v2: break;  // defaults: 1 task, blocking co-processor
+        case model_version::v3: c.pipelined = c.hw_modules = true; break;
+        case model_version::v4: c.sw_tasks = 4; break;
+        case model_version::v5: c.sw_tasks = 4; c.pipelined = c.hw_modules = true; break;
+        case model_version::v6a: c.vta = c.pipelined = c.hw_modules = true; break;
+        case model_version::v6b: c.vta = c.pipelined = c.hw_modules = c.idwt_p2p = true; break;
+        case model_version::v7a:
+            c.vta = c.pipelined = c.hw_modules = true;
+            c.sw_tasks = 4;
+            break;
+        case model_version::v7b:
+            c.vta = c.pipelined = c.hw_modules = c.idwt_p2p = true;
+            c.sw_tasks = 4;
+            break;
+    }
+    return c;
+}
+
+model_result run_custom_model(const workload& wl, bool lossy, const model_config& cfg)
+{
+    pipeline_model m{wl, lossy, model_version::v3, cfg};
+    return m.run();
+}
+
+model_result run_model(const workload& wl, model_version v, bool lossy)
+{
+    if (v == model_version::v1) return run_v1(wl, lossy);
+    pipeline_model m{wl, lossy, v};
+    return m.run();
+}
+
+std::vector<model_result> run_all_models(const workload& wl, bool lossy)
+{
+    std::vector<model_result> out;
+    for (auto v : {model_version::v1, model_version::v2, model_version::v3,
+                   model_version::v4, model_version::v5, model_version::v6a,
+                   model_version::v6b, model_version::v7a, model_version::v7b})
+        out.push_back(run_model(wl, v, lossy));
+    return out;
+}
+
+osss::design describe_model(model_version v)
+{
+    using osss::component_kind;
+    const model_config c = config_for(v);
+    osss::design d{std::string{"jpeg2000_v"} + version_name(v)};
+    for (int i = 0; i < c.sw_tasks; ++i) {
+        const std::string cpu = "microblaze_" + std::to_string(i);
+        if (c.vta) d.add(component_kind::processor, cpu, "microblaze");
+        d.add(component_kind::sw_task, "arith_dec_" + std::to_string(i), "sw_task",
+              c.vta ? cpu : "");
+    }
+    d.add(component_kind::shared_object, "hw_sw_so", "shared_object<iq_tile_store>",
+          c.vta ? "opb_v20_0" : "");
+    if (c.hw_modules) {
+        d.add(component_kind::shared_object, "idwt_params_so",
+              "shared_object<idwt_params>");
+        d.add(component_kind::module, "idwt2d", "idwt2d_osss",
+              c.vta ? (c.idwt_p2p ? "p2p" : "opb_v20_0") : "");
+        d.add(component_kind::module, "idwt53", "idwt53_osss", "");
+        d.add(component_kind::module, "idwt97", "idwt97_osss", "");
+    }
+    if (c.vta) {
+        d.add(component_kind::channel, "opb_v20_0", "opb_bus");
+        if (c.idwt_p2p) {
+            d.add(component_kind::channel, "p2p_idwt_fetch", "p2p_channel");
+            d.add(component_kind::channel, "p2p_idwt_wb", "p2p_channel");
+        }
+        for (int i = 0; i < 3; ++i)
+            d.add(component_kind::channel, "p2p_params_" + std::to_string(i), "p2p_channel");
+        d.add(component_kind::memory, "tile_store", "bram_block");
+        d.add(component_kind::memory, "ddr_ram", "mch_opb_ddr");
+    }
+    for (int i = 0; i < c.sw_tasks; ++i)
+        d.add_link("arith_dec_" + std::to_string(i), "hw_sw_so", c.vta ? "opb_v20_0" : "");
+    if (c.hw_modules) {
+        d.add_link("idwt2d", "hw_sw_so",
+                   c.vta ? (c.idwt_p2p ? "p2p_idwt_fetch" : "opb_v20_0") : "");
+        d.add_link("idwt2d", "idwt_params_so", c.vta ? "p2p_params_0" : "");
+        d.add_link("idwt53", "idwt_params_so", c.vta ? "p2p_params_1" : "");
+        d.add_link("idwt97", "idwt_params_so", c.vta ? "p2p_params_2" : "");
+    }
+    return d;
+}
+
+}  // namespace decoder

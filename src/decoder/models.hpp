@@ -1,0 +1,109 @@
+// decoder/models.hpp — the nine model versions of the paper's case study.
+//
+// Application Layer (Figure 3, Table 1 top half):
+//   v1  — SW only: the whole decoder as one software task.
+//   v2  — HW/SW, not parallel: SW task + one Shared Object implementing
+//         IQ + IDWT as a blocking co-processor.
+//   v3  — HW/SW parallel: tile pipeline; the Shared Object stores/transfers
+//         tiles and performs IQ; three HW blocks (IDWT2D control, IDWT53,
+//         IDWT97) exchange parameters through a second Shared Object.
+//   v4  — SW parallel: four software tasks arithmetic-decode disjoint tiles
+//         (structure of v2 otherwise).
+//   v5  — SW & HW/SW parallel: v3 with four software tasks (the HW/SW Shared
+//         Object then serves seven clients).
+//
+// Virtual Target Architecture (Table 1 bottom half):
+//   v6a — v3 mapped: SW on one processor, all HW/SW-SO links on an OPB bus,
+//         explicit block-RAM tile store, serialised transfers.
+//   v6b — v6a, but the IDWT hardware reaches the Shared Object through
+//         dedicated point-to-point channels.
+//   v7a — v5 mapped (four processors), HW/SW SO on the bus only.
+//   v7b — v7a with the IDWT P2P channels of v6b.
+//
+// Every model performs the *real* decode (the output image is checked
+// against the reference decode), while simulated time comes from the
+// back-annotated EET blocks, channel models and memory models.
+#pragma once
+
+#include "timing.hpp"
+#include "workload.hpp"
+
+#include <osss/osss.hpp>
+
+#include <string>
+#include <vector>
+
+namespace decoder {
+
+enum class model_version { v1, v2, v3, v4, v5, v6a, v6b, v7a, v7b };
+
+[[nodiscard]] constexpr const char* version_name(model_version v) noexcept
+{
+    switch (v) {
+        case model_version::v1: return "1";
+        case model_version::v2: return "2";
+        case model_version::v3: return "3";
+        case model_version::v4: return "4";
+        case model_version::v5: return "5";
+        case model_version::v6a: return "6a";
+        case model_version::v6b: return "6b";
+        case model_version::v7a: return "7a";
+        case model_version::v7b: return "7b";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr bool is_vta(model_version v) noexcept
+{
+    return v == model_version::v6a || v == model_version::v6b ||
+           v == model_version::v7a || v == model_version::v7b;
+}
+
+/// One Table 1 cell pair plus validation and channel diagnostics.
+struct model_result {
+    model_version version{};
+    bool lossy = false;
+    sim::time decode_time{};  ///< total time to decode all tiles
+    sim::time idwt_time{};    ///< summed IDWT service time over all tiles
+    bool image_ok = false;    ///< decoded output equals the reference decode
+
+    // Diagnostics (VTA models; zero on the application layer).
+    std::uint64_t bus_transactions = 0;
+    sim::time bus_wait{};
+    std::uint64_t so_calls = 0;
+};
+
+/// Free-form model configuration (the knobs behind the named versions) —
+/// exposed for the ablation benches.
+struct model_config {
+    bool vta = false;         ///< cycle-accurate channels/memories/processors
+    int sw_tasks = 1;         ///< parallel arithmetic-decoder tasks
+    bool pipelined = false;   ///< tile pipeline vs blocking co-processor
+    bool hw_modules = false;  ///< IDWT2D/IDWT53/IDWT97 blocks + params SO
+    bool idwt_p2p = false;    ///< IDWT↔SO links on P2P channels (else bus)
+    bool use_plb = false;     ///< shared bus is a 64-bit pipelined PLB, not OPB
+    int bus_width_bits = 32;
+    std::size_t bus_burst_bytes = 256;   ///< RMI serialisation chunk size
+    int bram_ports = 1;                  ///< tile-store block-RAM ports (1 or 2)
+    double cpu_mem_fraction = 0.12;      ///< CPU bus load while executing
+    osss::scheduling_policy bus_policy = osss::scheduling_policy::priority;
+};
+
+/// The configuration behind a named model version.
+[[nodiscard]] model_config config_for(model_version v) noexcept;
+
+/// Simulate an arbitrary configuration (ablation entry point).
+[[nodiscard]] model_result run_custom_model(const workload& wl, bool lossy,
+                                            const model_config& cfg);
+
+/// Simulate one model version on `wl`.
+[[nodiscard]] model_result run_model(const workload& wl, model_version v, bool lossy);
+
+/// All nine versions in paper order.
+[[nodiscard]] std::vector<model_result> run_all_models(const workload& wl, bool lossy);
+
+/// Structural inventory of a model version (input to the FOSSY platform
+/// generation of Figure 4).
+[[nodiscard]] osss::design describe_model(model_version v);
+
+}  // namespace decoder

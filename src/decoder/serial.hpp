@@ -1,0 +1,74 @@
+// decoder/serial.hpp — OSSS serialisation of the JPEG 2000 tile types.
+//
+// ADL hooks that let j2k planes and tile containers travel through
+// `osss::object_socket::call` with real payloads: the RMI layer then charges
+// the channel for the exact wire size of the data being moved — the
+// "serialisation cuts large user-defined data structures" step of the paper,
+// applied to the actual case-study types.
+#pragma once
+
+#include <j2k/codec.hpp>
+#include <osss/serialization.hpp>
+
+namespace j2k {
+
+inline void serialize(osss::archive& a, const plane& p)
+{
+    a.put(static_cast<std::int32_t>(p.width()));
+    a.put(static_cast<std::int32_t>(p.height()));
+    osss::serialize(a, p.samples());
+}
+
+inline void deserialize(osss::archive_reader& r, plane& p)
+{
+    std::int32_t w = 0;
+    std::int32_t h = 0;
+    r.get(w);
+    r.get(h);
+    p = plane{w, h};
+    osss::deserialize(r, p.samples());
+}
+
+inline void serialize(osss::archive& a, const tile_rect& t)
+{
+    a.put(t.index);
+    a.put(t.x0);
+    a.put(t.y0);
+    a.put(t.width);
+    a.put(t.height);
+}
+
+inline void deserialize(osss::archive_reader& r, tile_rect& t)
+{
+    r.get(t.index);
+    r.get(t.x0);
+    r.get(t.y0);
+    r.get(t.width);
+    r.get(t.height);
+}
+
+inline void serialize(osss::archive& a, const tile_coeffs& tc)
+{
+    serialize(a, tc.rect);
+    osss::serialize(a, tc.comps);
+}
+
+inline void deserialize(osss::archive_reader& r, tile_coeffs& tc)
+{
+    deserialize(r, tc.rect);
+    osss::deserialize(r, tc.comps);
+}
+
+inline void serialize(osss::archive& a, const tile_pixels& tp)
+{
+    serialize(a, tp.rect);
+    osss::serialize(a, tp.comps);
+}
+
+inline void deserialize(osss::archive_reader& r, tile_pixels& tp)
+{
+    deserialize(r, tp.rect);
+    osss::deserialize(r, tp.comps);
+}
+
+}  // namespace j2k

@@ -1,0 +1,26 @@
+#include "timing.hpp"
+
+namespace decoder {
+
+sw_timing sw_timing::calibrate(const mode_data& m, bool lossy)
+{
+    const stage_profile& p = lossy ? k_profile_lossy : k_profile_lossless;
+    // Mean work of one tile.
+    double mean_samples = 0;
+    for (const auto& w : m.per_tile) mean_samples += static_cast<double>(w.samples);
+    mean_samples /= static_cast<double>(m.per_tile.size());
+    const double mean_decisions = static_cast<double>(m.mean_decisions_per_tile);
+
+    // Anchor: arithmetic decoding of the mean tile takes 180 ms; the other
+    // stages follow from the Figure 1 shares.
+    const double total_ns_per_tile = k_arith_ms_per_tile * 1e6 / p.arith;
+    sw_timing t;
+    t.ns_per_mq_decision = k_arith_ms_per_tile * 1e6 / mean_decisions;
+    t.ns_per_iq_sample = total_ns_per_tile * p.iq / mean_samples;
+    t.ns_per_idwt_sample = total_ns_per_tile * p.idwt / mean_samples;
+    t.ns_per_ict_sample = total_ns_per_tile * p.ict / mean_samples;
+    t.ns_per_dc_sample = total_ns_per_tile * p.dc / mean_samples;
+    return t;
+}
+
+}  // namespace decoder

@@ -1,0 +1,53 @@
+#include "workload.hpp"
+
+namespace decoder {
+
+namespace {
+
+mode_data build_mode(const j2k::image& img, const j2k::codec_params& p)
+{
+    mode_data m;
+    m.codestream = j2k::encode(img, p);
+    const j2k::decoder dec{m.codestream};
+    // Profiling decode: count MQ decisions per tile.
+    std::uint64_t total = 0;
+    for (int t = 0; t < dec.tile_count(); ++t) {
+        j2k::tier1_stats st;
+        (void)dec.entropy_decode(t, &st);
+        tile_work w;
+        w.mq_decisions = st.mq_decisions;
+        const auto grid = dec.tiles();
+        w.samples = static_cast<std::uint64_t>(grid[static_cast<std::size_t>(t)].width) *
+                    static_cast<std::uint64_t>(grid[static_cast<std::size_t>(t)].height) *
+                    static_cast<std::uint64_t>(dec.info().components);
+        m.per_tile.push_back(w);
+        total += st.mq_decisions;
+    }
+    m.mean_decisions_per_tile = total / static_cast<std::uint64_t>(dec.tile_count());
+    m.expected = dec.decode_all();
+    return m;
+}
+
+}  // namespace
+
+workload workload::standard(int tiles_per_side, int tile_size, std::uint32_t seed)
+{
+    workload w;
+    const int dim = tiles_per_side * tile_size;
+    w.original_ = j2k::make_test_image(dim, dim, 3, 8, seed);
+
+    j2k::codec_params pl;
+    pl.tile_width = tile_size;
+    pl.tile_height = tile_size;
+    pl.mode = j2k::wavelet::w5_3;
+    pl.levels = 3;
+    w.lossless_ = build_mode(w.original_, pl);
+
+    j2k::codec_params py = pl;
+    py.mode = j2k::wavelet::w9_7;
+    py.quant.base_step = 1.0 / 64.0;
+    w.lossy_ = build_mode(w.original_, py);
+    return w;
+}
+
+}  // namespace decoder

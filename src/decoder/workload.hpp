@@ -1,0 +1,55 @@
+// decoder/workload.hpp — the case-study workload of the paper's Table 1:
+// an image decoded as 16 tiles with 3 components, in lossless (IDWT 5/3) and
+// lossy (IDWT 9/7) mode.
+//
+// The workload owns the encoded codestreams, the expected decoder outputs
+// (for validating that every model version actually decodes the image), and
+// per-tile work counts measured from a profiling decode — the numbers the
+// execution-time model is back-annotated from.
+#pragma once
+
+#include <j2k/j2k.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace decoder {
+
+/// Work performed decoding one tile (drives the timing back-annotation).
+struct tile_work {
+    std::uint64_t mq_decisions = 0;
+    std::uint64_t samples = 0;  ///< tile width × height × components
+};
+
+struct mode_data {
+    std::vector<std::uint8_t> codestream;
+    j2k::image expected;                 ///< reference decode of the codestream
+    std::vector<tile_work> per_tile;     ///< profiling counts, one per tile
+    std::uint64_t mean_decisions_per_tile = 0;
+};
+
+class workload {
+public:
+    /// The paper's configuration: 16 tiles (4×4 of 64×64), 3 components.
+    [[nodiscard]] static workload standard(int tiles_per_side = 4, int tile_size = 64,
+                                           std::uint32_t seed = 2008);
+
+    [[nodiscard]] const j2k::image& original() const noexcept { return original_; }
+    [[nodiscard]] const mode_data& lossless() const noexcept { return lossless_; }
+    [[nodiscard]] const mode_data& lossy() const noexcept { return lossy_; }
+    [[nodiscard]] const mode_data& mode(bool lossy_mode) const noexcept
+    {
+        return lossy_mode ? lossy_ : lossless_;
+    }
+    [[nodiscard]] int tile_count() const noexcept
+    {
+        return static_cast<int>(lossless_.per_tile.size());
+    }
+
+private:
+    j2k::image original_;
+    mode_data lossless_;
+    mode_data lossy_;
+};
+
+}  // namespace decoder

@@ -1,0 +1,170 @@
+#include "estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fossy {
+
+namespace {
+
+/// LUT cost of one operator instance.
+long lut_cost(const operation& op) noexcept
+{
+    const long w = op.width;
+    switch (op.kind) {
+        case op_kind::add: return w;                 // carry chain, 1 LUT/bit
+        case op_kind::mul: return 24;                // DSP48 block + glue
+        case op_kind::compare: return (w + 1) / 2;   // 2 bits per LUT4
+        case op_kind::logic: return (w + 1) / 2;
+        case op_kind::mux: return w;                 // 2:1 select per bit
+        case op_kind::mem_read: return 2;            // address/control glue
+        case op_kind::mem_write: return 3;
+        case op_kind::assign: return 0;
+        case op_kind::shift: return 0;               // constant shift = wiring
+        case op_kind::call: return 0;                // removed by inlining
+    }
+    return 0;
+}
+
+}  // namespace
+
+/// Combinational delay (ns) of one operator on Virtex-4 fabric (-10 grade),
+/// including local routing.
+double op_delay_ns(const operation& op) noexcept
+{
+    switch (op.kind) {
+        case op_kind::add: return 1.1 + 0.035 * op.width;  // carry ripple
+        case op_kind::mul: return 3.4 + 0.020 * op.width;  // DSP48-assisted
+        case op_kind::compare: return 1.3;
+        case op_kind::logic: return 0.6;
+        case op_kind::mux: return 0.7;
+        case op_kind::mem_read: return 1.9;  // synchronous BRAM clock-to-out
+        case op_kind::mem_write: return 0.9;
+        case op_kind::assign: return 0.15;
+        case op_kind::shift: return 0.1;
+        case op_kind::call: return 0.0;
+    }
+    return 0.0;
+}
+
+double chain_budget_ns(double fmax_mhz, std::size_t states) noexcept
+{
+    // Invert the fmax model: fmax = 1000 / ((chain + decode)·routing + ovh).
+    const double decode = 0.2 * std::log2(static_cast<double>(states) + 1.0);
+    return (1000.0 / fmax_mhz - 1.2) / 1.15 - decode;
+}
+
+namespace {
+
+[[nodiscard]] long state_bits(std::size_t states) noexcept
+{
+    long b = 1;
+    while ((1ll << b) < static_cast<long long>(states)) ++b;
+    return b;
+}
+
+/// Longest dependency chain within one state (ops are a DAG via result→args).
+double state_critical_path(const fsm_state& st)
+{
+    // longest path ending at op i, by walking ops in order (producers appear
+    // before consumers in our IR).
+    std::map<std::string, double> ready;  // signal → time it becomes valid
+    double worst = 0.0;
+    for (const auto& op : st.ops) {
+        double start = 0.0;
+        for (const auto& a : op.args) {
+            auto it = ready.find(a);
+            if (it != ready.end()) start = std::max(start, it->second);
+        }
+        const double done = start + op_delay_ns(op);
+        if (!op.result.empty()) {
+            // Synchronous block RAM registers its read data: consumers see it
+            // at the start of the next cycle, not after the access delay.
+            const double visible = op.kind == op_kind::mem_read ? 0.0 : done;
+            ready[op.result] = std::max(ready[op.result], visible);
+        }
+        worst = std::max(worst, done);
+    }
+    return worst;
+}
+
+}  // namespace
+
+double critical_path_ns(const entity& e)
+{
+    double worst = 0.0;
+    for (const auto& f : e.fsms)
+        for (const auto& s : f.states) worst = std::max(worst, state_critical_path(s));
+    // FSM next-state decode adds one level per 8 states (wide case mux tree).
+    const double fsm_decode =
+        0.2 * std::log2(static_cast<double>(e.total_states()) + 1.0);
+    return worst + fsm_decode;
+}
+
+area_report estimate_virtex4(const entity& e)
+{
+    area_report r;
+
+    // ---- flip-flops: registered signals + FSM state register -------------
+    for (const auto& s : e.signals)
+        if (s.registered) r.slice_ff += s.width;
+    for (const auto& f : e.fsms) r.slice_ff += state_bits(f.states.size());
+    for (const auto& p : e.ports)
+        if (p.dir == port_dir::out) r.slice_ff += p.width;  // registered outputs
+
+    // ---- LUTs: operator instances + FSM next-state logic -----------------
+    // Operator instances: per (kind,width) bucket, the maximum number of
+    // simultaneous uses in any one state must exist in hardware; uses in
+    // other states share those instances through the FSM (this mirrors what
+    // XST achieves on both hand-written and generated RTL).  Sharing muxes
+    // inserted by the share_operators pass are counted like any other op.
+    std::map<std::pair<op_kind, int>, long> instances;
+    auto count_states = [&instances](const std::vector<fsm_state>& states) {
+        for (const auto& s : states) {
+            std::map<std::pair<op_kind, int>, long> in_state;
+            for (const auto& op : s.ops) in_state[{op.kind, op.width}] += 1;
+            for (const auto& [key, n] : in_state)
+                instances[key] = std::max(instances[key], n);
+        }
+    };
+    for (const auto& f : e.fsms) count_states(f.states);
+    for (const auto& sp : e.subprograms) {
+        // A (non-inlined) subprogram is one hardware instance of its body.
+        fsm_state body{"sub", sp.body, {}};
+        count_states({body});
+    }
+    for (const auto& [key, n] : instances)
+        r.lut4 += n * lut_cost({key.first, key.second, "", {}});
+    // Per-state result muxing into shared operators and next-state decode:
+    // grows with state count and fan-in (the flattening overhead).
+    for (const auto& f : e.fsms) {
+        long transitions = 0;
+        for (const auto& s : f.states) transitions += static_cast<long>(s.next.size());
+        r.lut4 += transitions * state_bits(f.states.size()) / 6 + transitions;
+        r.lut4 += static_cast<long>(f.states.size()) * 2;  // enable decode per state
+    }
+
+    // ---- slices: 2 LUT4 + 2 FF per slice.  Real packing lands between the
+    // ideal max(lut,ff)/2 (perfect pairing) and (lut+ff)/2 (no pairing);
+    // blend 40/60 towards the pessimistic bound, as ISE map typically does.
+    r.occupied_slices = static_cast<long>(std::ceil(
+        0.6 * (r.lut4 + r.slice_ff) / 2.0 + 0.4 * std::max(r.lut4, r.slice_ff) / 2.0));
+
+    // ---- equivalent gates: ISE-style accounting ---------------------------
+    long ram_bits = 0;
+    for (const auto& m : e.memories)
+        ram_bits += static_cast<long>(m.words) * m.width;
+    r.equivalent_gates = 6 * r.lut4 + 8 * r.slice_ff + ram_bits;
+
+    // ---- timing ------------------------------------------------------------
+    const double path = critical_path_ns(e);
+    const double clk_overhead = 1.2;   // clock-to-Q + setup
+    const double routing_factor = 1.15;
+    r.fmax_mhz = 1000.0 / (path * routing_factor + clk_overhead);
+    return r;
+}
+
+}  // namespace fossy

@@ -1,0 +1,51 @@
+// fossy/estimate.hpp — Virtex-4 area/timing estimation.
+//
+// Stands in for XST + ISE place-and-route in the paper's Table 2: maps an
+// RTL entity onto the resource classes an ISE report shows for a Virtex-4
+// LX25 — slice flip-flops, 4-input LUTs, occupied slices, total equivalent
+// gate count, and an estimated maximum frequency from the longest
+// combinational chain inside any FSM state.
+//
+// The model is calibrated at the level that matters for the paper's
+// comparison: *relative* differences between a hand-partitioned design and a
+// FOSSY-flattened one (register duplication, operator sharing, mux insertion,
+// logic depth).  Absolute counts are representative, not sign-off.
+#pragma once
+
+#include "rtl.hpp"
+
+namespace fossy {
+
+/// One row of Table 2.
+struct area_report {
+    long slice_ff = 0;
+    long lut4 = 0;
+    long occupied_slices = 0;
+    long equivalent_gates = 0;
+    double fmax_mhz = 0.0;
+};
+
+/// Per-device capacity (Virtex-4 LX25), for utilisation percentages.
+struct device_model {
+    long slices = 10752;
+    long slice_ff = 21504;
+    long lut4 = 21504;
+    const char* name = "xc4vlx25";
+};
+
+/// Estimate `e` on a Virtex-4.  The entity is analysed as-is: run the FOSSY
+/// pipeline first for generated-style results, or pass a hand-written entity
+/// directly for reference-style results.
+[[nodiscard]] area_report estimate_virtex4(const entity& e);
+
+/// Longest combinational delay (ns) through any single FSM state.
+[[nodiscard]] double critical_path_ns(const entity& e);
+
+/// Combinational delay of one operator instance (Virtex-4 model).
+[[nodiscard]] double op_delay_ns(const operation& op) noexcept;
+
+/// Largest in-state chain (ns) compatible with `fmax_mhz`, given the state
+/// count (the FSM decode depth grows with it).  Feed this to fossy::retime.
+[[nodiscard]] double chain_budget_ns(double fmax_mhz, std::size_t states) noexcept;
+
+}  // namespace fossy

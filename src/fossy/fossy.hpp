@@ -1,0 +1,9 @@
+// fossy/fossy.hpp — umbrella header for the FOSSY synthesis back end.
+#pragma once
+
+#include "estimate.hpp"     // IWYU pragma: export
+#include "idwt_models.hpp"  // IWYU pragma: export
+#include "platform.hpp"     // IWYU pragma: export
+#include "rtl.hpp"          // IWYU pragma: export
+#include "transform.hpp"    // IWYU pragma: export
+#include "vhdl.hpp"         // IWYU pragma: export

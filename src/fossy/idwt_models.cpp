@@ -1,0 +1,627 @@
+#include "idwt_models.hpp"
+
+#include "transform.hpp"
+
+#include <string>
+
+namespace fossy {
+
+namespace {
+
+using ops_t = std::vector<operation>;
+
+std::string idx(const std::string& base, int i)
+{
+    return base + std::to_string(i);
+}
+
+/// Shared scaffolding: ports and the line buffer of the paper's snippet
+/// (xilinx_block_ram<osss_array<short, 2N+5>, 32, 16>).
+entity idwt_shell(std::string name, int data_width)
+{
+    entity e;
+    e.name = std::move(name);
+    e.ports = {
+        {"start", port_dir::in, 1},
+        {"done", port_dir::out, 1},
+        {"mode", port_dir::in, 2},
+        {"tile_w", port_dir::in, 8},
+        {"tile_h", port_dir::in, 8},
+        {"din", port_dir::in, data_width},
+        {"din_valid", port_dir::in, 1},
+        {"dout", port_dir::out, data_width},
+        {"dout_valid", port_dir::out, 1},
+    };
+    e.memories.push_back({"line_buffer", 2 * k_idwt_tile_n + 5, 32, true});
+    return e;
+}
+
+void add_counters(entity& e, int n)
+{
+    for (int i = 0; i < n; ++i) e.signals.push_back({idx("cnt", i), 8, true});
+}
+
+void add_regs(entity& e, const std::string& base, int n, int width, bool registered = true)
+{
+    for (int i = 0; i < n; ++i) e.signals.push_back({idx(base, i), width, registered});
+}
+
+/// Address-generation ops shared by every processing state.
+ops_t addressing(const std::string& tag)
+{
+    return {
+        {op_kind::add, 8, tag + "_addr", {"cnt0", "base"}},
+        {op_kind::compare, 8, tag + "_last", {"cnt0", "tile_w"}},
+        {op_kind::mux, 8, tag + "_naddr", {tag + "_addr", "zero"}},
+    };
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IDWT 5/3 — hand-crafted reference: two cooperating FSMs, all filter maths
+// written out in place, operators instantiated per use, shallow logic.
+// ---------------------------------------------------------------------------
+
+entity idwt53_reference()
+{
+    entity e = idwt_shell("idwt53_ref", 16);
+    add_counters(e, 6);
+    add_regs(e, "px", 10, 16);
+    add_regs(e, "lb", 6, 16);
+    e.signals.push_back({"base", 8, true});
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+
+    auto predict_ops = [](const std::string& tag) -> ops_t {
+        // x[i] -= (x[i-1] + x[i+1]) >> 1, via line buffer.
+        ops_t o = addressing(tag);
+        o.push_back({op_kind::mem_read, 16, tag + "_a", {"line_buffer", tag + "_addr"}});
+        o.push_back({op_kind::mem_read, 16, tag + "_b", {"line_buffer", tag + "_naddr"}});
+        o.push_back({op_kind::add, 16, tag + "_sum", {tag + "_a", tag + "_b"}});
+        o.push_back({op_kind::shift, 16, tag + "_half", {tag + "_sum", "1"}});
+        o.push_back({op_kind::add, 16, tag + "_res", {"px0", tag + "_half"}});
+        o.push_back({op_kind::mem_write, 16, "line_buffer", {tag + "_addr", tag + "_res"}});
+        return o;
+    };
+    auto update_ops = [](const std::string& tag) -> ops_t {
+        // x[i] += (x[i-1] + x[i+1] + 2) >> 2.
+        ops_t o = addressing(tag);
+        o.push_back({op_kind::mem_read, 16, tag + "_a", {"line_buffer", tag + "_addr"}});
+        o.push_back({op_kind::mem_read, 16, tag + "_b", {"line_buffer", tag + "_naddr"}});
+        o.push_back({op_kind::add, 16, tag + "_sum", {tag + "_a", tag + "_b"}});
+        o.push_back({op_kind::add, 16, tag + "_rnd", {tag + "_sum", "two"}});
+        o.push_back({op_kind::shift, 16, tag + "_q", {tag + "_rnd", "2"}});
+        o.push_back({op_kind::add, 16, tag + "_res", {"px1", tag + "_q"}});
+        o.push_back({op_kind::mem_write, 16, "line_buffer", {tag + "_addr", tag + "_res"}});
+        return o;
+    };
+    auto edge_ops = [](const std::string& tag) -> ops_t {
+        ops_t o;
+        o.push_back({op_kind::mem_read, 16, tag + "_m", {"line_buffer", "one"}});
+        o.push_back({op_kind::assign, 16, tag + "_mirror", {tag + "_m"}});
+        o.push_back({op_kind::shift, 16, tag + "_h", {tag + "_mirror", "1"}});
+        o.push_back({op_kind::add, 16, tag + "_res", {"px0", tag + "_h"}});
+        o.push_back({op_kind::mem_write, 16, "line_buffer", {"zero", tag + "_res"}});
+        return o;
+    };
+    auto move_ops = [](const std::string& tag) -> ops_t {
+        ops_t o;
+        o.push_back({op_kind::mem_read, 16, tag + "_v", {"line_buffer", "cnt1"}});
+        o.push_back({op_kind::assign, 16, "px0", {tag + "_v"}});
+        o.push_back({op_kind::assign, 16, "px1", {"px0"}});
+        o.push_back({op_kind::add, 8, "cnt1", {"cnt1", "one"}});
+        o.push_back({op_kind::compare, 8, tag + "_end", {"cnt1", "tile_w_r"}});
+        return o;
+    };
+
+    // Control FSM: row pass then column pass per level, counter-driven.
+    fsm ctrl{"ctrl", {}};
+    ctrl.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    ctrl.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 8, "base", {"zero"}},
+                            {op_kind::assign, 8, "cnt0", {"zero"}}},
+                           {{"", "load_row"}}});
+    ctrl.states.push_back({"load_row", move_ops("ld"), {{"din_valid = '1'", "h_left"}}});
+    ctrl.states.push_back({"h_left", edge_ops("hl"), {{"", "h_predict"}}});
+    ctrl.states.push_back({"h_predict", predict_ops("hp"), {{"hp_last = '1'", "h_update"}}});
+    ctrl.states.push_back({"h_update", update_ops("hu"), {{"hu_last = '1'", "h_right"}}});
+    ctrl.states.push_back({"h_right", edge_ops("hr"), {{"", "store_row"}}});
+    ctrl.states.push_back({"store_row", move_ops("st"), {{"st_end = '1'", "load_col"}}});
+    ctrl.states.push_back({"load_col", move_ops("lc"), {{"", "v_left"}}});
+    ctrl.states.push_back({"v_left", edge_ops("vl"), {{"", "v_predict"}}});
+    ctrl.states.push_back({"v_predict", predict_ops("vp"), {{"vp_last = '1'", "v_update"}}});
+    ctrl.states.push_back({"v_update", update_ops("vu"), {{"vu_last = '1'", "v_right"}}});
+    ctrl.states.push_back({"v_right", edge_ops("vr"), {{"", "store_col"}}});
+    ctrl.states.push_back({"store_col", move_ops("sc"), {{"sc_end = '1'", "level"}}});
+    ctrl.states.push_back({"level",
+                           {{op_kind::shift, 8, "tile_w_r", {"tile_w_r", "1"}},
+                            {op_kind::compare, 8, "lvl_done", {"tile_w_r", "one"}}},
+                           {{"lvl_done = '1'", "flush"}, {"", "load_row"}}});
+    ctrl.states.push_back({"flush", move_ops("fl"), {{"fl_end = '1'", "done_st"}}});
+    ctrl.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    // Deinterleave/interleave passes between the row and column stages.
+    for (const char* tag : {"deint_rd", "deint_wr", "int_rd", "int_wr"}) {
+        fsm_state st;
+        st.name = tag;
+        st.ops = {
+            {op_kind::mem_read, 16, std::string{tag} + "_v", {"line_buffer", "cnt4"}},
+            {op_kind::shift, 8, std::string{tag} + "_half", {"cnt4", "1"}},
+            {op_kind::add, 8, std::string{tag} + "_dst", {std::string{tag} + "_half", "base"}},
+            {op_kind::mem_write, 16, "line_buffer", {std::string{tag} + "_dst", std::string{tag} + "_v"}},
+            {op_kind::add, 8, "cnt4", {"cnt4", "one"}},
+            {op_kind::compare, 8, std::string{tag} + "_end", {"cnt4", "tile_w_r"}},
+        };
+        st.next = {{std::string{tag} + "_end = '1'", "level"}, {"", tag}};
+        ctrl.states.push_back(st);
+    }
+
+    // I/O FSM: streams samples in/out of the line buffer concurrently.
+    fsm io{"io", {}};
+    io.states.push_back({"wait_in", move_ops("wi"), {{"din_valid = '1'", "push"}}});
+    io.states.push_back({"push",
+                         {{op_kind::mem_write, 16, "line_buffer", {"cnt2", "din"}},
+                          {op_kind::add, 8, "cnt2", {"cnt2", "one"}}},
+                         {{"", "wait_in"}}});
+    io.states.push_back({"pop",
+                         {{op_kind::mem_read, 16, "out_v", {"line_buffer", "cnt3"}},
+                          {op_kind::assign, 16, "dout", {"out_v"}},
+                          {op_kind::add, 8, "cnt3", {"cnt3", "one"}}},
+                         {{"", "wait_out"}}});
+    io.states.push_back({"wait_out", move_ops("wo"), {{"", "pop"}}});
+    e.signals.push_back({"out_v", 16, true});
+
+    e.fsms = {ctrl, io};
+    return e;
+}
+
+// ---------------------------------------------------------------------------
+// IDWT 5/3 — OSSS/SystemC source: one FSM with the level loop still rolled,
+// filter maths in subprograms invoked per phase.
+// ---------------------------------------------------------------------------
+
+entity idwt53_osss_source()
+{
+    entity e = idwt_shell("idwt53", 16);
+    add_counters(e, 4);
+    add_regs(e, "px", 4, 16);
+    e.signals.push_back({"base", 8, true});
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+
+    // Filter subprograms (the "functions and procedures" the paper notes are
+    // inlined into a single explicit state machine by FOSSY).
+    e.subprograms.push_back({"lift_predict",
+                             {"xm", "xc", "xp"},
+                             {
+                                 {op_kind::add, 16, "sum", {"xm", "xp"}},
+                                 {op_kind::shift, 16, "half", {"sum", "1"}},
+                                 {op_kind::add, 16, "res", {"xc", "half"}},
+                                 {op_kind::assign, 16, "chk", {"res"}},
+                             },
+                             "res"});
+    e.subprograms.push_back({"lift_update",
+                             {"xm", "xc", "xp"},
+                             {
+                                 {op_kind::add, 16, "sum", {"xm", "xp"}},
+                                 {op_kind::add, 16, "rnd", {"sum", "two"}},
+                                 {op_kind::shift, 16, "q", {"rnd", "2"}},
+                                 {op_kind::add, 16, "res", {"xc", "q"}},
+                                 {op_kind::assign, 16, "chk", {"res"}},
+                             },
+                             "res"});
+    e.subprograms.push_back({"mirror",
+                             {"i", "n"},
+                             {
+                                 {op_kind::compare, 8, "neg", {"i", "zero"}},
+                                 {op_kind::add, 8, "ref", {"n", "i"}},
+                                 {op_kind::mux, 8, "res", {"i", "ref"}},
+                             },
+                             "res"});
+    e.subprograms.push_back({"fetch",
+                             {"i"},
+                             {
+                                 {op_kind::call, 8, "mi", {"mirror", "i", "tile_w_r"}},
+                                 {op_kind::mem_read, 16, "v", {"line_buffer", "mi"}},
+                                 {op_kind::assign, 16, "res", {"v"}},
+                             },
+                             "res"});
+
+    auto phase = [](const std::string& name, const std::string& sub,
+                    const std::string& nxt) -> fsm_state {
+        fsm_state st;
+        st.name = name;
+        st.ops = {
+            {op_kind::call, 16, name + "_a", {"fetch", "cnt0"}},
+            {op_kind::call, 16, name + "_c", {"fetch", "cnt1"}},
+            {op_kind::call, 16, name + "_b", {"fetch", "cnt2"}},
+            {op_kind::call, 16, name + "_r", {sub, name + "_a", name + "_c", name + "_b"}},
+            {op_kind::mem_write, 16, "line_buffer", {"cnt1", name + "_r"}},
+            {op_kind::add, 8, "cnt1", {"cnt1", "one"}},
+            {op_kind::compare, 8, name + "_end", {"cnt1", "tile_w_r"}},
+        };
+        st.next = {{name + "_end = '1'", nxt}};
+        return st;
+    };
+
+    // Boundary handling of one phase: mirror both edges explicitly.
+    auto edge_half = [](const std::string& name, const std::string& sub,
+                        const std::string& pos, const std::string& nxt) -> fsm_state {
+        fsm_state st;
+        st.name = name;
+        st.ops = {
+            {op_kind::call, 16, name + "_v", {"fetch", pos}},
+            {op_kind::call, 16, name + "_r", {sub, name + "_v", name + "_v", name + "_v"}},
+            {op_kind::mem_write, 16, "line_buffer", {pos, name + "_r"}},
+        };
+        st.next = {{"", nxt}};
+        return st;
+    };
+
+    fsm main{"main", {}};
+    main.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    main.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 8, "cnt0", {"zero"}}},
+                           {{"", "lvl_load"}}});
+    // The "lvl_" states form the per-level loop body FOSSY unrolls.
+    main.states.push_back(phase("lvl_load", "fetch", "lvl_hedge_lo"));
+    main.states.push_back(edge_half("lvl_hedge_lo", "lift_predict", "zero", "lvl_hedge_hi"));
+    main.states.push_back(edge_half("lvl_hedge_hi", "lift_predict", "tile_w_r", "lvl_hpred"));
+    main.states.push_back(phase("lvl_hpred", "lift_predict", "lvl_hupd"));
+    main.states.push_back(phase("lvl_hupd", "lift_update", "lvl_hfix_lo"));
+    main.states.push_back(edge_half("lvl_hfix_lo", "lift_update", "zero", "lvl_hfix_hi"));
+    main.states.push_back(edge_half("lvl_hfix_hi", "lift_update", "tile_w_r", "lvl_vedge_lo"));
+    main.states.push_back(edge_half("lvl_vedge_lo", "lift_predict", "zero", "lvl_vedge_hi"));
+    main.states.push_back(edge_half("lvl_vedge_hi", "lift_predict", "tile_w_r", "lvl_vpred"));
+    main.states.push_back(phase("lvl_vpred", "lift_predict", "lvl_vupd"));
+    main.states.push_back(phase("lvl_vupd", "lift_update", "lvl_vfix_lo"));
+    main.states.push_back(edge_half("lvl_vfix_lo", "lift_update", "zero", "lvl_vfix_hi"));
+    main.states.push_back(edge_half("lvl_vfix_hi", "lift_update", "tile_w_r", "lvl_store"));
+    main.states.push_back(phase("lvl_store", "fetch", "lvl_load"));
+    main.states.back().next = {{"all_levels = '1'", "done_st"}, {"", "lvl_load"}};
+    main.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    e.fsms = {main};
+    return e;
+}
+
+// ---------------------------------------------------------------------------
+// IDWT 9/7 — hand-crafted reference: deeply pipelined (one multiplier per
+// state, operands pre-registered), four lifting stages plus scaling, three
+// FSMs.  Larger but fast.
+// ---------------------------------------------------------------------------
+
+entity idwt97_reference()
+{
+    entity e = idwt_shell("idwt97_ref", 18);
+    e.memories.push_back({"coef_buffer", 2 * k_idwt_tile_n + 5, 32, true});
+    add_counters(e, 8);
+    add_regs(e, "px", 16, 18);
+    add_regs(e, "pipe", 20, 18);
+    e.signals.push_back({"base", 8, true});
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+
+    // One lifting stage = 3 pipelined states: neighbour sum (add only),
+    // coefficient multiply (mul only), accumulate (add only).
+    auto stage = [](const std::string& tag, const std::string& nxt) {
+        std::vector<fsm_state> sts;
+        sts.push_back({tag + "_sum",
+                       {
+                           {op_kind::mem_read, 18, tag + "_a", {"line_buffer", "cnt0"}},
+                           {op_kind::mem_read, 18, tag + "_b", {"line_buffer", "cnt1"}},
+                           {op_kind::add, 18, tag + "_s", {tag + "_a", tag + "_b"}},
+                           {op_kind::assign, 18, tag + "_sr", {tag + "_s"}},
+                       },
+                       {{"", tag + "_mul"}}});
+        sts.push_back({tag + "_mul",
+                       {
+                           {op_kind::mul, 18, tag + "_m", {tag + "_sr", tag + "_coef"}},
+                           {op_kind::assign, 18, tag + "_mr", {tag + "_m"}},
+                       },
+                       {{"", tag + "_acc"}}});
+        sts.push_back({tag + "_acc",
+                       {
+                           {op_kind::mem_read, 18, tag + "_c", {"line_buffer", "cnt2"}},
+                           {op_kind::add, 18, tag + "_r", {tag + "_c", tag + "_mr"}},
+                           {op_kind::mem_write, 18, "line_buffer", {"cnt2", tag + "_r"}},
+                           {op_kind::add, 8, "cnt2", {"cnt2", "one"}},
+                           {op_kind::compare, 8, tag + "_end", {"cnt2", "tile_w_r"}},
+                       },
+                       {{tag + "_end = '1'", nxt}, {"", tag + "_sum"}}});
+        return sts;
+    };
+
+    fsm ctrl{"ctrl", {}};
+    ctrl.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    ctrl.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 18, "ha_coef", {"c_alpha"}},
+                            {op_kind::assign, 18, "hb_coef", {"c_beta"}},
+                            {op_kind::assign, 18, "hg_coef", {"c_gamma"}},
+                            {op_kind::assign, 18, "hd_coef", {"c_delta"}}},
+                           {{"", "ha_sum"}}});
+    for (const char* dir : {"h", "v"}) {
+        for (const char* st : {"a", "b", "g", "d"}) {
+            const std::string tag = std::string{dir} + st;
+            std::string nxt;
+            if (std::string{st} == "d")
+                nxt = std::string{dir} == "h" ? "va_sum" : "scale_lo";
+            else
+                nxt = std::string{dir} + std::string{st == std::string{"a"} ? "b" : st == std::string{"b"} ? "g" : "d"} + "_sum";
+            for (auto& s : stage(tag, nxt)) ctrl.states.push_back(std::move(s));
+        }
+    }
+    ctrl.states.push_back({"scale_lo",
+                           {
+                               {op_kind::mem_read, 18, "sl_v", {"line_buffer", "cnt0"}},
+                               {op_kind::mul, 18, "sl_m", {"sl_v", "c_invk"}},
+                               {op_kind::mem_write, 18, "line_buffer", {"cnt0", "sl_m"}},
+                               {op_kind::compare, 8, "sl_end", {"cnt0", "tile_w_r"}},
+                           },
+                           {{"sl_end = '1'", "scale_hi"}, {"", "scale_lo"}}});
+    ctrl.states.push_back({"scale_hi",
+                           {
+                               {op_kind::mem_read, 18, "sh_v", {"line_buffer", "cnt1"}},
+                               {op_kind::mul, 18, "sh_m", {"sh_v", "c_k"}},
+                               {op_kind::mem_write, 18, "line_buffer", {"cnt1", "sh_m"}},
+                               {op_kind::compare, 8, "sh_end", {"cnt1", "tile_w_r"}},
+                           },
+                           {{"sh_end = '1'", "level"}, {"", "scale_hi"}}});
+    ctrl.states.push_back({"level",
+                           {{op_kind::shift, 8, "tile_w_r", {"tile_w_r", "1"}},
+                            {op_kind::compare, 8, "lvl_done", {"tile_w_r", "one"}}},
+                           {{"lvl_done = '1'", "done_st"}, {"", "ha_sum"}}});
+    ctrl.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    for (const char* c : {"c_alpha", "c_beta", "c_gamma", "c_delta", "c_k", "c_invk"})
+        e.signals.push_back({c, 18, true});
+    for (const char* dir : {"h", "v"})
+        for (const char* st : {"a", "b", "g", "d"})
+            e.signals.push_back({std::string{dir} + st + "_coef", 18, true});
+
+    // Dedicated I/O and write-back FSMs (hand partitioning).
+    fsm io{"io", {}};
+    io.states.push_back({"wait_in",
+                         {{op_kind::compare, 1, "in_rdy", {"din_valid", "one"}}},
+                         {{"in_rdy = '1'", "push"}}});
+    io.states.push_back({"push",
+                         {{op_kind::mem_write, 18, "coef_buffer", {"cnt4", "din"}},
+                          {op_kind::add, 8, "cnt4", {"cnt4", "one"}}},
+                         {{"", "wait_in"}}});
+    fsm wb{"wb", {}};
+    wb.states.push_back({"wait_out",
+                         {{op_kind::mem_read, 18, "wb_v", {"coef_buffer", "cnt5"}},
+                          {op_kind::assign, 18, "dout", {"wb_v"}}},
+                         {{"", "adv"}}});
+    wb.states.push_back({"adv",
+                         {{op_kind::add, 8, "cnt5", {"cnt5", "one"}},
+                          {op_kind::compare, 8, "wb_end", {"cnt5", "tile_w_r"}}},
+                         {{"wb_end = '1'", "wait_out"}, {"", "wait_out"}}});
+    e.fsms = {ctrl, io, wb};
+    return e;
+}
+
+// ---------------------------------------------------------------------------
+// IDWT 9/7 — OSSS/SystemC source: the lifting step is one subprogram (sum,
+// multiply, accumulate fused), level loop rolled.  FOSSY's output shares the
+// multipliers (area down) at the cost of muxes and a longer combinational
+// chain (frequency down) — the Table 2 trade-off.
+// ---------------------------------------------------------------------------
+
+entity idwt97_osss_source()
+{
+    entity e = idwt_shell("idwt97", 18);
+    e.memories.push_back({"coef_buffer", 2 * k_idwt_tile_n + 5, 32, true});
+    add_counters(e, 6);
+    add_regs(e, "px", 6, 18);
+    e.signals.push_back({"base", 8, true});
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+    for (const char* c : {"c_alpha", "c_beta", "c_gamma", "c_delta", "c_k", "c_invk"})
+        e.signals.push_back({c, 18, true});
+
+    e.subprograms.push_back({"mirror",
+                             {"i", "n"},
+                             {
+                                 {op_kind::compare, 8, "neg", {"i", "zero"}},
+                                 {op_kind::add, 8, "ref", {"n", "i"}},
+                                 {op_kind::mux, 8, "res", {"i", "ref"}},
+                             },
+                             "res"});
+    // Fused lifting step: x[c] += coef * (x[m] + x[p]).
+    e.subprograms.push_back({"lift_step",
+                             {"m", "c", "p", "coef"},
+                             {
+                                 {op_kind::call, 8, "mm", {"mirror", "m", "tile_w_r"}},
+                                 {op_kind::call, 8, "mp", {"mirror", "p", "tile_w_r"}},
+                                 {op_kind::mem_read, 18, "xa", {"line_buffer", "mm"}},
+                                 {op_kind::mem_read, 18, "xb", {"line_buffer", "mp"}},
+                                 {op_kind::add, 18, "sum", {"xa", "xb"}},
+                                 {op_kind::mul, 18, "prod", {"sum", "coef"}},
+                                 {op_kind::shift, 18, "rnd", {"prod", "14"}},
+                                 {op_kind::logic, 18, "sat_m", {"max_pos", "max_pos"}},
+                                 {op_kind::compare, 18, "ovf", {"coef", "max_pos"}},
+                                 {op_kind::mux, 18, "clipped", {"rnd", "sat_m"}},
+                                 {op_kind::mem_read, 18, "xc", {"line_buffer", "c"}},
+                                 {op_kind::add, 18, "res", {"xc", "clipped"}},
+                                 {op_kind::mem_write, 18, "line_buffer", {"c", "res"}},
+                             },
+                             "res"});
+    e.subprograms.push_back({"scale_step",
+                             {"i", "coef"},
+                             {
+                                 {op_kind::mem_read, 18, "v", {"line_buffer", "i"}},
+                                 {op_kind::mul, 18, "res", {"v", "coef"}},
+                                 {op_kind::mem_write, 18, "line_buffer", {"i", "res"}},
+                             },
+                             "res"});
+
+    auto phase = [](const std::string& name, const std::string& coef,
+                    const std::string& nxt) -> fsm_state {
+        fsm_state st;
+        st.name = name;
+        st.ops = {
+            {op_kind::call, 18, name + "_r", {"lift_step", "cnt0", "cnt1", "cnt2", coef}},
+            {op_kind::add, 8, "cnt1", {"cnt1", "one"}},
+            {op_kind::compare, 8, name + "_end", {"cnt1", "tile_w_r"}},
+        };
+        st.next = {{name + "_end = '1'", nxt}, {"", name}};
+        return st;
+    };
+
+    fsm main{"main", {}};
+    main.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    main.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 8, "cnt0", {"zero"}}},
+                           {{"", "lvl_ha"}}});
+    auto edge97 = [](const std::string& name, const std::string& coef,
+                     const std::string& nxt) -> std::vector<fsm_state> {
+        fsm_state lo;
+        lo.name = name + "lo";
+        lo.ops = {{op_kind::call, 18, name + "_lo", {"lift_step", "zero", "zero", "one", coef}}};
+        lo.next = {{"", name + "hi"}};
+        fsm_state hi;
+        hi.name = name + "hi";
+        hi.ops = {{op_kind::call, 18, name + "_hi", {"lift_step", "tile_w_r", "tile_w_r", "zero", coef}}};
+        hi.next = {{"", nxt}};
+        return {lo, hi};
+    };
+    const char* stages[] = {"a", "b", "g", "d"};
+    const char* coefs[] = {"c_alpha", "c_beta", "c_gamma", "c_delta"};
+    for (const char* dir : {"h", "v"}) {
+        for (int i = 0; i < 4; ++i) {
+            const std::string tag = std::string{"lvl_"} + dir + stages[i];
+            std::string nxt;
+            if (i < 3)
+                nxt = std::string{"lvl_"} + dir + stages[i + 1] + "elo";
+            else
+                nxt = dir == std::string{"h"} ? "lvl_vaelo" : "lvl_slo";
+            // Edge state precedes the streaming phase of the same stage.
+            const std::string ename = tag + "e";
+            if (!(dir == std::string{"h"} && i == 0))
+                for (auto& es : edge97(ename, coefs[i], tag)) main.states.push_back(std::move(es));
+            main.states.push_back(phase(tag, coefs[i], nxt));
+        }
+    }
+    // entry fixup: cfg jumps to the first streaming phase directly
+    main.states[1].next = {{"", "lvl_ha"}};
+    {
+        fsm_state st;
+        st.name = "lvl_slo";
+        st.ops = {
+            {op_kind::call, 18, "slo_r", {"scale_step", "cnt0", "c_invk"}},
+            {op_kind::add, 8, "cnt0", {"cnt0", "one"}},
+            {op_kind::compare, 8, "slo_end", {"cnt0", "tile_w_r"}},
+        };
+        st.next = {{"slo_end = '1'", "lvl_shi"}, {"", "lvl_slo"}};
+        main.states.push_back(st);
+        st.name = "lvl_shi";
+        st.ops[0] = {op_kind::call, 18, "shi_r", {"scale_step", "cnt1", "c_k"}};
+        st.ops[2] = {op_kind::compare, 8, "shi_end", {"cnt1", "tile_w_r"}};
+        st.next = {{"shi_end = '1'", "done_st"}, {"", "lvl_shi"}};
+        main.states.push_back(st);
+    }
+    main.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    e.fsms = {main};
+    return e;
+}
+
+// ---------------------------------------------------------------------------
+// IQ — dead-zone inverse quantiser: per sample |q| -> (|q| + 0.5)·step with a
+// per-subband step looked up from a small table.
+// ---------------------------------------------------------------------------
+
+entity iq_reference()
+{
+    entity e = idwt_shell("iq_ref", 18);
+    e.memories.push_back({"step_table", 16, 18, false});  // distributed LUT RAM
+    add_counters(e, 3);
+    add_regs(e, "qr", 6, 18);
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+
+    fsm ctrl{"ctrl", {}};
+    ctrl.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    ctrl.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 8, "cnt0", {"zero"}}},
+                           {{"", "fetch"}}});
+    // Pipelined: fetch / reconstruct / store, one sample in flight per stage.
+    ctrl.states.push_back({"fetch",
+                           {
+                               {op_kind::mem_read, 18, "q_in", {"line_buffer", "cnt0"}},
+                               {op_kind::mem_read, 18, "step", {"step_table", "band_idx"}},
+                               {op_kind::compare, 18, "is_zero", {"q_in", "zero"}},
+                           },
+                           {{"", "recon"}}});
+    ctrl.states.push_back({"recon",
+                           {
+                               {op_kind::add, 18, "biased", {"q_in", "half"}},
+                               {op_kind::mul, 18, "scaled", {"biased", "step"}},
+                               {op_kind::mux, 18, "value", {"scaled", "zero"}},
+                               {op_kind::assign, 18, "qr0", {"value"}},
+                           },
+                           {{"", "store"}}});
+    ctrl.states.push_back({"store",
+                           {
+                               {op_kind::mem_write, 18, "line_buffer", {"cnt0", "qr0"}},
+                               {op_kind::add, 8, "cnt0", {"cnt0", "one"}},
+                               {op_kind::compare, 8, "at_end", {"cnt0", "tile_w_r"}},
+                           },
+                           {{"at_end = '1'", "done_st"}, {"", "fetch"}}});
+    ctrl.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    e.fsms = {ctrl};
+    return e;
+}
+
+entity iq_osss_source()
+{
+    entity e = idwt_shell("iq", 18);
+    e.memories.push_back({"step_table", 16, 18, false});
+    add_counters(e, 2);
+    e.signals.push_back({"zero", 8, false});
+    e.signals.push_back({"tile_w_r", 8, true});
+    // Reconstruction as one subprogram (fused) — FOSSY inlines it per site.
+    e.subprograms.push_back({"dequant",
+                             {"q", "step"},
+                             {
+                                 {op_kind::compare, 18, "is_zero", {"q", "zero"}},
+                                 {op_kind::add, 18, "biased", {"q", "half"}},
+                                 {op_kind::mul, 18, "scaled", {"biased", "step"}},
+                                 {op_kind::shift, 18, "norm", {"scaled", "14"}},
+                                 {op_kind::mux, 18, "res", {"norm", "zero"}},
+                             },
+                             "res"});
+    fsm main{"main", {}};
+    main.states.push_back({"idle", {{op_kind::assign, 1, "done", {"zero"}}}, {{"start = '1'", "cfg"}}});
+    main.states.push_back({"cfg",
+                           {{op_kind::assign, 8, "tile_w_r", {"tile_w"}},
+                            {op_kind::assign, 8, "cnt0", {"zero"}}},
+                           {{"", "lvl_band"}}});
+    // Per-level/band loop body (unrolled by FOSSY like the IDWT's).
+    fsm_state body;
+    body.name = "lvl_band";
+    body.ops = {
+        {op_kind::mem_read, 18, "q_in", {"line_buffer", "cnt0"}},
+        {op_kind::mem_read, 18, "step", {"step_table", "cnt1"}},
+        {op_kind::call, 18, "val", {"dequant", "q_in", "step"}},
+        {op_kind::mem_write, 18, "line_buffer", {"cnt0", "val"}},
+        {op_kind::add, 8, "cnt0", {"cnt0", "one"}},
+        {op_kind::compare, 8, "band_end", {"cnt0", "tile_w_r"}},
+    };
+    body.next = {{"band_end = '1'", "done_st"}, {"", "lvl_band"}};
+    main.states.push_back(body);
+    main.states.push_back({"done_st", {{op_kind::assign, 1, "done", {"one"}}}, {{"", "idle"}}});
+    e.fsms = {main};
+    return e;
+}
+
+entity run_fossy(const entity& source, synthesis_report* rep)
+{
+    entity unrolled = unroll_states(source, "lvl_", 5);  // HW supports 5 levels
+    return synthesize(unrolled, rep);
+}
+
+}  // namespace fossy

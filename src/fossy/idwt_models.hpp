@@ -1,0 +1,43 @@
+// fossy/idwt_models.hpp — RTL models of the IDWT hardware blocks.
+//
+// Four entities reproduce the Table 2 comparison:
+//
+//   * idwt53_reference / idwt97_reference — the hand-crafted VHDL designs
+//     (Thales reference): hand-partitioned FSMs, explicit parallel operators,
+//     compact source.
+//   * idwt53_osss_source / idwt97_osss_source — the synthesisable
+//     OSSS/SystemC models: filter mathematics in subprograms, the
+//     decomposition-level loop still rolled.  Running them through the FOSSY
+//     pipeline (unroll → inline → flatten → share) yields the generated
+//     designs whose area/frequency/LoC are compared against the references.
+//
+// Both IDWTs process one tile line-by-line through a (2N+5)-sample line
+// buffer in block RAM — the memory the paper's "explicit memory insertion"
+// snippet shows.
+#pragma once
+
+#include "rtl.hpp"
+
+namespace fossy {
+
+/// Tile width parameter N of the line buffer (paper: osss_array<short, 2N+5>).
+inline constexpr int k_idwt_tile_n = 64;
+
+[[nodiscard]] entity idwt53_reference();
+[[nodiscard]] entity idwt97_reference();
+[[nodiscard]] entity idwt53_osss_source();
+[[nodiscard]] entity idwt97_osss_source();
+
+/// The inverse quantiser of the HW/SW Shared Object (dead-zone reconstruction
+/// with per-subband steps) — the other hardware block FOSSY synthesises.
+[[nodiscard]] entity iq_reference();
+[[nodiscard]] entity iq_osss_source();
+
+/// Number of decomposition levels FOSSY unrolls (matches the codec default).
+inline constexpr int k_idwt_levels = 3;
+
+/// Run the FOSSY pipeline on an OSSS source model (unroll the level loop,
+/// inline subprograms, flatten FSMs, share multipliers).
+[[nodiscard]] entity run_fossy(const entity& source, struct synthesis_report* rep = nullptr);
+
+}  // namespace fossy

@@ -1,0 +1,31 @@
+// fossy/platform.hpp — EDK platform file generation.
+//
+// The last step of the paper's synthesis flow (Figure 4): from the design's
+// VTA structure FOSSY emits the vendor architecture definition files an EDK
+// project needs — the MHS (Microprocessor Hardware Specification) describing
+// processors, buses, memories and the FOSSY-generated HW blocks, and the MSS
+// (Microprocessor Software Specification) describing the software platform:
+// drivers, the OSSS embedded RMI library, and the task-to-processor mapping.
+#pragma once
+
+#include <osss/design.hpp>
+
+#include <string>
+
+namespace fossy {
+
+/// Render the MHS file for `d` (Virtex-4 ML401-style platform @ 100 MHz).
+[[nodiscard]] std::string generate_mhs(const osss::design& d);
+
+/// Render the MSS file for `d`.
+[[nodiscard]] std::string generate_mss(const osss::design& d);
+
+/// Generate the C source of one software task: the cross-compiled side of
+/// the design, linked against the OSSS embedded RMI library ("The SW tasks
+/// are cross-compiled and linked against a specific OSSS embedded library
+/// that enables the communication with the HW/SW Shared Object").  Every
+/// Application-Layer method call of the task becomes an osss_rmi_call stub.
+[[nodiscard]] std::string generate_sw_source(const osss::design& d,
+                                             const std::string& task_name);
+
+}  // namespace fossy

@@ -1,0 +1,135 @@
+// fossy/rtl.hpp — the RTL intermediate representation of the FOSSY
+// synthesiser (Functional Oldenburg System SYnthesiser).
+//
+// FOSSY consumes the VTA model's hardware side and produces synthesisable
+// VHDL.  This IR sits between the two: an entity is a set of ports, signals,
+// inferred memories, subprograms (VHDL functions/procedures — present in
+// hand-written style), and one or more explicit finite state machines whose
+// states execute dataflow operations.
+//
+// Two authoring styles matter for the paper's Table 2 comparison:
+//   * "hand-written reference" — several cooperating FSMs, filter maths kept
+//     in subprograms, operators instantiated in parallel;
+//   * "FOSSY output" — the transform pipeline inlines every subprogram and
+//     flattens all FSMs into a single explicit state machine (identifiers
+//     preserved), trading sharing for logic depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fossy {
+
+enum class port_dir { in, out, inout };
+
+struct port {
+    std::string name;
+    port_dir dir = port_dir::in;
+    int width = 1;
+};
+
+/// A scalar signal/variable of the architecture.
+struct signal_decl {
+    std::string name;
+    int width = 1;
+    bool registered = false;  ///< true ⇒ holds state (costs flip-flops)
+};
+
+/// An inferred memory.
+struct memory_decl {
+    std::string name;
+    int words = 0;
+    int width = 0;
+    bool block_ram = true;  ///< false ⇒ distributed (LUT) RAM
+};
+
+/// Dataflow operation kinds, each with a distinct area/delay cost.
+enum class op_kind {
+    assign,    ///< wire/register move
+    add,       ///< addition/subtraction (carry chain)
+    mul,       ///< multiplier
+    shift,     ///< constant shift (wiring only)
+    compare,   ///< relational operator
+    logic,     ///< bitwise and/or/xor/not
+    mux,       ///< 2:1 select
+    mem_read,  ///< memory port read
+    mem_write, ///< memory port write
+    call,      ///< subprogram invocation (eliminated by inlining)
+};
+
+[[nodiscard]] constexpr const char* op_name(op_kind k) noexcept
+{
+    switch (k) {
+        case op_kind::assign: return "assign";
+        case op_kind::add: return "add";
+        case op_kind::mul: return "mul";
+        case op_kind::shift: return "shift";
+        case op_kind::compare: return "compare";
+        case op_kind::logic: return "logic";
+        case op_kind::mux: return "mux";
+        case op_kind::mem_read: return "mem_read";
+        case op_kind::mem_write: return "mem_write";
+        case op_kind::call: return "call";
+    }
+    return "?";
+}
+
+struct operation {
+    op_kind kind = op_kind::assign;
+    int width = 16;
+    std::string result;             ///< target signal (or memory for mem_write)
+    std::vector<std::string> args;  ///< operand signals; for call: [subprogram]
+};
+
+struct transition {
+    std::string condition;  ///< VHDL-ish boolean expression; "" = unconditional
+    std::string target;     ///< state name
+};
+
+struct fsm_state {
+    std::string name;
+    std::vector<operation> ops;
+    std::vector<transition> next;
+};
+
+struct fsm {
+    std::string name;
+    std::vector<fsm_state> states;
+};
+
+/// A VHDL function/procedure (hand-written style keeps these separate).
+struct subprogram {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<operation> body;
+    std::string result;  ///< name of the value a call substitutes
+};
+
+struct entity {
+    std::string name;
+    std::vector<port> ports;
+    std::vector<signal_decl> signals;
+    std::vector<memory_decl> memories;
+    std::vector<subprogram> subprograms;
+    std::vector<fsm> fsms;
+    /// Set by the share_operators pass: operator instances are shared across
+    /// states (the estimator then counts max-per-state, not total, usage).
+    bool shared_ops = false;
+
+    [[nodiscard]] std::size_t total_states() const noexcept
+    {
+        std::size_t n = 0;
+        for (const auto& f : fsms) n += f.states.size();
+        return n;
+    }
+    [[nodiscard]] std::size_t total_ops() const noexcept
+    {
+        std::size_t n = 0;
+        for (const auto& f : fsms)
+            for (const auto& s : f.states) n += s.ops.size();
+        return n;
+    }
+};
+
+}  // namespace fossy

@@ -1,0 +1,323 @@
+#include "transform.hpp"
+
+#include "estimate.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace fossy {
+
+namespace {
+
+const subprogram* find_subprogram(const entity& e, const std::string& name)
+{
+    for (const auto& s : e.subprograms)
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+/// Expand one call op into the callee body with site-unique temporaries.
+void expand_call(const entity& e, const operation& call_op, int site,
+                 std::vector<operation>& out, std::set<std::string>& new_signals,
+                 std::size_t& inlined, int depth)
+{
+    if (depth > 16) throw std::invalid_argument{"fossy: recursive subprogram"};
+    if (call_op.args.empty())
+        throw std::invalid_argument{"fossy: call without callee"};
+    const subprogram* sp = find_subprogram(e, call_op.args.front());
+    if (!sp) throw std::invalid_argument{"fossy: unknown subprogram " + call_op.args.front()};
+    ++inlined;
+    const std::string prefix = sp->name + "_s" + std::to_string(site) + "_";
+    auto rename = [&](const std::string& n) {
+        // Parameters and the result keep their identity via the caller's
+        // operands; locals get a site-unique name (identifier-preserving).
+        for (std::size_t i = 0; i < sp->params.size() && i + 1 < call_op.args.size(); ++i)
+            if (n == sp->params[i]) return call_op.args[i + 1];
+        if (n == sp->result && !call_op.result.empty()) return call_op.result;
+        const std::string renamed = prefix + n;
+        new_signals.insert(renamed);
+        return renamed;
+    };
+    for (const auto& op : sp->body) {
+        if (op.kind == op_kind::call) {
+            operation nested = op;
+            nested.result = rename(op.result);
+            for (std::size_t i = 1; i < nested.args.size(); ++i)
+                nested.args[i] = rename(nested.args[i]);
+            expand_call(e, nested, site * 131 + 7, out, new_signals, inlined, depth + 1);
+            continue;
+        }
+        operation copy = op;
+        copy.result = rename(op.result);
+        for (auto& a : copy.args) a = rename(a);
+        out.push_back(std::move(copy));
+    }
+}
+
+}  // namespace
+
+entity inline_subprograms(const entity& e, synthesis_report* rep)
+{
+    entity out = e;
+    out.subprograms.clear();
+    std::size_t inlined = 0;
+    std::set<std::string> new_signals;
+    int site = 0;
+    for (auto& f : out.fsms) {
+        for (auto& st : f.states) {
+            std::vector<operation> ops;
+            for (const auto& op : st.ops) {
+                if (op.kind == op_kind::call) {
+                    expand_call(e, op, site++, ops, new_signals, inlined, 0);
+                } else {
+                    ops.push_back(op);
+                }
+            }
+            st.ops = std::move(ops);
+        }
+    }
+    // Inlined locals are intra-state wires; only each subprogram's return
+    // value is registered at the state boundary (the small flip-flop overhead
+    // Table 2 shows for the IDWT53).
+    for (const auto& n : new_signals) out.signals.push_back({n, 18, false});
+    for (const auto& sp : e.subprograms)
+        out.signals.push_back({sp.name + "_ret", 18, true});
+    if (rep) rep->call_sites_inlined += inlined;
+    return out;
+}
+
+entity flatten_fsms(const entity& e, synthesis_report* rep)
+{
+    if (rep) {
+        rep->states_before += e.total_states();
+        rep->fsms_merged += e.fsms.size() > 1 ? e.fsms.size() : 0;
+    }
+    entity out = e;
+    if (e.fsms.size() <= 1) {
+        if (rep) rep->states_after += e.total_states();
+        return out;
+    }
+    out.fsms.clear();
+    fsm merged;
+    merged.name = e.name + "_fsm";
+    for (const auto& f : e.fsms) {
+        for (const auto& st : f.states) {
+            fsm_state copy = st;
+            copy.name = f.name + "_" + st.name;
+            for (auto& tr : copy.next) tr.target = f.name + "_" + tr.target;
+            merged.states.push_back(std::move(copy));
+        }
+    }
+    // Round-robin scheduler chaining: each source FSM's entry state falls
+    // through to the next FSM's entry when its own machine idles.
+    for (std::size_t i = 0; i < e.fsms.size(); ++i) {
+        const auto& cur = e.fsms[i];
+        const auto& nxt = e.fsms[(i + 1) % e.fsms.size()];
+        if (cur.states.empty() || nxt.states.empty()) continue;
+        const std::string from = cur.name + "_" + cur.states.front().name;
+        const std::string to = nxt.name + "_" + nxt.states.front().name;
+        for (auto& st : merged.states) {
+            if (st.name == from)
+                st.next.push_back({"others", to});
+        }
+    }
+    out.fsms.push_back(std::move(merged));
+    if (rep) rep->states_after += out.total_states();
+    return out;
+}
+
+entity share_operators(const entity& e, synthesis_report* rep)
+{
+    entity out = e;
+    // Demand: maximum number of multiplications in any single state (these
+    // must run in parallel); total instantiated before sharing is the sum.
+    std::size_t max_per_state = 0;
+    std::size_t total = 0;
+    for (const auto& f : out.fsms) {
+        for (const auto& s : f.states) {
+            std::size_t n = 0;
+            for (const auto& op : s.ops) n += op.kind == op_kind::mul;
+            max_per_state = std::max(max_per_state, n);
+            total += n;
+        }
+    }
+    out.shared_ops = true;
+    if (total <= max_per_state) return out;  // nothing to share
+
+    // Every shared multiplier needs operand muxes; model this by inserting
+    // two mux operations per folded multiplier use.
+    const std::size_t folded = total - max_per_state;
+    for (auto& f : out.fsms) {
+        for (auto& s : f.states) {
+            std::vector<operation> ops;
+            for (auto& op : s.ops) {
+                if (op.kind == op_kind::mul) {
+                    ops.push_back({op_kind::mux, op.width, op.result + "_a", op.args});
+                    ops.push_back({op_kind::mux, op.width, op.result + "_b", op.args});
+                    operation shared = op;
+                    shared.args = {op.result + "_a", op.result + "_b"};
+                    ops.push_back(std::move(shared));
+                } else {
+                    ops.push_back(op);
+                }
+            }
+            s.ops = std::move(ops);
+        }
+    }
+    if (rep) rep->multipliers_shared += folded;
+    return out;
+}
+
+entity unroll_states(const entity& e, const std::string& prefix, int copies)
+{
+    if (copies < 1) throw std::invalid_argument{"unroll_states: copies >= 1"};
+    entity out = e;
+    std::set<std::string> replicated_signals;
+    for (auto& f : out.fsms) {
+        std::vector<fsm_state> states;
+        for (const auto& st : f.states) {
+            if (st.name.rfind(prefix, 0) != 0) {
+                states.push_back(st);
+                continue;
+            }
+            for (int c = 0; c < copies; ++c) {
+                fsm_state copy = st;
+                const std::string suffix = "_l" + std::to_string(c);
+                copy.name = st.name + suffix;
+                for (auto& op : copy.ops) {
+                    if (!op.result.empty()) {
+                        replicated_signals.insert(op.result + suffix);
+                        op.result += suffix;
+                    }
+                }
+                copy.next.clear();
+                if (c + 1 < copies) {
+                    copy.next.push_back({"", st.name + "_l" + std::to_string(c + 1)});
+                } else {
+                    copy.next = st.next;  // last copy keeps the original exits
+                }
+                states.push_back(std::move(copy));
+            }
+        }
+        // Retarget transitions that pointed at an unrolled state to its first copy.
+        for (auto& st : states) {
+            for (auto& tr : st.next) {
+                for (const auto& orig : e.fsms) {
+                    for (const auto& os_ : orig.states) {
+                        if (tr.target == os_.name && os_.name.rfind(prefix, 0) == 0)
+                            tr.target = os_.name + "_l0";
+                    }
+                }
+            }
+        }
+        f.states = std::move(states);
+    }
+    for (const auto& n : replicated_signals) out.signals.push_back({n, 18, false});
+    return out;
+}
+
+entity retime(const entity& e, double target_clock_ns, synthesis_report* rep)
+{
+    if (target_clock_ns <= 0.0)
+        throw std::invalid_argument{"retime: target clock must be positive"};
+    entity out = e;
+    std::set<std::string> cut_registers;
+    for (auto& f : out.fsms) {
+        std::vector<fsm_state> states;
+        for (auto& st : f.states) {
+            // Greedy list scheduling: pack ops into sub-states whose internal
+            // chains stay within the budget.  Producers precede consumers in
+            // the IR, so a single forward walk suffices.
+            std::vector<std::vector<operation>> groups{{}};
+            std::vector<std::pair<std::size_t, operation>> latches;
+            std::map<std::string, double> ready;
+            for (const auto& op : st.ops) {
+                double start = 0.0;
+                for (const auto& a : op.args) {
+                    auto it = ready.find(a);
+                    if (it != ready.end()) start = std::max(start, it->second);
+                }
+                double done = start + op_delay_ns(op);
+                if (done > target_clock_ns && !groups.back().empty()) {
+                    groups.emplace_back();
+                    ready.clear();
+                    done = op_delay_ns(op);  // operands now come from registers
+                }
+                groups.back().push_back(op);
+                if (!op.result.empty())
+                    ready[op.result] = op.kind == op_kind::mem_read ? 0.0 : done;
+            }
+            if (groups.size() == 1) {
+                states.push_back(st);
+                continue;
+            }
+            if (rep) ++rep->states_split;
+            // Only values *live across a cut* (produced in one sub-state and
+            // consumed in a later one) need boundary registers — and since at
+            // most one FSM state is active at a time, every split state can
+            // reuse the same physical stage registers: rename live values to
+            // canonical per-(group, slot) names.
+            for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+                int slot = 0;
+                for (auto& producer : groups[g]) {
+                    if (producer.result.empty()) continue;
+                    bool live = false;
+                    for (std::size_t h = g + 1; h < groups.size() && !live; ++h)
+                        for (const auto& consumer : groups[h])
+                            for (const auto& a : consumer.args)
+                                if (a == producer.result) live = true;
+                    if (!live) continue;
+                    const std::string reg =
+                        "stage_reg_" + std::to_string(g) + "_" + std::to_string(slot++);
+                    const std::string orig = producer.result;
+                    // Later groups read the stage register; same-group
+                    // consumers keep reading the original wire.
+                    for (std::size_t h = g + 1; h < groups.size(); ++h)
+                        for (auto& consumer : groups[h])
+                            for (auto& a : consumer.args)
+                                if (a == orig) a = reg;
+                    latches.push_back({g, {op_kind::assign, producer.width, reg, {orig}}});
+                    cut_registers.insert(reg);
+                }
+            }
+            for (auto& [g, latch] : latches) groups[g].push_back(latch);
+            latches.clear();
+            for (std::size_t g = 0; g < groups.size(); ++g) {
+                fsm_state sub;
+                sub.name = g == 0 ? st.name : st.name + "_c" + std::to_string(g);
+                sub.ops = std::move(groups[g]);
+                if (g + 1 < groups.size())
+                    sub.next = {{"", st.name + "_c" + std::to_string(g + 1)}};
+                else
+                    sub.next = st.next;  // the final sub-state keeps the exits
+                states.push_back(std::move(sub));
+            }
+        }
+        f.states = std::move(states);
+    }
+    // Values crossing a cut boundary must be held in registers.
+    for (const auto& name : cut_registers) {
+        bool found = false;
+        for (auto& s : out.signals) {
+            if (s.name == name) {
+                s.registered = true;
+                found = true;
+            }
+        }
+        if (!found) out.signals.push_back({name, 18, true});
+    }
+    return out;
+}
+
+entity synthesize(const entity& e, synthesis_report* rep)
+{
+    if (rep) rep->ops_before += e.total_ops();
+    entity out = inline_subprograms(e, rep);
+    out = flatten_fsms(out, rep);
+    out = share_operators(out, rep);
+    if (rep) rep->ops_after += out.total_ops();
+    return out;
+}
+
+}  // namespace fossy

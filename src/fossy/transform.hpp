@@ -1,0 +1,66 @@
+// fossy/transform.hpp — the FOSSY synthesis transformations.
+//
+// The pipeline the paper describes for the hardware subsystem:
+//
+//   1. inline_subprograms — every function/procedure call site is replaced by
+//      a copy of the body with call-site-unique temporaries (identifiers are
+//      preserved with a site prefix so the generated VHDL stays readable).
+//   2. flatten_fsms — all FSMs of the entity are merged into one explicit
+//      state machine (state names prefixed by their source FSM).
+//   3. share_operators — multipliers are shared across states: per state the
+//      demand stays, but the instantiated operator count drops to the
+//      entity-wide maximum simultaneous use.  Sharing inserts input muxes and
+//      lengthens combinational paths, which is the area-down/frequency-down
+//      trade Table 2 shows for the IDWT97.
+//
+// `synthesize` runs the full pipeline and reports what changed.
+#pragma once
+
+#include "rtl.hpp"
+
+namespace fossy {
+
+/// Result of running the synthesis pipeline on one entity.
+struct synthesis_report {
+    std::size_t call_sites_inlined = 0;
+    std::size_t fsms_merged = 0;
+    std::size_t states_before = 0;
+    std::size_t states_after = 0;
+    std::size_t ops_before = 0;
+    std::size_t ops_after = 0;
+    std::size_t multipliers_shared = 0;
+    std::size_t states_split = 0;  ///< states cut by the retiming pass
+};
+
+/// Replace every `op_kind::call` by the callee's body (recursively).
+/// Temporaries are renamed `<site>_<name>`; throws std::invalid_argument on
+/// unknown callees or recursion.
+[[nodiscard]] entity inline_subprograms(const entity& e, synthesis_report* rep = nullptr);
+
+/// Merge all FSMs into a single one named "<entity>_fsm".  A flattened
+/// round-robin scheduler chains the source FSMs' idle states, preserving each
+/// original state under the name "<fsm>_<state>".
+[[nodiscard]] entity flatten_fsms(const entity& e, synthesis_report* rep = nullptr);
+
+/// Share multiplier instances entity-wide; adds the operand muxes the sharing
+/// needs.  Only meaningful after flattening.
+[[nodiscard]] entity share_operators(const entity& e, synthesis_report* rep = nullptr);
+
+/// Loop unrolling: replicate every state whose name starts with `prefix`
+/// into `copies` chained instances (`<state>_l0` … `<state>_lN-1`), the way
+/// FOSSY unrolls the decomposition-level loop of the IDWT.  Signals written
+/// in unrolled states are replicated alongside.
+[[nodiscard]] entity unroll_states(const entity& e, const std::string& prefix, int copies);
+
+/// Timing-driven state splitting ("operation chaining under a clock
+/// constraint"): any state whose combinational chain exceeds
+/// `target_clock_ns` is cut into a chain of sub-states; values crossing a
+/// cut become registers.  Costs latency (more states/FFs), buys frequency —
+/// the knob that lets generated designs meet the 100 MHz system clock.
+[[nodiscard]] entity retime(const entity& e, double target_clock_ns,
+                            synthesis_report* rep = nullptr);
+
+/// Full FOSSY pipeline: inline → flatten → share.
+[[nodiscard]] entity synthesize(const entity& e, synthesis_report* rep = nullptr);
+
+}  // namespace fossy

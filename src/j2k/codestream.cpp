@@ -1,0 +1,127 @@
+#include "codestream.hpp"
+
+namespace j2k {
+
+void byte_writer::patch_u32(std::size_t pos, std::uint32_t v)
+{
+    if (pos + 4 > buf_.size()) throw std::out_of_range{"byte_writer::patch_u32"};
+    buf_[pos] = static_cast<std::uint8_t>(v >> 24);
+    buf_[pos + 1] = static_cast<std::uint8_t>(v >> 16);
+    buf_[pos + 2] = static_cast<std::uint8_t>(v >> 8);
+    buf_[pos + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t byte_reader::u8()
+{
+    if (pos_ >= data_.size()) throw codestream_error{"codestream truncated"};
+    return data_[pos_++];
+}
+
+std::uint16_t byte_reader::u16()
+{
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+}
+
+std::uint32_t byte_reader::u32()
+{
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+}
+
+std::uint64_t byte_reader::u64()
+{
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+}
+
+std::span<const std::uint8_t> byte_reader::bytes(std::size_t n)
+{
+    if (pos_ + n > data_.size()) throw codestream_error{"codestream truncated"};
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+}
+
+void byte_reader::seek(std::size_t pos)
+{
+    if (pos > data_.size()) throw codestream_error{"seek out of range"};
+    pos_ = pos;
+}
+
+void write_header(byte_writer& w, const stream_info& info)
+{
+    w.u32(k_magic);
+    w.u8(k_version);
+    w.u32(static_cast<std::uint32_t>(info.width));
+    w.u32(static_cast<std::uint32_t>(info.height));
+    w.u8(static_cast<std::uint8_t>(info.components));
+    w.u8(static_cast<std::uint8_t>(info.bit_depth));
+    w.u32(static_cast<std::uint32_t>(info.tile_width));
+    w.u32(static_cast<std::uint32_t>(info.tile_height));
+    w.u8(info.mode == wavelet::w9_7 ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(info.levels));
+    w.u8(static_cast<std::uint8_t>(info.quality_layers));
+    w.f64(info.quant.base_step);
+    w.u8(static_cast<std::uint8_t>(info.quant.guard_bits));
+}
+
+stream_info read_header(std::span<const std::uint8_t> cs)
+{
+    byte_reader r{cs};
+    if (r.u32() != k_magic) throw codestream_error{"bad magic"};
+    if (r.u8() != k_version) throw codestream_error{"unsupported version"};
+    stream_info info;
+    info.width = static_cast<int>(r.u32());
+    info.height = static_cast<int>(r.u32());
+    info.components = r.u8();
+    info.bit_depth = r.u8();
+    info.tile_width = static_cast<int>(r.u32());
+    info.tile_height = static_cast<int>(r.u32());
+    info.mode = r.u8() ? wavelet::w9_7 : wavelet::w5_3;
+    info.levels = r.u8();
+    info.quality_layers = r.u8();
+    info.quant.base_step = r.f64();
+    info.quant.guard_bits = r.u8();
+    if (info.width <= 0 || info.height <= 0)
+        throw codestream_error{"bad image geometry"};
+    if (info.components < 1 || info.components > 4)
+        throw codestream_error{"bad component count"};
+    if (info.tile_width <= 0 || info.tile_height <= 0)
+        throw codestream_error{"bad tile geometry"};
+    if (info.levels < 0 || info.levels > 12)
+        throw codestream_error{"bad level count"};
+    if (!(info.quant.base_step > 0.0) || info.quant.base_step > 1.0)
+        throw codestream_error{"bad quantiser step"};
+    if (info.quality_layers < 1) throw codestream_error{"bad layer count"};
+
+    const auto tiles = tile_grid(info.width, info.height, info.tile_width, info.tile_height);
+    if (info.quality_layers == 1) {
+        // Plain stream: each tile payload is prefixed by its u32 byte length.
+        for (std::size_t t = 0; t < tiles.size(); ++t) {
+            const std::uint32_t len = r.u32();
+            if (len > r.remaining()) throw codestream_error{"tile payload truncated"};
+            info.tile_offsets.push_back(r.pos());
+            info.tile_lengths.push_back(len);
+            r.seek(r.pos() + len);
+        }
+    } else {
+        // Layered stream: a directory of L×T chunk lengths, then the chunks
+        // in layer-major order (quality-progressive).
+        const std::size_t n =
+            static_cast<std::size_t>(info.quality_layers) * tiles.size();
+        std::vector<std::uint32_t> lens(n);
+        for (auto& l : lens) l = r.u32();
+        std::size_t off = r.pos();
+        for (std::uint32_t len : lens) {
+            info.chunk_offsets.push_back(off);
+            info.chunk_lengths.push_back(len);
+            off += len;
+        }
+        if (off > r.pos() + r.remaining())
+            throw codestream_error{"layered payload truncated"};
+    }
+    return info;
+}
+
+}  // namespace j2k

@@ -1,0 +1,103 @@
+#include "color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace j2k {
+
+namespace {
+
+void require_rgb(const image& img, const char* who)
+{
+    if (img.components() != 3)
+        throw std::invalid_argument{std::string{who} + ": needs exactly 3 components"};
+}
+
+}  // namespace
+
+void dc_shift_forward(image& img)
+{
+    const std::int32_t offset = 1 << (img.bit_depth() - 1);
+    for (int c = 0; c < img.components(); ++c)
+        for (auto& v : img.comp(c).samples()) v -= offset;
+}
+
+void dc_shift_inverse(image& img)
+{
+    const std::int32_t offset = 1 << (img.bit_depth() - 1);
+    const std::int32_t maxv = (1 << img.bit_depth()) - 1;
+    for (int c = 0; c < img.components(); ++c)
+        for (auto& v : img.comp(c).samples())
+            v = std::clamp(v + offset, std::int32_t{0}, maxv);
+}
+
+void rct_forward(image& img)
+{
+    require_rgb(img, "rct_forward");
+    auto& r = img.comp(0).samples();
+    auto& g = img.comp(1).samples();
+    auto& b = img.comp(2).samples();
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        const std::int32_t R = r[i], G = g[i], B = b[i];
+        const std::int32_t Y = (R + 2 * G + B) >> 2;  // floor division
+        const std::int32_t U = B - G;
+        const std::int32_t V = R - G;
+        r[i] = Y;
+        g[i] = U;
+        b[i] = V;
+    }
+}
+
+void rct_inverse(image& img)
+{
+    require_rgb(img, "rct_inverse");
+    auto& y = img.comp(0).samples();
+    auto& u = img.comp(1).samples();
+    auto& v = img.comp(2).samples();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const std::int32_t Y = y[i], U = u[i], V = v[i];
+        const std::int32_t G = Y - ((U + V) >> 2);
+        const std::int32_t R = V + G;
+        const std::int32_t B = U + G;
+        y[i] = R;
+        u[i] = G;
+        v[i] = B;
+    }
+}
+
+void ict_forward(image& img)
+{
+    require_rgb(img, "ict_forward");
+    auto& r = img.comp(0).samples();
+    auto& g = img.comp(1).samples();
+    auto& b = img.comp(2).samples();
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        const double R = r[i], G = g[i], B = b[i];
+        const double Y = 0.299 * R + 0.587 * G + 0.114 * B;
+        const double Cb = -0.168736 * R - 0.331264 * G + 0.5 * B;
+        const double Cr = 0.5 * R - 0.418688 * G - 0.081312 * B;
+        r[i] = static_cast<std::int32_t>(std::lround(Y));
+        g[i] = static_cast<std::int32_t>(std::lround(Cb));
+        b[i] = static_cast<std::int32_t>(std::lround(Cr));
+    }
+}
+
+void ict_inverse(image& img)
+{
+    require_rgb(img, "ict_inverse");
+    auto& y = img.comp(0).samples();
+    auto& cb = img.comp(1).samples();
+    auto& cr = img.comp(2).samples();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double Y = y[i], Cb = cb[i], Cr = cr[i];
+        const double R = Y + 1.402 * Cr;
+        const double G = Y - 0.344136 * Cb - 0.714136 * Cr;
+        const double B = Y + 1.772 * Cb;
+        y[i] = static_cast<std::int32_t>(std::lround(R));
+        cb[i] = static_cast<std::int32_t>(std::lround(G));
+        cr[i] = static_cast<std::int32_t>(std::lround(B));
+    }
+}
+
+}  // namespace j2k

@@ -1,0 +1,28 @@
+// j2k/color.hpp — component transforms and DC level shift (Annex G).
+//
+// * RCT — reversible colour transform (integer), paired with the 5/3 path.
+// * ICT — irreversible colour transform (YCbCr floats), paired with 9/7.
+// * DC level shift — recentres unsigned samples around zero before the
+//   wavelet stage and restores them (with clamping) on decode.
+#pragma once
+
+#include "image.hpp"
+
+namespace j2k {
+
+/// Forward DC level shift: x -= 2^(depth-1) on every sample of every plane.
+void dc_shift_forward(image& img);
+/// Inverse DC level shift with clamp to [0, 2^depth - 1].
+void dc_shift_inverse(image& img);
+
+/// Reversible colour transform (RGB → Y,U,V), in place; needs 3 components.
+void rct_forward(image& img);
+void rct_inverse(image& img);
+
+/// Irreversible colour transform (RGB → YCbCr), in place; needs 3 components.
+/// Values are rounded back to integers — paired with the lossy 9/7 path where
+/// the quantiser dominates the error anyway.
+void ict_forward(image& img);
+void ict_inverse(image& img);
+
+}  // namespace j2k

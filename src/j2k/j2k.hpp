@@ -1,0 +1,12 @@
+// j2k/j2k.hpp — umbrella header for the JPEG 2000 codec library.
+#pragma once
+
+#include "codec.hpp"       // IWYU pragma: export
+#include "codestream.hpp"  // IWYU pragma: export
+#include "color.hpp"       // IWYU pragma: export
+#include "dwt.hpp"         // IWYU pragma: export
+#include "image.hpp"       // IWYU pragma: export
+#include "mq_coder.hpp"    // IWYU pragma: export
+#include "pnm.hpp"         // IWYU pragma: export
+#include "quant.hpp"       // IWYU pragma: export
+#include "tier1.hpp"       // IWYU pragma: export

@@ -1,0 +1,264 @@
+#include "mq_coder.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace j2k {
+
+namespace {
+
+// ISO/IEC 15444-1 Table C.2 — Qe values and probability estimation state
+// transitions.  {Qe, NMPS, NLPS, SWITCH}
+constexpr std::array<mq_state, 47> k_states{{
+    {0x5601, 1, 1, 1},   {0x3401, 2, 6, 0},   {0x1801, 3, 9, 0},
+    {0x0AC1, 4, 12, 0},  {0x0521, 5, 29, 0},  {0x0221, 38, 33, 0},
+    {0x5601, 7, 6, 1},   {0x5401, 8, 14, 0},  {0x4801, 9, 14, 0},
+    {0x3801, 10, 14, 0}, {0x3001, 11, 17, 0}, {0x2401, 12, 18, 0},
+    {0x1C01, 13, 20, 0}, {0x1601, 29, 21, 0}, {0x5601, 15, 14, 1},
+    {0x5401, 16, 14, 0}, {0x5101, 17, 15, 0}, {0x4801, 18, 16, 0},
+    {0x3801, 19, 17, 0}, {0x3401, 20, 18, 0}, {0x3001, 21, 19, 0},
+    {0x2801, 22, 19, 0}, {0x2401, 23, 20, 0}, {0x2201, 24, 21, 0},
+    {0x1C01, 25, 22, 0}, {0x1801, 26, 23, 0}, {0x1601, 27, 24, 0},
+    {0x1401, 28, 25, 0}, {0x1201, 29, 26, 0}, {0x1101, 30, 27, 0},
+    {0x0AC1, 31, 28, 0}, {0x09C1, 32, 29, 0}, {0x08A1, 33, 30, 0},
+    {0x0521, 34, 31, 0}, {0x0441, 35, 32, 0}, {0x02A1, 36, 33, 0},
+    {0x0221, 37, 34, 0}, {0x0141, 38, 35, 0}, {0x0111, 39, 36, 0},
+    {0x0085, 40, 37, 0}, {0x0049, 41, 38, 0}, {0x0025, 42, 39, 0},
+    {0x0015, 43, 40, 0}, {0x0009, 44, 41, 0}, {0x0005, 45, 42, 0},
+    {0x0001, 45, 43, 0}, {0x5601, 46, 46, 0},
+}};
+
+}  // namespace
+
+const mq_state& mq_table(std::uint8_t index) noexcept
+{
+    return k_states[index];
+}
+
+// ---------------------------------------------------------------------------
+// Encoder (ISO/IEC 15444-1 C.2).  C is a 28-bit register; the byte about to
+// be committed lives in b_ so a carry out of C can still propagate into it.
+// A zero "sentinel" pending byte stands in for the spec's BPST-1 position.
+// ---------------------------------------------------------------------------
+
+void mq_encoder::init()
+{
+    a_ = 0x8000;
+    c_ = 0;
+    ct_ = 12;
+    b_ = 0;
+    have_b_ = false;
+    out_.clear();
+}
+
+void mq_encoder::encode(mq_context& cx, int d)
+{
+    if ((d != 0) == (cx.mps != 0))
+        code_mps(cx);
+    else
+        code_lps(cx);
+}
+
+void mq_encoder::code_mps(mq_context& cx)
+{
+    const mq_state& s = k_states[cx.index];
+    a_ -= s.qe;
+    if ((a_ & 0x8000) == 0) {
+        if (a_ < s.qe)
+            a_ = s.qe;  // conditional exchange: MPS gets the lower subinterval
+        else
+            c_ += s.qe;
+        cx.index = s.nmps;
+        renorm();
+    } else {
+        c_ += s.qe;
+    }
+}
+
+void mq_encoder::code_lps(mq_context& cx)
+{
+    const mq_state& s = k_states[cx.index];
+    a_ -= s.qe;
+    if (a_ < s.qe)
+        c_ += s.qe;  // conditional exchange
+    else
+        a_ = s.qe;
+    if (s.sw) cx.mps = static_cast<std::uint8_t>(1 - cx.mps);
+    cx.index = s.nlps;
+    renorm();
+}
+
+void mq_encoder::renorm()
+{
+    do {
+        a_ <<= 1;
+        c_ <<= 1;
+        if (--ct_ == 0) byte_out();
+    } while ((a_ & 0x8000) == 0);
+}
+
+void mq_encoder::byte_out()
+{
+    auto commit_pending = [this] {
+        if (have_b_) out_.push_back(b_);
+    };
+    if (have_b_ && b_ == 0xFF) {
+        // Stuffing: after an 0xFF only 7 bits go into the next byte so a
+        // carry can never turn data into a marker.
+        commit_pending();
+        b_ = static_cast<std::uint8_t>(c_ >> 20);
+        c_ &= 0xFFFFF;
+        ct_ = 7;
+    } else {
+        if (c_ < 0x8000000) {
+            commit_pending();
+            b_ = static_cast<std::uint8_t>(c_ >> 19);
+            c_ &= 0x7FFFF;
+            ct_ = 8;
+        } else {
+            // Carry out of the C register propagates into the pending byte.
+            // MQ invariants guarantee a pending byte exists here (the very
+            // first BYTEOUT cannot carry).
+            if (!have_b_) throw std::logic_error{"mq_encoder: carry with no pending byte"};
+            ++b_;
+            if (b_ == 0xFF) {
+                c_ &= 0x7FFFFFF;
+                commit_pending();
+                b_ = static_cast<std::uint8_t>(c_ >> 20);
+                c_ &= 0xFFFFF;
+                ct_ = 7;
+            } else {
+                commit_pending();
+                b_ = static_cast<std::uint8_t>(c_ >> 19);
+                c_ &= 0x7FFFF;
+                ct_ = 8;
+            }
+        }
+    }
+    have_b_ = true;
+}
+
+std::vector<std::uint8_t> mq_encoder::flush()
+{
+    // SETBITS: maximise the number of trailing 1 bits in C while keeping it
+    // inside the final interval.
+    const std::uint32_t tempc = c_ + a_;
+    c_ |= 0xFFFF;
+    if (c_ >= tempc) c_ -= 0x8000;
+
+    c_ <<= ct_;
+    byte_out();
+    c_ <<= ct_;
+    byte_out();
+    if (have_b_ && b_ != 0xFF) out_.push_back(b_);  // trailing 0xFF is dropped
+    have_b_ = false;
+
+    std::vector<std::uint8_t> result;
+    result.swap(out_);
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder (ISO/IEC 15444-1 C.3).  Reading past the end of the codeword
+// segment feeds 1-bits, as the spec prescribes when a marker is found.
+// ---------------------------------------------------------------------------
+
+void mq_decoder::init(std::span<const std::uint8_t> data)
+{
+    in_ = data;
+    bp_ = 0;
+    decisions_ = 0;
+    const std::uint32_t b0 = bp_ < in_.size() ? in_[bp_] : 0xFF;
+    c_ = b0 << 16;
+    byte_in();
+    c_ <<= 7;
+    ct_ -= 7;
+    a_ = 0x8000;
+}
+
+void mq_decoder::byte_in()
+{
+    auto at = [this](std::size_t i) -> std::uint32_t {
+        return i < in_.size() ? in_[i] : 0xFF;
+    };
+    if (at(bp_) == 0xFF) {
+        if (at(bp_ + 1) > 0x8F) {
+            // Marker (or end of segment): feed 1-bits from now on.
+            c_ += 0xFF00;
+            ct_ = 8;
+        } else {
+            ++bp_;
+            c_ += at(bp_) << 9;
+            ct_ = 7;
+        }
+    } else {
+        ++bp_;
+        c_ += at(bp_) << 8;
+        ct_ = 8;
+    }
+}
+
+void mq_decoder::renorm()
+{
+    do {
+        if (ct_ == 0) byte_in();
+        a_ <<= 1;
+        c_ <<= 1;
+        --ct_;
+    } while ((a_ & 0x8000) == 0);
+}
+
+int mq_decoder::mps_exchange(mq_context& cx)
+{
+    const mq_state& s = k_states[cx.index];
+    int d;
+    if (a_ < s.qe) {
+        d = 1 - cx.mps;
+        if (s.sw) cx.mps = static_cast<std::uint8_t>(1 - cx.mps);
+        cx.index = s.nlps;
+    } else {
+        d = cx.mps;
+        cx.index = s.nmps;
+    }
+    return d;
+}
+
+int mq_decoder::lps_exchange(mq_context& cx)
+{
+    const mq_state& s = k_states[cx.index];
+    int d;
+    if (a_ < s.qe) {
+        a_ = s.qe;
+        d = cx.mps;
+        cx.index = s.nmps;
+    } else {
+        a_ = s.qe;
+        d = 1 - cx.mps;
+        if (s.sw) cx.mps = static_cast<std::uint8_t>(1 - cx.mps);
+        cx.index = s.nlps;
+    }
+    return d;
+}
+
+int mq_decoder::decode(mq_context& cx)
+{
+    ++decisions_;
+    const mq_state& s = k_states[cx.index];
+    a_ -= s.qe;
+    int d;
+    if (((c_ >> 16) & 0xFFFF) < s.qe) {
+        d = lps_exchange(cx);
+        renorm();
+    } else {
+        c_ -= static_cast<std::uint32_t>(s.qe) << 16;
+        if ((a_ & 0x8000) == 0) {
+            d = mps_exchange(cx);
+            renorm();
+        } else {
+            d = cx.mps;
+        }
+    }
+    return d;
+}
+
+}  // namespace j2k

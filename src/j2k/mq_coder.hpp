@@ -1,0 +1,102 @@
+// j2k/mq_coder.hpp — the MQ binary arithmetic coder of ISO/IEC 15444-1.
+//
+// This is the entropy-coding engine of JPEG 2000 (identical to the JBIG2 MQ
+// coder): an adaptive, multiplication-free binary arithmetic coder driven by
+// a 47-entry probability state machine.  Contexts carry an (index, MPS) pair
+// and adapt independently.  The encoder/decoder pair implements the flow
+// charts of ISO/IEC 15444-1 Annex C (ENCODE / CODEMPS / CODELPS / BYTEOUT /
+// FLUSH and INITDEC / DECODE / MPS_EXCHANGE / LPS_EXCHANGE / BYTEIN) with
+// 0xFF byte-stuffing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace j2k {
+
+/// Adaptive probability state of one coding context.
+struct mq_context {
+    std::uint8_t index = 0;  ///< state index into the Qe table (0..46)
+    std::uint8_t mps = 0;    ///< current most-probable symbol (0 or 1)
+
+    void reset(std::uint8_t idx = 0, std::uint8_t m = 0) noexcept
+    {
+        index = idx;
+        mps = m;
+    }
+};
+
+/// One row of the ISO/IEC 15444-1 Table C.2 probability state machine.
+struct mq_state {
+    std::uint16_t qe;      ///< LPS probability estimate
+    std::uint8_t nmps;     ///< next state after an MPS
+    std::uint8_t nlps;     ///< next state after an LPS
+    std::uint8_t sw;       ///< 1 ⇒ exchange MPS sense on LPS
+};
+
+/// The 47-state table (shared by encoder and decoder).
+[[nodiscard]] const mq_state& mq_table(std::uint8_t index) noexcept;
+
+/// MQ encoder producing a byte vector.
+class mq_encoder {
+public:
+    mq_encoder() { init(); }
+
+    /// Reset all coder state and discard buffered output.
+    void init();
+
+    /// Encode one binary decision `d` in context `cx`.
+    void encode(mq_context& cx, int d);
+
+    /// Terminate the codeword (FLUSH) and return the bytes.  The encoder must
+    /// be re-`init`ed before reuse.
+    [[nodiscard]] std::vector<std::uint8_t> flush();
+
+    /// Bytes emitted so far (grows during encoding).
+    [[nodiscard]] std::size_t bytes_emitted() const noexcept { return out_.size(); }
+
+private:
+    void code_mps(mq_context& cx);
+    void code_lps(mq_context& cx);
+    void renorm();
+    void byte_out();
+
+    std::uint32_t c_ = 0;
+    std::uint32_t a_ = 0;
+    int ct_ = 0;
+    bool have_b_ = false;     ///< a pending byte exists in b_
+    std::uint8_t b_ = 0;      ///< pending (not yet committed) byte
+    std::vector<std::uint8_t> out_;
+};
+
+/// MQ decoder reading from a byte span (not owned; must outlive the decoder).
+class mq_decoder {
+public:
+    explicit mq_decoder(std::span<const std::uint8_t> data) { init(data); }
+
+    /// (Re)start decoding from `data`.
+    void init(std::span<const std::uint8_t> data);
+
+    /// Decode one binary decision in context `cx`.
+    [[nodiscard]] int decode(mq_context& cx);
+
+    /// Number of decisions decoded since init (profiling hook: the paper's
+    /// execution-time model charges per-decision work to the arith stage).
+    [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+
+private:
+    void byte_in();
+    void renorm();
+    [[nodiscard]] int mps_exchange(mq_context& cx);
+    [[nodiscard]] int lps_exchange(mq_context& cx);
+
+    std::span<const std::uint8_t> in_{};
+    std::size_t bp_ = 0;
+    std::uint32_t c_ = 0;
+    std::uint32_t a_ = 0;
+    int ct_ = 0;
+    std::uint64_t decisions_ = 0;
+};
+
+}  // namespace j2k

@@ -1,0 +1,100 @@
+#include "pnm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace j2k {
+
+namespace {
+
+/// Skip whitespace and '#' comment lines between header tokens.
+void skip_separators(std::istream& in)
+{
+    for (;;) {
+        const int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c)) {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+int read_header_int(std::istream& in)
+{
+    skip_separators(in);
+    int v = 0;
+    if (!(in >> v) || v < 0) throw std::runtime_error{"pnm: malformed header"};
+    return v;
+}
+
+}  // namespace
+
+void save_pnm(const image& img, const std::string& path)
+{
+    if (img.components() != 1 && img.components() != 3)
+        throw std::runtime_error{"save_pnm: only 1 or 3 components"};
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw std::runtime_error{"save_pnm: cannot open " + path};
+
+    const int maxv = (1 << img.bit_depth()) - 1;
+    out << (img.components() == 1 ? "P5" : "P6") << '\n'
+        << img.width() << ' ' << img.height() << '\n'
+        << maxv << '\n';
+    const bool wide = maxv > 255;
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            for (int c = 0; c < img.components(); ++c) {
+                const int v = std::clamp(img.comp(c).at(x, y), 0, maxv);
+                if (wide) out.put(static_cast<char>(v >> 8));
+                out.put(static_cast<char>(v & 0xFF));
+            }
+        }
+    }
+    if (!out) throw std::runtime_error{"save_pnm: write failed"};
+}
+
+image load_pnm(const std::string& path)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw std::runtime_error{"load_pnm: cannot open " + path};
+    std::string magic;
+    in >> magic;
+    int components = 0;
+    if (magic == "P5")
+        components = 1;
+    else if (magic == "P6")
+        components = 3;
+    else
+        throw std::runtime_error{"load_pnm: unsupported magic " + magic};
+
+    const int w = read_header_int(in);
+    const int h = read_header_int(in);
+    const int maxv = read_header_int(in);
+    if (w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535)
+        throw std::runtime_error{"load_pnm: bad geometry"};
+    in.get();  // single whitespace before raster
+
+    int depth = 1;
+    while ((1 << depth) - 1 < maxv) ++depth;
+    image img{w, h, components, depth};
+    const bool wide = maxv > 255;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int c = 0; c < components; ++c) {
+                int v = in.get();
+                if (wide) v = (v << 8) | in.get();
+                if (!in) throw std::runtime_error{"load_pnm: truncated raster"};
+                img.comp(c).at(x, y) = v;
+            }
+        }
+    }
+    return img;
+}
+
+}  // namespace j2k

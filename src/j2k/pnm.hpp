@@ -1,0 +1,22 @@
+// j2k/pnm.hpp — PGM/PPM image file I/O.
+//
+// Binary NetPBM formats (P5 greyscale, P6 colour), the lingua franca of
+// codec tooling: lets the examples and any downstream user feed real images
+// through the codec and inspect decoder output with standard viewers.
+// Samples above 8 bits use the big-endian 16-bit NetPBM convention.
+#pragma once
+
+#include "image.hpp"
+
+#include <string>
+
+namespace j2k {
+
+/// Write `img` as PGM (1 component) or PPM (3 components).
+/// Throws std::runtime_error on I/O failure or unsupported component count.
+void save_pnm(const image& img, const std::string& path);
+
+/// Load a binary PGM/PPM file.  Throws std::runtime_error on parse errors.
+[[nodiscard]] image load_pnm(const std::string& path);
+
+}  // namespace j2k

@@ -1,0 +1,40 @@
+// j2k/quant.hpp — dead-zone scalar quantisation (ISO/IEC 15444-1 Annex E).
+//
+// Lossy (9/7) path only: wavelet coefficients are quantised with a dead-zone
+// uniform quantiser whose step size is derived from a base step scaled by the
+// subband's synthesis gain.  The reversible (5/3) path bypasses quantisation.
+// Dequantisation reconstructs at the midpoint of the quantisation interval
+// (r = 0.5), the common decoder choice.
+#pragma once
+
+#include "dwt.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace j2k {
+
+/// Quantisation parameters for one tile-component.
+struct quant_params {
+    double base_step = 1.0 / 32.0;  ///< base step relative to unit dynamic range
+    int guard_bits = 2;
+};
+
+/// Effective step size for subband `b` at `level` under wavelet `w`.
+/// `bit_depth` scales the step to the component's dynamic range.
+[[nodiscard]] double quant_step(const quant_params& q, band b, int level, wavelet w,
+                                int bit_depth) noexcept;
+
+/// Dead-zone quantise one value: sign(v) * floor(|v| / step).
+[[nodiscard]] std::int32_t quantize_value(double v, double step) noexcept;
+
+/// Midpoint dequantise: sign(q) * (|q| + 0.5) * step, 0 stays 0.
+[[nodiscard]] double dequantize_value(std::int32_t q, double step) noexcept;
+
+/// Quantise a whole buffer (used on 9/7 coefficient planes).
+void quantize_buffer(const std::vector<double>& in, std::vector<std::int32_t>& out,
+                     double step);
+void dequantize_buffer(const std::vector<std::int32_t>& in, std::vector<double>& out,
+                       double step);
+
+}  // namespace j2k

@@ -1,0 +1,510 @@
+#include "tier1.hpp"
+
+#include <array>
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace j2k {
+
+namespace {
+
+// Context numbering (indices into the per-block context array).
+constexpr int k_ctx_zc_base = 0;   // 0..8  zero coding
+constexpr int k_ctx_sc_base = 9;   // 9..13 sign coding
+constexpr int k_ctx_mr_base = 14;  // 14..16 magnitude refinement
+constexpr int k_ctx_rl = 17;       // run-length
+constexpr int k_ctx_uni = 18;      // uniform
+constexpr int k_num_ctx = 19;
+
+/// Zero-coding context from neighbour significance counts, per Table D.1.
+/// h/v = number of significant horizontal/vertical neighbours (0..2),
+/// d = significant diagonals (0..4).
+int zc_context(int h, int v, int d, band orient) noexcept
+{
+    if (orient == band::hl) std::swap(h, v);  // HL: transpose the LL/LH table
+    if (orient == band::hh) {
+        const int hv = h + v;
+        if (d >= 3) return 8;
+        if (d == 2) return hv >= 1 ? 7 : 6;
+        if (d == 1) return hv >= 2 ? 5 : (hv == 1 ? 4 : 3);
+        return hv >= 2 ? 2 : (hv == 1 ? 1 : 0);
+    }
+    // LL / LH (and transposed HL)
+    if (h == 2) return 8;
+    if (h == 1) {
+        if (v >= 1) return 7;
+        return d >= 1 ? 6 : 5;
+    }
+    if (v == 2) return 4;
+    if (v == 1) return 3;
+    return d >= 2 ? 2 : (d == 1 ? 1 : 0);
+}
+
+/// Sign-coding context + XOR bit, per Table D.3.  hc/vc ∈ {-1,0,1} are the
+/// clamped neighbour sign contributions.
+struct sc_info {
+    int ctx;
+    int xor_bit;
+};
+sc_info sc_context(int hc, int vc) noexcept
+{
+    if (hc == 1) {
+        if (vc == 1) return {13, 0};
+        if (vc == 0) return {12, 0};
+        return {11, 0};
+    }
+    if (hc == 0) {
+        if (vc == 1) return {10, 0};
+        if (vc == 0) return {9, 0};
+        return {10, 1};
+    }
+    if (vc == 1) return {11, 1};
+    if (vc == 0) return {12, 1};
+    return {13, 1};
+}
+
+/// Per-sample coder state shared by encoder and decoder.
+struct block_state {
+    int w;
+    int h;
+    band orient;
+    std::vector<std::uint32_t> mag;   // encoder: |coeff|; decoder: accumulated
+    std::vector<std::uint8_t> sign;   // 1 = negative
+    std::vector<std::uint8_t> sig;    // significant
+    std::vector<std::uint8_t> became; // became significant in current plane
+    std::vector<std::uint8_t> visited;// coded in SPP of current plane
+    std::vector<std::uint8_t> refined;// has had ≥1 refinement pass
+    std::array<mq_context, k_num_ctx> cx{};
+
+    block_state(int width, int height, band o)
+        : w{width}, h{height}, orient{o}
+    {
+        const auto n = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+        mag.assign(n, 0);
+        sign.assign(n, 0);
+        sig.assign(n, 0);
+        became.assign(n, 0);
+        visited.assign(n, 0);
+        refined.assign(n, 0);
+        reset_contexts();
+    }
+
+    void reset_contexts()
+    {
+        for (auto& c : cx) c.reset();
+        cx[k_ctx_zc_base + 0].reset(4, 0);  // ZC context 0 starts at state 4
+        cx[k_ctx_rl].reset(3, 0);           // run-length starts at state 3
+        cx[k_ctx_uni].reset(46, 0);         // uniform: non-adaptive state
+    }
+
+    [[nodiscard]] std::size_t idx(int x, int y) const noexcept
+    {
+        return static_cast<std::size_t>(y) * static_cast<std::size_t>(w) + x;
+    }
+    [[nodiscard]] int sig_at(int x, int y) const noexcept
+    {
+        if (x < 0 || y < 0 || x >= w || y >= h) return 0;
+        return sig[idx(x, y)];
+    }
+    [[nodiscard]] int sign_contrib(int x, int y) const noexcept
+    {
+        if (!sig_at(x, y)) return 0;
+        return sign[idx(x, y)] ? -1 : 1;
+    }
+
+    [[nodiscard]] int zc_ctx(int x, int y) const noexcept
+    {
+        const int hn = sig_at(x - 1, y) + sig_at(x + 1, y);
+        const int vn = sig_at(x, y - 1) + sig_at(x, y + 1);
+        const int dn = sig_at(x - 1, y - 1) + sig_at(x + 1, y - 1) +
+                       sig_at(x - 1, y + 1) + sig_at(x + 1, y + 1);
+        return k_ctx_zc_base + zc_context(hn, vn, dn, orient);
+    }
+
+    [[nodiscard]] sc_info sc_ctx(int x, int y) const noexcept
+    {
+        const int hc = std::clamp(sign_contrib(x - 1, y) + sign_contrib(x + 1, y), -1, 1);
+        const int vc = std::clamp(sign_contrib(x, y - 1) + sign_contrib(x, y + 1), -1, 1);
+        return sc_context(hc, vc);
+    }
+
+    [[nodiscard]] int mr_ctx(int x, int y) const noexcept
+    {
+        if (refined[idx(x, y)]) return k_ctx_mr_base + 2;
+        const int any =
+            sig_at(x - 1, y) + sig_at(x + 1, y) + sig_at(x, y - 1) + sig_at(x, y + 1) +
+            sig_at(x - 1, y - 1) + sig_at(x + 1, y - 1) + sig_at(x - 1, y + 1) +
+            sig_at(x + 1, y + 1);
+        return k_ctx_mr_base + (any ? 1 : 0);
+    }
+};
+
+/// Direction-independent pass logic.  `IO` supplies one primitive:
+/// `int bit(mq_context&, int actual)` — the encoder codes `actual` and echoes
+/// it; the decoder ignores `actual` and returns the decoded decision.  Both
+/// sides therefore execute identical control flow over identical state.
+template <typename IO>
+class engine {
+public:
+    engine(block_state& st, IO io) : s_{st}, io_{io} {}
+
+    std::uint64_t samples_visited = 0;
+
+    void significance_pass(int plane)
+    {
+        for_each_stripe([&](int x, int y) {
+            const auto i = s_.idx(x, y);
+            if (s_.sig[i]) return;
+            const int ctx = s_.zc_ctx(x, y);
+            if (ctx == k_ctx_zc_base) return;  // no significant neighbours
+            ++samples_visited;
+            s_.visited[i] = 1;
+            const int actual = static_cast<int>((s_.mag[i] >> plane) & 1u);
+            if (io_.bit(s_.cx[ctx], actual)) code_becoming_significant(x, y, plane);
+        });
+    }
+
+    void refinement_pass(int plane)
+    {
+        for_each_stripe([&](int x, int y) {
+            const auto i = s_.idx(x, y);
+            if (!s_.sig[i] || s_.became[i]) return;
+            ++samples_visited;
+            const int ctx = s_.mr_ctx(x, y);
+            const int actual = static_cast<int>((s_.mag[i] >> plane) & 1u);
+            const int bit = io_.bit(s_.cx[ctx], actual);
+            if constexpr (IO::is_decoder) {
+                s_.mag[i] |= static_cast<std::uint32_t>(bit) << plane;
+            }
+            s_.refined[i] = 1;
+        });
+    }
+
+    void cleanup_pass(int plane)
+    {
+        for (int sy = 0; sy < s_.h; sy += 4) {
+            const int rows = std::min(4, s_.h - sy);
+            for (int x = 0; x < s_.w; ++x) {
+                int start = 0;
+                if (rows == 4 && column_is_quiet(x, sy)) {
+                    // Run-length mode: one decision covers the whole column.
+                    ++samples_visited;
+                    const int any = column_any_bit(x, sy, plane);
+                    if (io_.bit(s_.cx[k_ctx_rl], any) == 0) continue;
+                    // Position of the first 1 bit: two uniform decisions.
+                    const int actual_pos = first_one_in_column(x, sy, plane);
+                    int pos = io_.bit(s_.cx[k_ctx_uni], (actual_pos >> 1) & 1) << 1;
+                    pos |= io_.bit(s_.cx[k_ctx_uni], actual_pos & 1);
+                    code_becoming_significant(x, sy + pos, plane);
+                    start = pos + 1;
+                }
+                for (int dy = start; dy < rows; ++dy) {
+                    const int y = sy + dy;
+                    const auto i = s_.idx(x, y);
+                    if (s_.sig[i] || s_.visited[i]) continue;
+                    ++samples_visited;
+                    const int ctx = s_.zc_ctx(x, y);
+                    const int actual = static_cast<int>((s_.mag[i] >> plane) & 1u);
+                    if (io_.bit(s_.cx[ctx], actual))
+                        code_becoming_significant(x, y, plane);
+                }
+            }
+        }
+    }
+
+    void begin_plane()
+    {
+        std::fill(s_.became.begin(), s_.became.end(), std::uint8_t{0});
+        std::fill(s_.visited.begin(), s_.visited.end(), std::uint8_t{0});
+    }
+
+private:
+    void code_becoming_significant(int x, int y, int plane)
+    {
+        const auto i = s_.idx(x, y);
+        const auto [ctx, xor_bit] = s_.sc_ctx(x, y);
+        const int actual_sign = s_.sign[i] ^ xor_bit;
+        const int coded = io_.bit(s_.cx[ctx], actual_sign);
+        if constexpr (IO::is_decoder) {
+            s_.sign[i] = static_cast<std::uint8_t>(coded ^ xor_bit);
+            s_.mag[i] |= 1u << plane;
+        }
+        s_.sig[i] = 1;
+        s_.became[i] = 1;
+    }
+
+    [[nodiscard]] bool column_is_quiet(int x, int sy) const
+    {
+        for (int dy = 0; dy < 4; ++dy) {
+            const int y = sy + dy;
+            if (s_.sig[s_.idx(x, y)] || s_.visited[s_.idx(x, y)]) return false;
+            if (s_.zc_ctx(x, y) != k_ctx_zc_base) return false;
+        }
+        return true;
+    }
+
+    [[nodiscard]] int column_any_bit(int x, int sy, int plane) const
+    {
+        return first_one_in_column(x, sy, plane) < 4 ? 1 : 0;
+    }
+
+    /// First row offset (0..3) whose bit at `plane` is 1, or 4 if none.
+    /// Only meaningful on the encoder side; the decoder never consumes it.
+    [[nodiscard]] int first_one_in_column(int x, int sy, int plane) const
+    {
+        for (int dy = 0; dy < 4; ++dy)
+            if ((s_.mag[s_.idx(x, sy + dy)] >> plane) & 1u) return dy;
+        return 4;
+    }
+
+    template <typename Fn>
+    void for_each_stripe(Fn&& fn)
+    {
+        for (int sy = 0; sy < s_.h; sy += 4)
+            for (int x = 0; x < s_.w; ++x)
+                for (int dy = 0; dy < 4 && sy + dy < s_.h; ++dy) fn(x, sy + dy);
+    }
+
+    block_state& s_;
+    IO io_;
+};
+
+struct encode_io {
+    static constexpr bool is_decoder = false;
+    mq_encoder* enc;
+    int bit(mq_context& cx, int actual)
+    {
+        enc->encode(cx, actual);
+        return actual;
+    }
+};
+
+struct decode_io {
+    static constexpr bool is_decoder = true;
+    mq_decoder* dec;
+    int bit(mq_context& cx, int /*actual*/) { return dec->decode(cx); }
+};
+
+}  // namespace
+
+codeblock tier1_encode(const std::int32_t* coeffs, int w, int h, band orient)
+{
+    if (w <= 0 || h <= 0) throw std::invalid_argument{"tier1_encode: empty block"};
+    block_state st{w, h, orient};
+    std::uint32_t maxmag = 0;
+    for (int i = 0; i < w * h; ++i) {
+        const std::int32_t v = coeffs[i];
+        st.mag[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(std::abs(v));
+        st.sign[static_cast<std::size_t>(i)] = v < 0 ? 1 : 0;
+        maxmag = std::max(maxmag, st.mag[static_cast<std::size_t>(i)]);
+    }
+    codeblock cb;
+    cb.width = w;
+    cb.height = h;
+    if (maxmag == 0) return cb;  // nothing to code
+
+    int planes = 0;
+    while (maxmag >> planes) ++planes;
+    cb.num_planes = planes;
+
+    mq_encoder enc;
+    engine<encode_io> eng{st, encode_io{&enc}};
+    for (int p = planes - 1; p >= 0; --p) {
+        eng.begin_plane();
+        if (p != planes - 1) {
+            eng.significance_pass(p);
+            eng.refinement_pass(p);
+        }
+        eng.cleanup_pass(p);
+    }
+    cb.data = enc.flush();
+    return cb;
+}
+
+namespace {
+
+/// The canonical pass sequence for p magnitude planes: MSB plane gets only a
+/// cleanup pass; every other plane gets SPP, MRP, CUP.
+struct pass_ref {
+    int plane;
+    int kind;  // 0 = significance, 1 = refinement, 2 = cleanup
+};
+
+std::vector<pass_ref> pass_sequence(int num_planes)
+{
+    std::vector<pass_ref> seq;
+    for (int p = num_planes - 1; p >= 0; --p) {
+        if (p != num_planes - 1) {
+            seq.push_back({p, 0});
+            seq.push_back({p, 1});
+        }
+        seq.push_back({p, 2});
+    }
+    return seq;
+}
+
+template <typename IO>
+void run_pass(engine<IO>& eng, const pass_ref& pr)
+{
+    switch (pr.kind) {
+        case 0: eng.significance_pass(pr.plane); break;
+        case 1: eng.refinement_pass(pr.plane); break;
+        default: eng.cleanup_pass(pr.plane); break;
+    }
+}
+
+}  // namespace
+
+layered_codeblock tier1_encode_layered(const std::int32_t* coeffs, int w, int h,
+                                       band orient,
+                                       const std::vector<int>& passes_per_layer)
+{
+    if (w <= 0 || h <= 0)
+        throw std::invalid_argument{"tier1_encode_layered: empty block"};
+    if (passes_per_layer.empty())
+        throw std::invalid_argument{"tier1_encode_layered: no layers"};
+    block_state st{w, h, orient};
+    std::uint32_t maxmag = 0;
+    for (int i = 0; i < w * h; ++i) {
+        const std::int32_t v = coeffs[i];
+        st.mag[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(std::abs(v));
+        st.sign[static_cast<std::size_t>(i)] = v < 0 ? 1 : 0;
+        maxmag = std::max(maxmag, st.mag[static_cast<std::size_t>(i)]);
+    }
+    layered_codeblock out;
+    out.width = w;
+    out.height = h;
+    out.segments.resize(passes_per_layer.size());
+    if (maxmag == 0) return out;
+    int planes = 0;
+    while (maxmag >> planes) ++planes;
+    out.num_planes = planes;
+
+    const auto seq = pass_sequence(planes);
+    mq_encoder enc;
+    engine<encode_io> eng{st, encode_io{&enc}};
+    std::size_t pass_i = 0;
+    int last_plane = -1;
+    for (std::size_t layer = 0; layer < passes_per_layer.size(); ++layer) {
+        // The last layer absorbs all remaining passes.
+        const std::size_t want = layer + 1 == passes_per_layer.size()
+                                     ? seq.size() - pass_i
+                                     : static_cast<std::size_t>(
+                                           std::max(0, passes_per_layer[layer]));
+        std::size_t done = 0;
+        while (done < want && pass_i < seq.size()) {
+            const pass_ref& pr = seq[pass_i];
+            if (pr.plane != last_plane && (pr.kind == 0 || pr.kind == 2)) {
+                // Entering a new plane (SPP, or CUP on the MSB plane).
+                if (pr.kind == 2 && pr.plane == planes - 1) eng.begin_plane();
+                if (pr.kind == 0) eng.begin_plane();
+                last_plane = pr.plane;
+            }
+            run_pass(eng, pr);
+            ++pass_i;
+            ++done;
+        }
+        out.segments[layer].passes = static_cast<int>(done);
+        // Terminate the codeword at the layer boundary; contexts persist.
+        out.segments[layer].data = enc.flush();
+        enc.init();
+    }
+    return out;
+}
+
+void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
+                          band orient, int layers, tier1_stats* stats)
+{
+    if (cb.width <= 0 || cb.height <= 0)
+        throw std::invalid_argument{"tier1_decode_layered: empty block"};
+    if (cb.num_planes < 0 || cb.num_planes > 31)
+        throw std::invalid_argument{"tier1_decode_layered: implausible plane count"};
+    const auto n = static_cast<std::size_t>(cb.width) * static_cast<std::size_t>(cb.height);
+    std::fill(out, out + n, 0);
+    if (cb.num_planes == 0) return;
+
+    const std::size_t use_layers =
+        layers <= 0 ? cb.segments.size()
+                    : std::min<std::size_t>(static_cast<std::size_t>(layers),
+                                            cb.segments.size());
+    block_state st{cb.width, cb.height, orient};
+    const auto seq = pass_sequence(cb.num_planes);
+    std::size_t pass_i = 0;
+    int last_plane = -1;
+    std::uint64_t passes = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t samples = 0;
+    for (std::size_t layer = 0; layer < use_layers; ++layer) {
+        const auto& seg = cb.segments[layer];
+        if (seg.passes == 0) continue;
+        mq_decoder dec{std::span<const std::uint8_t>{seg.data}};
+        engine<decode_io> eng{st, decode_io{&dec}};
+        for (int k = 0; k < seg.passes && pass_i < seq.size(); ++k, ++pass_i) {
+            const pass_ref& pr = seq[pass_i];
+            if (pr.plane != last_plane && (pr.kind == 0 || pr.kind == 2)) {
+                if (pr.kind == 2 && pr.plane == cb.num_planes - 1) eng.begin_plane();
+                if (pr.kind == 0) eng.begin_plane();
+                last_plane = pr.plane;
+            }
+            run_pass(eng, pr);
+            ++passes;
+        }
+        decisions += dec.decisions();
+        samples += eng.samples_visited;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto m = static_cast<std::int32_t>(st.mag[i]);
+        out[i] = st.sign[i] ? -m : m;
+    }
+    if (stats) {
+        stats->mq_decisions += decisions;
+        stats->passes += passes;
+        stats->samples += samples;
+    }
+}
+
+void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,
+                  tier1_stats* stats, int max_passes)
+{
+    if (cb.width <= 0 || cb.height <= 0)
+        throw std::invalid_argument{"tier1_decode: empty block"};
+    if (cb.num_planes < 0 || cb.num_planes > 31)
+        throw std::invalid_argument{"tier1_decode: implausible bit-plane count"};
+    const auto n = static_cast<std::size_t>(cb.width) * static_cast<std::size_t>(cb.height);
+    if (cb.num_planes == 0) {
+        std::fill(out, out + n, 0);
+        return;
+    }
+    block_state st{cb.width, cb.height, orient};
+    mq_decoder dec{std::span<const std::uint8_t>{cb.data}};
+    engine<decode_io> eng{st, decode_io{&dec}};
+    std::uint64_t passes = 0;
+    const auto limit = [&] {
+        return max_passes > 0 && passes >= static_cast<std::uint64_t>(max_passes);
+    };
+    for (int p = cb.num_planes - 1; p >= 0 && !limit(); --p) {
+        eng.begin_plane();
+        if (p != cb.num_planes - 1) {
+            eng.significance_pass(p);
+            ++passes;
+            if (limit()) break;
+            eng.refinement_pass(p);
+            ++passes;
+            if (limit()) break;
+        }
+        eng.cleanup_pass(p);
+        ++passes;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto m = static_cast<std::int32_t>(st.mag[i]);
+        out[i] = st.sign[i] ? -m : m;
+    }
+    if (stats) {
+        stats->mq_decisions += dec.decisions();
+        stats->passes += passes;
+        stats->samples += eng.samples_visited;
+    }
+}
+
+}  // namespace j2k

@@ -1,0 +1,284 @@
+// osss/channel.hpp — OSSS-Channels: the physical communication layer of the
+// Virtual Target Architecture.
+//
+// All channels speak the RMI transport interface: `transact(initiator,
+// bytes)` consumes the simulated time a payload of that size needs on the
+// physical medium, including arbitration.  The RMI layer on top serialises
+// method calls into such payloads, which is what decouples behavioural code
+// from the chosen medium — swapping a shared bus for a point-to-point link
+// (models 6a→6b / 7a→7b of the paper) is a pure mapping change.
+//
+// Two media are provided:
+//   * `opb_bus`     — an IBM OPB-style shared bus: one arbiter, per-transfer
+//                     arbitration + address phase, non-pipelined data beats.
+//   * `p2p_channel` — a dedicated point-to-point link: no cross-client
+//                     contention, single-cycle beats.
+#pragma once
+
+#include "scheduling.hpp"
+
+#include <sim/sim.hpp>
+
+#include <cstdint>
+#include <string>
+
+namespace osss {
+
+/// Aggregate traffic counters for a channel.
+struct channel_stats {
+    std::uint64_t transactions = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t data_beats = 0;
+    sim::time busy_time{};   ///< medium occupied
+    sim::time wait_time{};   ///< arbitration wait, summed over initiators
+};
+
+/// RMI transport: anything that can move `bytes` for `initiator` and charge
+/// the corresponding simulated time.
+class rmi_channel {
+public:
+    virtual ~rmi_channel() = default;
+
+    /// Move `bytes` of payload on behalf of `initiator` (blocking).
+    [[nodiscard]] virtual sim::task<void> transact(int initiator, std::size_t bytes) = 0;
+
+    [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+    [[nodiscard]] virtual const channel_stats& stats() const noexcept = 0;
+
+    /// Wall-clock for one payload of `bytes` with zero contention.
+    [[nodiscard]] virtual sim::time uncontended_latency(std::size_t bytes) const = 0;
+};
+
+/// Shared-bus channel in the style of the IBM On-chip Peripheral Bus.
+class opb_bus final : public rmi_channel {
+public:
+    struct config {
+        int width_bits = 32;        ///< data path width
+        int arbitration_cycles = 1; ///< request→grant when idle
+        int address_cycles = 1;     ///< address phase per transaction
+        int cycles_per_beat = 2;    ///< OPB is not pipelined: 2 cycles/beat
+        /// RMI serialisation cuts payloads into chunks of this size; the bus
+        /// re-arbitrates per chunk, so long transfers interleave with other
+        /// masters instead of blocking them (paper: "the serialisation cuts
+        /// large user-defined data structures into manageable chunks").
+        std::size_t max_burst_bytes = 256;
+        scheduling_policy policy = scheduling_policy::priority;
+    };
+
+    opb_bus(std::string name, sim::time cycle) : opb_bus{std::move(name), cycle, config{}} {}
+    opb_bus(std::string name, sim::time cycle, config cfg)
+        : name_{std::move(name)},
+          cycle_{cycle},
+          cfg_{cfg},
+          arb_{name_ + ".arbiter", cfg.policy}
+    {
+    }
+
+    [[nodiscard]] sim::task<void> transact(int initiator, std::size_t bytes) override
+    {
+        auto* k = sim::kernel::current();
+        std::size_t remaining = bytes;
+        do {
+            const std::size_t chunk = std::min(remaining, cfg_.max_burst_bytes);
+            const sim::time t0 = k->now();
+            co_await arb_.acquire(initiator);
+            stats_.wait_time += k->now() - t0;
+            const sim::time busy = transfer_time(chunk);
+            co_await sim::delay(busy);
+            stats_.busy_time += busy;
+            stats_.data_beats += beats(chunk);
+            arb_.release();
+            remaining -= chunk;
+        } while (remaining > 0);
+        ++stats_.transactions;
+        stats_.payload_bytes += bytes;
+    }
+
+    [[nodiscard]] sim::time uncontended_latency(std::size_t bytes) const override
+    {
+        sim::time t = cycle_ * cfg_.arbitration_cycles;
+        std::size_t remaining = bytes;
+        do {
+            const std::size_t chunk = std::min(remaining, cfg_.max_burst_bytes);
+            t += transfer_time(chunk);
+            remaining -= chunk;
+        } while (remaining > 0);
+        return t;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] const channel_stats& stats() const noexcept override { return stats_; }
+    [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+    [[nodiscard]] const arbiter_stats& arbitration() const noexcept { return arb_.stats(); }
+    /// Live observability (for tracing/monitor processes).
+    [[nodiscard]] bool busy() const noexcept { return arb_.busy(); }
+    [[nodiscard]] std::size_t pending_masters() const noexcept { return arb_.pending(); }
+
+private:
+    [[nodiscard]] std::uint64_t beats(std::size_t bytes) const noexcept
+    {
+        const std::size_t bytes_per_beat = static_cast<std::size_t>(cfg_.width_bits) / 8;
+        return bytes == 0 ? 1 : (bytes + bytes_per_beat - 1) / bytes_per_beat;
+    }
+    [[nodiscard]] sim::time transfer_time(std::size_t bytes) const noexcept
+    {
+        const std::int64_t cycles =
+            cfg_.arbitration_cycles + cfg_.address_cycles +
+            static_cast<std::int64_t>(beats(bytes)) * cfg_.cycles_per_beat;
+        return cycle_ * cycles;
+    }
+
+    std::string name_;
+    sim::time cycle_;
+    config cfg_;
+    arbiter arb_;
+    channel_stats stats_;
+};
+
+/// Dedicated point-to-point link: still serialises its two endpoints (a link
+/// carries one transfer at a time) but never contends with other links.
+class p2p_channel final : public rmi_channel {
+public:
+    struct config {
+        int width_bits = 32;
+        int setup_cycles = 1;     ///< handshake per transaction
+        int cycles_per_beat = 1;  ///< streaming, one word per cycle
+    };
+
+    p2p_channel(std::string name, sim::time cycle) : p2p_channel{std::move(name), cycle, config{}} {}
+    p2p_channel(std::string name, sim::time cycle, config cfg)
+        : name_{std::move(name)},
+          cycle_{cycle},
+          cfg_{cfg},
+          arb_{name_ + ".link", scheduling_policy::fifo}
+    {
+    }
+
+    [[nodiscard]] sim::task<void> transact(int initiator, std::size_t bytes) override
+    {
+        auto* k = sim::kernel::current();
+        const sim::time t0 = k->now();
+        co_await arb_.acquire(initiator);
+        stats_.wait_time += k->now() - t0;
+        const sim::time busy = transfer_time(bytes);
+        co_await sim::delay(busy);
+        stats_.busy_time += busy;
+        ++stats_.transactions;
+        stats_.payload_bytes += bytes;
+        stats_.data_beats += beats(bytes);
+        arb_.release();
+    }
+
+    [[nodiscard]] sim::time uncontended_latency(std::size_t bytes) const override
+    {
+        return transfer_time(bytes);
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] const channel_stats& stats() const noexcept override { return stats_; }
+    [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+
+private:
+    [[nodiscard]] std::uint64_t beats(std::size_t bytes) const noexcept
+    {
+        const std::size_t bytes_per_beat = static_cast<std::size_t>(cfg_.width_bits) / 8;
+        return bytes == 0 ? 1 : (bytes + bytes_per_beat - 1) / bytes_per_beat;
+    }
+    [[nodiscard]] sim::time transfer_time(std::size_t bytes) const noexcept
+    {
+        const std::int64_t cycles =
+            cfg_.setup_cycles + static_cast<std::int64_t>(beats(bytes)) * cfg_.cycles_per_beat;
+        return cycle_ * cycles;
+    }
+
+    std::string name_;
+    sim::time cycle_;
+    config cfg_;
+    arbiter arb_;
+    channel_stats stats_;
+};
+
+/// Processor-local-bus style channel (the PLB of the paper's platform):
+/// wider, pipelined (1 cycle per beat, arbitration overlapped with the data
+/// phase of the previous transfer), burst-oriented.  An exploration
+/// alternative to the OPB for bandwidth-hungry links.
+class plb_bus final : public rmi_channel {
+public:
+    struct config {
+        int width_bits = 64;
+        int address_cycles = 1;       ///< address phase, overlapped when busy
+        std::size_t max_burst_bytes = 512;
+        scheduling_policy policy = scheduling_policy::priority;
+    };
+
+    plb_bus(std::string name, sim::time cycle) : plb_bus{std::move(name), cycle, config{}} {}
+    plb_bus(std::string name, sim::time cycle, config cfg)
+        : name_{std::move(name)},
+          cycle_{cycle},
+          cfg_{cfg},
+          arb_{name_ + ".arbiter", cfg.policy}
+    {
+    }
+
+    [[nodiscard]] sim::task<void> transact(int initiator, std::size_t bytes) override
+    {
+        auto* k = sim::kernel::current();
+        std::size_t remaining = bytes;
+        do {
+            const std::size_t chunk = std::min(remaining, cfg_.max_burst_bytes);
+            const sim::time t0 = k->now();
+            co_await arb_.acquire(initiator);
+            const sim::time waited = k->now() - t0;
+            stats_.wait_time += waited;
+            // Pipelining: the address phase is hidden whenever the requester
+            // had to wait (it overlapped the previous data phase).
+            const bool overlapped = waited > sim::time::zero();
+            const sim::time busy = transfer_time(chunk, overlapped);
+            co_await sim::delay(busy);
+            stats_.busy_time += busy;
+            stats_.data_beats += beats(chunk);
+            arb_.release();
+            remaining -= chunk;
+        } while (remaining > 0);
+        ++stats_.transactions;
+        stats_.payload_bytes += bytes;
+    }
+
+    [[nodiscard]] sim::time uncontended_latency(std::size_t bytes) const override
+    {
+        sim::time t{};
+        std::size_t remaining = bytes;
+        do {
+            const std::size_t chunk = std::min(remaining, cfg_.max_burst_bytes);
+            t += transfer_time(chunk, false);
+            remaining -= chunk;
+        } while (remaining > 0);
+        return t;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+    [[nodiscard]] const channel_stats& stats() const noexcept override { return stats_; }
+    [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+    [[nodiscard]] bool busy() const noexcept { return arb_.busy(); }
+
+private:
+    [[nodiscard]] std::uint64_t beats(std::size_t bytes) const noexcept
+    {
+        const std::size_t bytes_per_beat = static_cast<std::size_t>(cfg_.width_bits) / 8;
+        return bytes == 0 ? 1 : (bytes + bytes_per_beat - 1) / bytes_per_beat;
+    }
+    [[nodiscard]] sim::time transfer_time(std::size_t bytes, bool overlapped) const noexcept
+    {
+        const std::int64_t cycles =
+            (overlapped ? 0 : cfg_.address_cycles) + static_cast<std::int64_t>(beats(bytes));
+        return cycle_ * cycles;
+    }
+
+    std::string name_;
+    sim::time cycle_;
+    config cfg_;
+    arbiter arb_;
+    channel_stats stats_;
+};
+
+}  // namespace osss

@@ -1,0 +1,62 @@
+#include "design.hpp"
+
+#include <sstream>
+
+namespace osss {
+
+std::string design::report() const
+{
+    std::ostringstream os;
+    os << "design: " << name_ << '\n';
+    os << "  components (" << components_.size() << "):\n";
+    for (const auto& c : components_) {
+        os << "    [" << kind_name(c.kind) << "] " << c.name << " : " << c.type;
+        if (!c.mapped_to.empty()) os << "  ->  " << c.mapped_to;
+        os << '\n';
+    }
+    os << "  links (" << links_.size() << "):\n";
+    for (const auto& l : links_) {
+        os << "    " << l.source << " -> " << l.target;
+        if (!l.channel.empty()) os << "  via " << l.channel;
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string design::to_dot() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << name_ << "\" {\n";
+    os << "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+    auto shape = [](component_kind k) {
+        switch (k) {
+            case component_kind::module: return "box";
+            case component_kind::sw_task: return "ellipse";
+            case component_kind::shared_object: return "hexagon";
+            case component_kind::processor: return "box3d";
+            case component_kind::channel: return "cds";
+            case component_kind::memory: return "cylinder";
+        }
+        return "plaintext";
+    };
+    for (const auto& comp : components_) {
+        if (comp.kind == component_kind::channel) continue;  // drawn as edges
+        os << "  \"" << comp.name << "\" [shape=" << shape(comp.kind) << ", label=\""
+           << comp.name << "\\n(" << kind_name(comp.kind) << ")\"];\n";
+    }
+    for (const auto& l : links_) {
+        os << "  \"" << l.source << "\" -> \"" << l.target << "\"";
+        if (!l.channel.empty()) os << " [label=\"" << l.channel << "\"]";
+        os << ";\n";
+    }
+    // Task→processor mappings as dashed containment edges.
+    for (const auto& comp : components_) {
+        if (comp.kind == component_kind::sw_task && !comp.mapped_to.empty())
+            os << "  \"" << comp.name << "\" -> \"" << comp.mapped_to
+               << "\" [style=dashed, label=\"mapped\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace osss

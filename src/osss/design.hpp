@@ -1,0 +1,96 @@
+// osss/design.hpp — design inventory used for reporting and synthesis.
+//
+// The OSSS flow needs a structural view of the system: which modules, tasks,
+// shared objects, processors, channels and memories exist, and how the
+// application layer is mapped onto the VTA.  The FOSSY back end consumes
+// this registry to emit the platform files (MHS/MSS) and the per-component
+// synthesis jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osss {
+
+enum class component_kind {
+    module,         ///< hardware module (1:1 onto a HW block)
+    sw_task,        ///< software task (N:1 onto a processor)
+    shared_object,  ///< OSSS Shared Object
+    processor,      ///< VTA software processor
+    channel,        ///< OSSS channel (bus or point-to-point)
+    memory,         ///< explicit memory (block RAM / DDR)
+};
+
+[[nodiscard]] constexpr const char* kind_name(component_kind k) noexcept
+{
+    switch (k) {
+        case component_kind::module: return "module";
+        case component_kind::sw_task: return "sw_task";
+        case component_kind::shared_object: return "shared_object";
+        case component_kind::processor: return "processor";
+        case component_kind::channel: return "channel";
+        case component_kind::memory: return "memory";
+    }
+    return "?";
+}
+
+/// One entry of the design inventory.
+struct component_info {
+    component_kind kind{};
+    std::string name;
+    std::string type;       ///< C++ type or IP core name
+    std::string mapped_to;  ///< VTA resource this component is mapped onto
+};
+
+/// A communication link of the application layer and its VTA mapping.
+struct link_info {
+    std::string source;   ///< method caller (port side)
+    std::string target;   ///< method provider (interface side)
+    std::string channel;  ///< VTA channel the link is mapped onto ("" = unmapped)
+};
+
+/// The structural model of one design (one per model version under test).
+class design {
+public:
+    explicit design(std::string name) : name_{std::move(name)} {}
+
+    void add(component_kind kind, std::string name, std::string type,
+             std::string mapped_to = {})
+    {
+        components_.push_back({kind, std::move(name), std::move(type), std::move(mapped_to)});
+    }
+
+    void add_link(std::string source, std::string target, std::string channel = {})
+    {
+        links_.push_back({std::move(source), std::move(target), std::move(channel)});
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<component_info>& components() const noexcept
+    {
+        return components_;
+    }
+    [[nodiscard]] const std::vector<link_info>& links() const noexcept { return links_; }
+
+    [[nodiscard]] std::vector<component_info> of_kind(component_kind k) const
+    {
+        std::vector<component_info> out;
+        for (const auto& c : components_)
+            if (c.kind == k) out.push_back(c);
+        return out;
+    }
+
+    /// Human-readable inventory (used by examples and the DSE report).
+    [[nodiscard]] std::string report() const;
+
+    /// GraphViz dot rendering of the structure: components as nodes (shaped
+    /// by kind), communication links as edges labelled with their channel.
+    [[nodiscard]] std::string to_dot() const;
+
+private:
+    std::string name_;
+    std::vector<component_info> components_;
+    std::vector<link_info> links_;
+};
+
+}  // namespace osss

@@ -1,0 +1,200 @@
+// osss/memory.hpp — explicit memory models for the VTA layer.
+//
+// On the Application Layer large data members live in `osss_array`, a plain
+// zero-time container.  The VTA refinement replaces it by
+// `xilinx_block_ram`, which charges clocked access time — the paper's
+// "explicit memory insertion" step:
+//
+//     osss_array<short>                      m_array;   // Application Layer
+//     xilinx_block_ram<short>                m_array;   // VTA Layer
+//
+// Both expose the same read/write interface, so the refinement is a type
+// swap.  Without it the synthesis result would burn FPGA slices as registers;
+// with it, timing shows the real block-RAM access cost.
+#pragma once
+
+#include <sim/sim.hpp>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace osss {
+
+struct memory_stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    sim::time access_time{};
+};
+
+/// Application-Layer array: same task-based interface as the block RAM, but
+/// all accesses complete in zero simulated time.
+template <typename T>
+class osss_array {
+public:
+    explicit osss_array(std::size_t size, T fill = T{}) : data_(size, fill) {}
+
+    [[nodiscard]] sim::task<T> read(std::size_t addr)
+    {
+        ++stats_.reads;
+        co_return data_.at(addr);
+    }
+    [[nodiscard]] sim::task<void> write(std::size_t addr, T v)
+    {
+        ++stats_.writes;
+        data_.at(addr) = v;
+        co_return;
+    }
+    [[nodiscard]] sim::task<void> read_block(std::size_t addr, std::span<T> out)
+    {
+        bounds(addr, out.size());
+        std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(), out.begin());
+        stats_.reads += out.size();
+        co_return;
+    }
+    [[nodiscard]] sim::task<void> write_block(std::size_t addr, std::span<const T> in)
+    {
+        bounds(addr, in.size());
+        std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
+        stats_.writes += in.size();
+        co_return;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] const memory_stats& stats() const noexcept { return stats_; }
+    /// Zero-time backdoor for initialisation and checking.
+    [[nodiscard]] std::vector<T>& storage() noexcept { return data_; }
+
+private:
+    void bounds(std::size_t addr, std::size_t n) const
+    {
+        if (addr + n > data_.size()) throw std::out_of_range{"osss_array"};
+    }
+    std::vector<T> data_;
+    memory_stats stats_;
+};
+
+/// VTA block RAM: every access (or block of accesses) consumes clock cycles.
+/// Access exclusivity is provided by the owning Shared Object; the RAM itself
+/// only models latency and throughput per port.
+template <typename T>
+class xilinx_block_ram {
+public:
+    struct config {
+        int ports = 1;             ///< concurrent accesses per cycle (1 or 2)
+        int cycles_per_access = 1; ///< synchronous BRAM: 1 cycle per access
+    };
+
+    xilinx_block_ram(std::string name, sim::time cycle, std::size_t words,
+                     config cfg = {})
+        : name_{std::move(name)}, cycle_{cycle}, cfg_{cfg}, data_(words, T{})
+    {
+        if (cfg.ports < 1 || cfg.ports > 2)
+            throw std::invalid_argument{"xilinx_block_ram: 1 or 2 ports"};
+    }
+
+    [[nodiscard]] sim::task<T> read(std::size_t addr)
+    {
+        co_await charge(1);
+        ++stats_.reads;
+        co_return data_.at(addr);
+    }
+
+    [[nodiscard]] sim::task<void> write(std::size_t addr, T v)
+    {
+        co_await charge(1);
+        ++stats_.writes;
+        data_.at(addr) = v;
+    }
+
+    [[nodiscard]] sim::task<void> read_block(std::size_t addr, std::span<T> out)
+    {
+        bounds(addr, out.size());
+        co_await charge(out.size());
+        std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(), out.begin());
+        stats_.reads += out.size();
+    }
+
+    [[nodiscard]] sim::task<void> write_block(std::size_t addr, std::span<const T> in)
+    {
+        bounds(addr, in.size());
+        co_await charge(in.size());
+        std::copy(in.begin(), in.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
+        stats_.writes += in.size();
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] const memory_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+    [[nodiscard]] std::vector<T>& storage() noexcept { return data_; }
+
+private:
+    [[nodiscard]] sim::task<void> charge(std::size_t accesses)
+    {
+        const std::int64_t cycles =
+            static_cast<std::int64_t>((accesses + cfg_.ports - 1) / cfg_.ports) *
+            cfg_.cycles_per_access;
+        const sim::time t = cycle_ * cycles;
+        stats_.access_time += t;
+        co_await sim::delay(t);
+    }
+    void bounds(std::size_t addr, std::size_t n) const
+    {
+        if (addr + n > data_.size()) throw std::out_of_range{name_};
+    }
+
+    std::string name_;
+    sim::time cycle_;
+    config cfg_;
+    std::vector<T> data_;
+    memory_stats stats_;
+};
+
+/// Off-chip DDR behind a multi-channel memory controller: first-word latency
+/// plus per-beat streaming, shared among requestors through an arbiter.
+class ddr_memory {
+public:
+    struct config {
+        int cas_cycles = 12;       ///< first-access latency
+        int bytes_per_beat = 8;    ///< 64-bit DDR interface
+        int cycles_per_beat = 1;
+        scheduling_policy policy = scheduling_policy::fifo;
+    };
+
+    ddr_memory(std::string name, sim::time cycle) : ddr_memory{std::move(name), cycle, config{}} {}
+    ddr_memory(std::string name, sim::time cycle, config cfg)
+        : name_{std::move(name)},
+          cycle_{cycle},
+          cfg_{cfg},
+          arb_{name_ + ".mch", cfg.policy}
+    {
+    }
+
+    /// Stream `bytes` to/from DRAM on behalf of `requestor`.
+    [[nodiscard]] sim::task<void> burst(int requestor, std::size_t bytes)
+    {
+        co_await arb_.acquire(requestor);
+        const auto beats = static_cast<std::int64_t>(
+            (bytes + cfg_.bytes_per_beat - 1) / cfg_.bytes_per_beat);
+        const sim::time t = cycle_ * (cfg_.cas_cycles + beats * cfg_.cycles_per_beat);
+        stats_.access_time += t;
+        stats_.reads += bytes;
+        co_await sim::delay(t);
+        arb_.release();
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const memory_stats& stats() const noexcept { return stats_; }
+
+private:
+    std::string name_;
+    sim::time cycle_;
+    config cfg_;
+    arbiter arb_;
+    memory_stats stats_;
+};
+
+}  // namespace osss

@@ -1,0 +1,95 @@
+// osss/module.hpp — the OSSS (hardware) Module.
+//
+// The third structural block of the Application Layer besides Software Tasks
+// and Shared Objects: "Modules can contain a fixed number of concurrent
+// processes."  A module groups named processes; at the VTA layer its socket
+// form binds the global clock and reset, so every contained process observes
+// reset and runs on clock boundaries.
+#pragma once
+
+#include "scheduling.hpp"
+
+#include <sim/sim.hpp>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osss {
+
+/// Application-Layer hardware module: a named bundle of concurrent processes.
+class module {
+public:
+    using process_fn = std::function<sim::task<void>()>;
+
+    explicit module(std::string name) : name_{std::move(name)} {}
+    module(const module&) = delete;
+    module& operator=(const module&) = delete;
+
+    /// Declare one concurrent process (fixed at elaboration, like SC_CTHREAD).
+    void add_process(std::string pname, process_fn body)
+    {
+        procs_.push_back({std::move(pname), std::move(body)});
+    }
+
+    /// Elaborate: spawn every declared process on `k`.
+    void start(sim::kernel& k)
+    {
+        for (auto& p : procs_)
+            k.spawn(run(p.body), name_ + "." + p.name);
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t process_count() const noexcept { return procs_.size(); }
+
+private:
+    [[nodiscard]] static sim::process run(process_fn& body) { co_await body(); }
+
+    struct proc {
+        std::string name;
+        process_fn body;
+    };
+    std::string name_;
+    std::vector<proc> procs_;
+};
+
+/// VTA Module Socket: the refinement wrapper that connects a module to the
+/// global clock and reset ("All modules are replaced by sockets, which
+/// enable the connection to the global clock and reset signals").  Processes
+/// started through the socket are held in reset until `reset` deasserts and
+/// begin on a clock edge.
+class module_socket {
+public:
+    module_socket(module& m, const sim::clock& clk, sim::signal<bool>& reset)
+        : m_{m}, clk_{clk}, reset_{reset}
+    {
+    }
+
+    /// Elaborate with clock/reset discipline.
+    void start(sim::kernel& k)
+    {
+        k.spawn(supervisor(), m_.name() + ".rst_sync");
+    }
+
+    [[nodiscard]] const sim::clock& clk() const noexcept { return clk_; }
+    [[nodiscard]] bool released() const noexcept { return released_; }
+
+private:
+    [[nodiscard]] sim::process supervisor()
+    {
+        // Hold the module until reset deasserts, then align to a clock edge
+        // and elaborate the contained processes.
+        while (reset_.read()) co_await reset_.wait_change();
+        co_await clk_.rising_edge();
+        released_ = true;
+        m_.start(*sim::kernel::current());
+    }
+
+    module& m_;
+    const sim::clock& clk_;
+    sim::signal<bool>& reset_;
+    bool released_ = false;
+};
+
+}  // namespace osss

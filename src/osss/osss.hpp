@@ -1,0 +1,20 @@
+// osss/osss.hpp — umbrella header for the OSSS methodology library.
+//
+// Application Layer:  shared_object, sw_task, eet, scheduling policies.
+// VTA Layer:          processor, object_socket (RMI), opb_bus, p2p_channel,
+//                     osss_array / xilinx_block_ram / ddr_memory.
+// Structure:          design (inventory for reporting and FOSSY synthesis).
+#pragma once
+
+#include "channel.hpp"        // IWYU pragma: export
+#include "design.hpp"         // IWYU pragma: export
+#include "memory.hpp"         // IWYU pragma: export
+#include "module.hpp"         // IWYU pragma: export
+#include "processor.hpp"      // IWYU pragma: export
+#include "polymorphic.hpp"    // IWYU pragma: export
+#include "port.hpp"           // IWYU pragma: export
+#include "ret.hpp"            // IWYU pragma: export
+#include "rmi.hpp"            // IWYU pragma: export
+#include "scheduling.hpp"     // IWYU pragma: export
+#include "serialization.hpp"  // IWYU pragma: export
+#include "shared_object.hpp"  // IWYU pragma: export

@@ -1,0 +1,108 @@
+// osss/polymorphic.hpp — polymorphic objects over OSSS communication.
+//
+// A hallmark of OSSS is synthesisable object-oriented *polymorphism*: a port
+// can transport any subclass of a declared base, and the receiving side
+// dispatches virtually.  Over a serialised channel this needs a type
+// registry: each registered subclass gets a stable tag; serialisation writes
+// the tag plus the subclass payload, deserialisation reconstructs the right
+// dynamic type through a factory.
+//
+//   osss::poly_registry<shape> reg;
+//   reg.register_type<circle>("circle");
+//   reg.register_type<rect>("rect");
+//   archive a;
+//   reg.serialize(a, some_shape);                  // tag + payload
+//   std::unique_ptr<shape> s = reg.deserialize(r); // correct dynamic type
+//
+// Subclasses participate via the usual ADL hooks (serialize/deserialize on
+// the concrete type).
+#pragma once
+
+#include "serialization.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <typeindex>
+
+namespace osss {
+
+namespace detail {
+
+// Dispatch through ADL without seeing class-scope member names.
+template <typename T>
+void adl_serialize(archive& a, const T& v)
+{
+    serialize(a, v);
+}
+template <typename T>
+void adl_deserialize(archive_reader& r, T& v)
+{
+    deserialize(r, v);
+}
+
+}  // namespace detail
+
+template <typename Base>
+class poly_registry {
+public:
+    /// Register `Derived` under a stable wire `tag`.  Derived must be
+    /// default-constructible and have serialize/deserialize overloads.
+    template <typename Derived>
+        requires std::derived_from<Derived, Base> && std::default_initializable<Derived>
+    void register_type(std::string tag)
+    {
+        if (tags_.count(std::type_index{typeid(Derived)}))
+            throw std::logic_error{"poly_registry: type registered twice"};
+        if (factories_.count(tag))
+            throw std::logic_error{"poly_registry: tag registered twice: " + tag};
+        tags_[std::type_index{typeid(Derived)}] = tag;
+        writers_[std::type_index{typeid(Derived)}] = [](archive& a, const Base& b) {
+            detail::adl_serialize(a, static_cast<const Derived&>(b));
+        };
+        factories_[std::move(tag)] = [](archive_reader& r) -> std::unique_ptr<Base> {
+            auto obj = std::make_unique<Derived>();
+            detail::adl_deserialize(r, *obj);
+            return obj;
+        };
+    }
+
+    /// Serialise `obj` with its dynamic type tag.
+    void serialize(archive& a, const Base& obj) const
+    {
+        const auto it = tags_.find(std::type_index{typeid(obj)});
+        if (it == tags_.end())
+            throw std::invalid_argument{"poly_registry: unregistered dynamic type"};
+        osss::serialize(a, it->second);
+        writers_.at(it->first)(a, obj);
+    }
+
+    /// Reconstruct the dynamic type recorded in the stream.
+    [[nodiscard]] std::unique_ptr<Base> deserialize(archive_reader& r) const
+    {
+        std::string tag;
+        osss::deserialize(r, tag);
+        const auto it = factories_.find(tag);
+        if (it == factories_.end())
+            throw std::invalid_argument{"poly_registry: unknown tag " + tag};
+        return it->second(r);
+    }
+
+    /// Wire size of `obj` including its tag.
+    [[nodiscard]] std::size_t serial_size(const Base& obj) const
+    {
+        archive a;
+        serialize(a, obj);
+        return a.size();
+    }
+
+    [[nodiscard]] std::size_t registered_types() const noexcept { return factories_.size(); }
+
+private:
+    std::map<std::type_index, std::string> tags_;
+    std::map<std::type_index, std::function<void(archive&, const Base&)>> writers_;
+    std::map<std::string, std::function<std::unique_ptr<Base>(archive_reader&)>> factories_;
+};
+
+}  // namespace osss

@@ -1,0 +1,94 @@
+// osss/port.hpp — the OSSS service port.
+//
+// On the Application Layer a port binds directly to a Shared Object; after
+// the VTA refinement it binds to an Object Socket through a physical
+// channel.  Behavioural code calls through the port either way — the
+// "port-to-interface binding" that makes the refinement seamless: mapping a
+// link onto a bus or P2P channel never touches the method calls.
+#pragma once
+
+#include "rmi.hpp"
+
+namespace osss {
+
+template <typename T>
+class service_port {
+public:
+    service_port() = default;
+
+    /// Application-Layer binding: direct, zero-cost communication.
+    [[nodiscard]] static service_port direct(shared_object<T>& so, std::string name,
+                                             int priority = 0)
+    {
+        service_port p;
+        p.so_ = &so;
+        p.cl_ = so.make_client(std::move(name), priority);
+        return p;
+    }
+
+    /// VTA binding: through an Object Socket and a physical channel.
+    [[nodiscard]] static service_port rmi(object_socket<T>& sock, std::string name,
+                                          rmi_channel& ch, int initiator,
+                                          int priority = 0)
+    {
+        service_port p;
+        p.sock_ = &sock;
+        p.bd_ = sock.bind(std::move(name), ch, initiator, priority);
+        return p;
+    }
+
+    [[nodiscard]] bool bound() const noexcept { return so_ || sock_; }
+
+    /// Blocking method call.  The byte counts are the serialised payload
+    /// sizes; they are ignored (zero-cost) on a direct binding.
+    template <typename Fn>
+    [[nodiscard]] auto call(std::size_t request_bytes, std::size_t response_bytes, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        using R = typename detail::task_result<std::invoke_result_t<Fn, T&>>::type;
+        if (sock_) {
+            if constexpr (std::is_void_v<R>) {
+                co_await sock_->call_sized(bd_, request_bytes, response_bytes, fn);
+            } else {
+                co_return co_await sock_->call_sized(bd_, request_bytes, response_bytes, fn);
+            }
+        } else {
+            if constexpr (std::is_void_v<R>) {
+                co_await so_->call(cl_, fn);
+            } else {
+                co_return co_await so_->call(cl_, fn);
+            }
+        }
+    }
+
+    /// Guarded blocking method call (see shared_object::call_when).
+    template <typename Guard, typename Fn>
+    [[nodiscard]] auto call_when(std::size_t request_bytes, std::size_t response_bytes,
+                                 Guard guard, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        using R = typename detail::task_result<std::invoke_result_t<Fn, T&>>::type;
+        if (sock_) {
+            if constexpr (std::is_void_v<R>) {
+                co_await sock_->call_when_sized(bd_, request_bytes, response_bytes, guard, fn);
+            } else {
+                co_return co_await sock_->call_when_sized(bd_, request_bytes, response_bytes,
+                                                          guard, fn);
+            }
+        } else {
+            if constexpr (std::is_void_v<R>) {
+                co_await so_->call_when(cl_, guard, fn);
+            } else {
+                co_return co_await so_->call_when(cl_, guard, fn);
+            }
+        }
+    }
+
+private:
+    shared_object<T>* so_ = nullptr;
+    typename shared_object<T>::client cl_;
+    object_socket<T>* sock_ = nullptr;
+    typename object_socket<T>::binding bd_;
+};
+
+}  // namespace osss

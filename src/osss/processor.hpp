@@ -1,0 +1,199 @@
+// osss/processor.hpp — software tasks, EET timing blocks, and the VTA
+// Software Processor.
+//
+// On the Application Layer a software task is just a named process whose
+// algorithmic sections are annotated with Estimated Execution Times:
+//
+//     co_await osss::eet(sim::time::ms(180), [&] { tile = decode_tile(...); });
+//
+// runs the C++ body in zero host-visible simulated time and then advances
+// simulated time by the annotation — exactly the OSSS_EET block of the paper.
+//
+// On the VTA layer tasks are mapped N:1 onto a `processor` (the paper's
+// `add_sw_task`).  The processor serialises the EET blocks of all its tasks
+// (one hart, non-preemptive between blocks) and scales them by its speed
+// factor, which is what makes multi-task-on-one-CPU contention visible.
+#pragma once
+
+#include "channel.hpp"
+#include "scheduling.hpp"
+
+#include <sim/sim.hpp>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osss {
+
+/// Application-Layer EET block: execute `fn`, then consume `t` of simulated
+/// time.  Returns fn's result.
+template <typename Fn>
+[[nodiscard]] sim::task<std::invoke_result_t<Fn>> eet(sim::time t, Fn fn)
+{
+    using R = std::invoke_result_t<Fn>;
+    if constexpr (std::is_void_v<R>) {
+        fn();
+        co_await sim::delay(t);
+    } else {
+        R r = fn();
+        co_await sim::delay(t);
+        co_return r;
+    }
+}
+
+/// Pure time annotation (no body).
+[[nodiscard]] inline sim::task<void> eet(sim::time t)
+{
+    co_await sim::delay(t);
+}
+
+/// A named software task: one process plus bookkeeping for mapping.
+class sw_task {
+public:
+    using body_fn = std::function<sim::task<void>()>;
+
+    sw_task(std::string name, body_fn body)
+        : name_{std::move(name)}, body_{std::move(body)}
+    {
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] sim::task<void> run() const { return body_(); }
+
+private:
+    std::string name_;
+    body_fn body_;
+};
+
+/// VTA Software Processor.  Tasks mapped onto it contend for the single
+/// execution resource; EET blocks are scaled by 1/speed_factor.
+class processor {
+public:
+    processor(std::string name, sim::time cycle, double speed_factor = 1.0)
+        : name_{std::move(name)},
+          cycle_{cycle},
+          speed_{speed_factor},
+          cpu_{name_ + ".cpu", scheduling_policy::fifo}
+    {
+    }
+
+    processor(const processor&) = delete;
+    processor& operator=(const processor&) = delete;
+
+    /// Map a task onto this processor (N:1); mirrors OSSS `add_sw_task`.
+    void add_sw_task(const sw_task& t) { tasks_.push_back(&t); }
+
+    /// Attach the processor's instruction/data memory traffic to a bus: while
+    /// executing, a `fraction` of each `slice` of CPU time is spent as bus
+    /// transactions (cache refills / OPB instruction fetches).  This is what
+    /// makes several processors on one shared bus slow each other — and
+    /// stretch every other master's transfers — in the VTA models.
+    void attach_bus(rmi_channel& bus, int initiator, double fraction = 0.1,
+                    sim::time slice = sim::time::us(100))
+    {
+        bus_ = &bus;
+        bus_initiator_ = initiator;
+        mem_fraction_ = fraction;
+        mem_slice_ = slice;
+    }
+
+    /// Spawn every mapped task on kernel `k`.
+    void start(sim::kernel& k)
+    {
+        for (const sw_task* t : tasks_)
+            k.spawn(run_task(*t), name_ + "." + t->name());
+    }
+
+    /// Timed execution block on this processor: acquires the CPU, runs `fn`,
+    /// consumes `t` (scaled) of simulated time, releases.
+    template <typename Fn>
+    [[nodiscard]] sim::task<std::invoke_result_t<Fn>> execute(sim::time t, Fn fn)
+    {
+        using R = std::invoke_result_t<Fn>;
+        co_await cpu_.acquire(0);
+        const sim::time scaled = scale(t);
+        if constexpr (std::is_void_v<R>) {
+            fn();
+            co_await consume(scaled);
+            cpu_.release();
+        } else {
+            R r = fn();
+            co_await consume(scaled);
+            cpu_.release();
+            co_return r;
+        }
+    }
+
+    /// Pure timed block (no body).
+    [[nodiscard]] sim::task<void> execute(sim::time t)
+    {
+        return execute(t, [] {});
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] sim::time cycle() const noexcept { return cycle_; }
+    [[nodiscard]] double speed_factor() const noexcept { return speed_; }
+    [[nodiscard]] sim::time busy_time() const noexcept { return busy_; }
+    [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+
+    [[nodiscard]] sim::time scale(sim::time t) const noexcept
+    {
+        return sim::time::ps(static_cast<std::int64_t>(
+            static_cast<double>(t.to_ps()) / speed_ + 0.5));
+    }
+
+private:
+    /// Consume `t` of CPU time, interleaving memory traffic on the attached
+    /// bus.  With no bus (or under zero contention) exactly `t` elapses.
+    [[nodiscard]] sim::task<void> consume(sim::time t)
+    {
+        if (!bus_ || mem_fraction_ <= 0.0) {
+            co_await sim::delay(t);
+            busy_ += t;
+            co_return;
+        }
+        // Bytes whose uncontended transfer time equals fraction×slice.
+        const sim::time mem_part = sim::time::ps(static_cast<std::int64_t>(
+            static_cast<double>(mem_slice_.to_ps()) * mem_fraction_));
+        const std::size_t burst_bytes = bytes_for(mem_part);
+        sim::time remaining = t;
+        while (remaining > sim::time::zero()) {
+            const sim::time chunk = std::min(remaining, mem_slice_);
+            const sim::time compute = chunk - sim::time::ps(static_cast<std::int64_t>(
+                static_cast<double>(chunk.to_ps()) * mem_fraction_));
+            co_await sim::delay(compute);
+            const std::size_t b = chunk == mem_slice_
+                                      ? burst_bytes
+                                      : bytes_for(chunk - compute);
+            if (b > 0) co_await bus_->transact(bus_initiator_, b);
+            busy_ += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    [[nodiscard]] std::size_t bytes_for(sim::time span) const
+    {
+        // Invert the channel's latency model numerically (channels are
+        // near-linear in bytes; 64-byte steps are accurate enough).
+        std::size_t bytes = 64;
+        while (bus_->uncontended_latency(bytes + 64) <= span) bytes += 64;
+        return bus_->uncontended_latency(bytes) <= span ? bytes : 0;
+    }
+
+    [[nodiscard]] sim::process run_task(const sw_task& t) { co_await t.run(); }
+
+    std::string name_;
+    sim::time cycle_;
+    double speed_;
+    arbiter cpu_;
+    sim::time busy_{};
+    std::vector<const sw_task*> tasks_;
+    rmi_channel* bus_ = nullptr;
+    int bus_initiator_ = 0;
+    double mem_fraction_ = 0.0;
+    sim::time mem_slice_{};
+};
+
+}  // namespace osss

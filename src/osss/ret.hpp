@@ -1,0 +1,91 @@
+// osss/ret.hpp — Required Execution Time blocks.
+//
+// The counterpart of OSSS_EET: where an EET block *consumes* an estimated
+// time, an RET block *supervises* one — it wraps a timed activity and checks
+// that it completed within a deadline.  The paper's methodology uses RET to
+// validate back-annotated models against real-time requirements (e.g. "one
+// tile must be decoded within its frame budget").
+//
+//   co_await osss::ret(sim::time::ms(200), decode_one_tile());     // throws
+//   co_await osss::ret(sim::time::ms(200), decode_one_tile(), &mon); // records
+#pragma once
+
+#include <sim/sim.hpp>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace osss {
+
+/// Thrown when a supervised block misses its deadline and no monitor was
+/// attached.
+class ret_violation : public std::runtime_error {
+public:
+    ret_violation(sim::time deadline, sim::time actual)
+        : std::runtime_error{"RET violated: required " + deadline.str() + ", took " +
+                             actual.str()},
+          deadline_{deadline},
+          actual_{actual}
+    {
+    }
+    [[nodiscard]] sim::time deadline() const noexcept { return deadline_; }
+    [[nodiscard]] sim::time actual() const noexcept { return actual_; }
+
+private:
+    sim::time deadline_;
+    sim::time actual_;
+};
+
+/// Collects deadline-check outcomes instead of throwing.
+class ret_monitor {
+public:
+    void record(sim::time deadline, sim::time actual)
+    {
+        ++checks_;
+        if (actual > deadline) {
+            ++violations_;
+            worst_overrun_ = std::max(worst_overrun_, actual - deadline);
+        }
+        worst_actual_ = std::max(worst_actual_, actual);
+    }
+
+    [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }
+    [[nodiscard]] std::uint64_t violations() const noexcept { return violations_; }
+    [[nodiscard]] sim::time worst_overrun() const noexcept { return worst_overrun_; }
+    [[nodiscard]] sim::time worst_actual() const noexcept { return worst_actual_; }
+    [[nodiscard]] bool all_met() const noexcept { return violations_ == 0; }
+
+private:
+    std::uint64_t checks_ = 0;
+    std::uint64_t violations_ = 0;
+    sim::time worst_overrun_{};
+    sim::time worst_actual_{};
+};
+
+/// Supervise `body`: await it, then verify it finished within `deadline`.
+/// With a monitor the outcome is recorded; without one a miss throws
+/// ret_violation.  Returns the body's result.
+template <typename T>
+[[nodiscard]] sim::task<T> ret(sim::time deadline, sim::task<T> body,
+                               ret_monitor* monitor = nullptr)
+{
+    const sim::time start = sim::kernel::current()->now();
+    auto check = [&](sim::time end) {
+        const sim::time took = end - start;
+        if (monitor)
+            monitor->record(deadline, took);
+        else if (took > deadline)
+            throw ret_violation{deadline, took};
+    };
+    if constexpr (std::is_void_v<T>) {
+        co_await std::move(body);
+        check(sim::kernel::current()->now());
+    } else {
+        T r = co_await std::move(body);
+        check(sim::kernel::current()->now());
+        co_return r;
+    }
+}
+
+}  // namespace osss

@@ -1,0 +1,137 @@
+// osss/rmi.hpp — Remote Method Invocation over OSSS-Channels.
+//
+// The Object Socket wraps a Shared Object for the VTA layer: every client is
+// *bound* through a physical channel, and each method call becomes
+//
+//   request transfer (serialised args + RMI header)  →  arbitrated execution
+//   on the object  →  response transfer (serialised result + RMI header)
+//
+// Because the socket only charges the channel for the *size* of the
+// serialised payloads, the behavioural code (the method bodies) is untouched
+// by the choice of medium — the "seamless refinement" property the paper
+// claims.  Bindings to different channels can coexist on one socket, which is
+// exactly how model 6b/7b mixes a shared bus with point-to-point links.
+#pragma once
+
+#include "channel.hpp"
+#include "serialization.hpp"
+#include "shared_object.hpp"
+
+#include <string>
+
+namespace osss {
+
+/// Fixed protocol overhead of one RMI exchange.
+struct rmi_config {
+    std::size_t request_header_bytes = 8;   ///< method id + payload length
+    std::size_t response_header_bytes = 8;  ///< status + payload length
+};
+
+template <typename T>
+class object_socket {
+public:
+    explicit object_socket(shared_object<T>& so, rmi_config cfg = {})
+        : so_{so}, cfg_{cfg}
+    {
+    }
+
+    object_socket(const object_socket&) = delete;
+    object_socket& operator=(const object_socket&) = delete;
+
+    /// A client port bound through a channel.
+    class binding {
+    public:
+        binding() = default;
+        [[nodiscard]] const std::string& name() const noexcept { return cl_.name(); }
+        [[nodiscard]] const client_stats& stats() const noexcept { return cl_.stats(); }
+
+    private:
+        friend class object_socket;
+        typename shared_object<T>::client cl_;
+        rmi_channel* ch_ = nullptr;
+        int initiator_ = 0;
+    };
+
+    /// Bind a named client through `ch`.  `initiator` identifies the master
+    /// on the channel (bus arbitration id); `priority` applies to the shared
+    /// object's internal scheduler.
+    [[nodiscard]] binding bind(std::string name, rmi_channel& ch, int initiator,
+                               int priority = 0)
+    {
+        binding b;
+        b.cl_ = so_.make_client(std::move(name), priority);
+        b.ch_ = &ch;
+        b.initiator_ = initiator;
+        return b;
+    }
+
+    /// RMI call with explicit payload sizes (bytes on the wire, excluding the
+    /// RMI headers).  `fn` is executed under the object's arbitration; it may
+    /// be plain or a coroutine, as with shared_object::call.
+    template <typename Fn>
+    [[nodiscard]] auto call_sized(binding& b, std::size_t request_bytes,
+                                  std::size_t response_bytes, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        using R = typename detail::task_result<std::invoke_result_t<Fn, T&>>::type;
+        co_await b.ch_->transact(b.initiator_, request_bytes + cfg_.request_header_bytes);
+        if constexpr (std::is_void_v<R>) {
+            co_await so_.call(b.cl_, fn);
+            co_await b.ch_->transact(b.initiator_, response_bytes + cfg_.response_header_bytes);
+        } else {
+            R r = co_await so_.call(b.cl_, fn);
+            co_await b.ch_->transact(b.initiator_, response_bytes + cfg_.response_header_bytes);
+            co_return r;
+        }
+    }
+
+    /// Guarded RMI call: the request is transferred, then execution waits for
+    /// `guard` to hold on the object (as shared_object::call_when), then the
+    /// response is transferred.  Used for job-fetch style interfaces where a
+    /// hardware block pulls work from the Shared Object.
+    template <typename Guard, typename Fn>
+    [[nodiscard]] auto call_when_sized(binding& b, std::size_t request_bytes,
+                                       std::size_t response_bytes, Guard guard, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        using R = typename detail::task_result<std::invoke_result_t<Fn, T&>>::type;
+        co_await b.ch_->transact(b.initiator_, request_bytes + cfg_.request_header_bytes);
+        if constexpr (std::is_void_v<R>) {
+            co_await so_.call_when(b.cl_, guard, fn);
+            co_await b.ch_->transact(b.initiator_, response_bytes + cfg_.response_header_bytes);
+        } else {
+            R r = co_await so_.call_when(b.cl_, guard, fn);
+            co_await b.ch_->transact(b.initiator_, response_bytes + cfg_.response_header_bytes);
+            co_return r;
+        }
+    }
+
+    /// RMI call whose request payload is a serialisable value and whose
+    /// response size is measured from the (serialisable) result.
+    template <typename Req, typename Fn>
+    [[nodiscard]] auto call(binding& b, const Req& request, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        using R = typename detail::task_result<std::invoke_result_t<Fn, T&>>::type;
+        const std::size_t req_bytes = serial_size(request);
+        co_await b.ch_->transact(b.initiator_, req_bytes + cfg_.request_header_bytes);
+        if constexpr (std::is_void_v<R>) {
+            co_await so_.call(b.cl_, fn);
+            co_await b.ch_->transact(b.initiator_, cfg_.response_header_bytes);
+        } else {
+            R r = co_await so_.call(b.cl_, fn);
+            const std::size_t resp_bytes = serial_size(r);
+            co_await b.ch_->transact(b.initiator_, resp_bytes + cfg_.response_header_bytes);
+            co_return r;
+        }
+    }
+
+    [[nodiscard]] shared_object<T>& object() noexcept { return so_; }
+    [[nodiscard]] const rmi_config& cfg() const noexcept { return cfg_; }
+
+private:
+    shared_object<T>& so_;
+    rmi_config cfg_;
+};
+
+}  // namespace osss

@@ -1,0 +1,165 @@
+// osss/scheduling.hpp — arbitration for shared resources.
+//
+// Shared Objects and OSSS-Channels both need an access arbiter: concurrent
+// clients request exclusive use, one is granted at a time, the rest wait in
+// simulated time.  The policy is a first-class parameter (the paper explores
+// the "flexible scheduling and arbitration mechanisms" of Shared Objects),
+// so the same arbiter serves objects, buses and memories.
+#pragma once
+
+#include <sim/sim.hpp>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace osss {
+
+enum class scheduling_policy {
+    fifo,         ///< first-come first-served
+    round_robin,  ///< cycle through client ids starting after the last grant
+    priority,     ///< highest static priority first, FIFO among equals
+};
+
+[[nodiscard]] constexpr const char* policy_name(scheduling_policy p) noexcept
+{
+    switch (p) {
+        case scheduling_policy::fifo: return "fifo";
+        case scheduling_policy::round_robin: return "round_robin";
+        case scheduling_policy::priority: return "priority";
+    }
+    return "?";
+}
+
+/// Usage statistics exposed by every arbiter (feeds the Table 1 analysis of
+/// contention on shared resources).
+struct arbiter_stats {
+    std::uint64_t grants = 0;
+    sim::time total_wait{};  ///< summed request→grant latency
+    sim::time busy_time{};   ///< summed grant→release spans
+
+    [[nodiscard]] double avg_wait_ns() const noexcept
+    {
+        return grants ? total_wait.to_ns() / static_cast<double>(grants) : 0.0;
+    }
+};
+
+/// Exclusive-access arbiter with pluggable policy.
+///
+/// `acquire` suspends the calling coroutine until the resource is granted;
+/// `release` hands the resource to the next pending request (per policy).
+class arbiter {
+public:
+    arbiter(std::string name, scheduling_policy policy)
+        : name_{std::move(name)}, policy_{policy}
+    {
+    }
+    arbiter(const arbiter&) = delete;
+    arbiter& operator=(const arbiter&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] scheduling_policy policy() const noexcept { return policy_; }
+    [[nodiscard]] const arbiter_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] bool busy() const noexcept { return busy_; }
+    [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+    /// Request exclusive access as `client_id` with static `priority`
+    /// (higher wins under scheduling_policy::priority).
+    [[nodiscard]] sim::task<void> acquire(int client_id, int priority = 0)
+    {
+        auto* k = sim::kernel::current();
+        const sim::time requested = k->now();
+        if (!busy_ && queue_.empty()) {
+            busy_ = true;
+        } else {
+            auto req = std::make_shared<request>();
+            req->client_id = client_id;
+            req->priority = priority;
+            req->seq = seq_++;
+            queue_.push_back(req);
+            co_await req->granted.wait();
+        }
+        // Granted (either immediately or via release()).
+        last_client_ = client_id;
+        grant_time_ = k->now();
+        ++stats_.grants;
+        stats_.total_wait += k->now() - requested;
+    }
+
+    /// Release; must be called by the current holder.
+    void release()
+    {
+        auto* k = sim::kernel::current();
+        stats_.busy_time += k->now() - grant_time_;
+        if (queue_.empty()) {
+            busy_ = false;
+            return;
+        }
+        const std::size_t next = pick_next();
+        auto req = queue_[next];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(next));
+        req->granted.notify();  // ownership transfers; busy_ stays true
+    }
+
+private:
+    struct request {
+        int client_id = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        sim::event granted{"arbiter.grant"};
+    };
+
+    [[nodiscard]] std::size_t pick_next() const
+    {
+        switch (policy_) {
+            case scheduling_policy::fifo: {
+                std::size_t best = 0;
+                for (std::size_t i = 1; i < queue_.size(); ++i)
+                    if (queue_[i]->seq < queue_[best]->seq) best = i;
+                return best;
+            }
+            case scheduling_policy::priority: {
+                std::size_t best = 0;
+                for (std::size_t i = 1; i < queue_.size(); ++i) {
+                    if (queue_[i]->priority > queue_[best]->priority ||
+                        (queue_[i]->priority == queue_[best]->priority &&
+                         queue_[i]->seq < queue_[best]->seq))
+                        best = i;
+                }
+                return best;
+            }
+            case scheduling_policy::round_robin: {
+                // Smallest client id strictly greater than the last grantee;
+                // wrap to the overall smallest.  FIFO among equal ids.
+                std::size_t best = queue_.size();
+                std::size_t wrap = 0;
+                for (std::size_t i = 0; i < queue_.size(); ++i) {
+                    if (queue_[i]->client_id > last_client_ &&
+                        (best == queue_.size() ||
+                         queue_[i]->client_id < queue_[best]->client_id ||
+                         (queue_[i]->client_id == queue_[best]->client_id &&
+                          queue_[i]->seq < queue_[best]->seq)))
+                        best = i;
+                    if (queue_[i]->client_id < queue_[wrap]->client_id ||
+                        (queue_[i]->client_id == queue_[wrap]->client_id &&
+                         queue_[i]->seq < queue_[wrap]->seq))
+                        wrap = i;
+                }
+                return best != queue_.size() ? best : wrap;
+            }
+        }
+        return 0;
+    }
+
+    std::string name_;
+    scheduling_policy policy_;
+    bool busy_ = false;
+    int last_client_ = -1;
+    std::uint64_t seq_ = 0;
+    sim::time grant_time_{};
+    std::deque<std::shared_ptr<request>> queue_;
+    arbiter_stats stats_;
+};
+
+}  // namespace osss

@@ -1,0 +1,173 @@
+// osss/serialization.hpp — data serialisation for OSSS-Channel transfers.
+//
+// The RMI layer moves method arguments and results across physical channels
+// as byte streams cut into bus-word chunks.  `archive` is the byte-level
+// codec; `serial_size` reports how many payload bytes a value occupies on
+// the wire, which is what the channel timing model charges for.
+//
+// Built-in support covers arithmetic types, enums, std::string, std::vector
+// and std::pair; user types hook in by providing
+//     void serialize(osss::archive&, const T&);
+//     void deserialize(osss::archive_reader&, T&);
+// found via ADL (the decoder library does this for j2k planes/tiles).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace osss {
+
+/// Byte sink for serialisation.
+class archive {
+public:
+    template <typename T>
+        requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+    void put(const T& v)
+    {
+        const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void put_bytes(std::span<const std::uint8_t> b)
+    {
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Byte source for deserialisation.
+class archive_reader {
+public:
+    explicit archive_reader(std::span<const std::uint8_t> data) : data_{data} {}
+
+    template <typename T>
+        requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+    void get(T& v)
+    {
+        if (pos_ + sizeof(T) > data_.size())
+            throw std::out_of_range{"archive_reader: underflow"};
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+    }
+
+    [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n)
+    {
+        if (pos_ + n > data_.size())
+            throw std::out_of_range{"archive_reader: underflow"};
+        auto s = data_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+// -- built-in serializers -----------------------------------------------------
+
+template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+void serialize(archive& a, const T& v)
+{
+    a.put(v);
+}
+
+template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+void deserialize(archive_reader& r, T& v)
+{
+    r.get(v);
+}
+
+inline void serialize(archive& a, const std::string& s)
+{
+    a.put(static_cast<std::uint64_t>(s.size()));
+    a.put_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+inline void deserialize(archive_reader& r, std::string& s)
+{
+    std::uint64_t n = 0;
+    r.get(n);
+    const auto b = r.get_bytes(n);
+    s.assign(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+template <typename T>
+void serialize(archive& a, const std::vector<T>& v)
+{
+    a.put(static_cast<std::uint64_t>(v.size()));
+    if constexpr (std::is_arithmetic_v<T>) {
+        a.put_bytes({reinterpret_cast<const std::uint8_t*>(v.data()),
+                     v.size() * sizeof(T)});
+    } else {
+        for (const auto& e : v) serialize(a, e);
+    }
+}
+
+template <typename T>
+void deserialize(archive_reader& r, std::vector<T>& v)
+{
+    std::uint64_t n = 0;
+    r.get(n);
+    v.resize(n);
+    if constexpr (std::is_arithmetic_v<T>) {
+        const auto b = r.get_bytes(n * sizeof(T));
+        std::memcpy(v.data(), b.data(), b.size());
+    } else {
+        for (auto& e : v) deserialize(r, e);
+    }
+}
+
+template <typename A, typename B>
+void serialize(archive& a, const std::pair<A, B>& p)
+{
+    serialize(a, p.first);
+    serialize(a, p.second);
+}
+
+template <typename A, typename B>
+void deserialize(archive_reader& r, std::pair<A, B>& p)
+{
+    deserialize(r, p.first);
+    deserialize(r, p.second);
+}
+
+/// Wire size of a value, in bytes (serialises into a scratch archive).
+template <typename T>
+[[nodiscard]] std::size_t serial_size(const T& v)
+{
+    archive a;
+    serialize(a, v);
+    return a.size();
+}
+
+/// Round-trip helper used by the RMI layer and by tests.
+template <typename T>
+[[nodiscard]] T serial_roundtrip(const T& v)
+{
+    archive a;
+    serialize(a, v);
+    const auto bytes = a.take();
+    archive_reader r{std::span<const std::uint8_t>{bytes}};
+    T out{};
+    deserialize(r, out);
+    return out;
+}
+
+}  // namespace osss

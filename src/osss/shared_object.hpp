@@ -1,0 +1,201 @@
+// osss/shared_object.hpp — the OSSS Shared Object.
+//
+// A Shared Object wraps a user C++ class behind a guarded, arbitrated,
+// method-based interface: the central OSSS concept for communication and
+// synchronisation between modules and software tasks.  Calls are
+//
+//   * directed  — clients hold a `client` handle (the port); the object is
+//                 the interface provider,
+//   * blocking  — `co_await so.call(...)` returns only after the method has
+//                 executed under exclusive access,
+//   * guarded   — `call_when` defers execution until a predicate over the
+//                 object's state holds (re-evaluated after every release).
+//
+// Methods may be plain callables (zero simulated time) or coroutines that
+// consume time while holding the object (modelling a co-processor, as the
+// paper's IQ+IDWT Shared Object does).
+#pragma once
+
+#include "scheduling.hpp"
+
+#include <sim/sim.hpp>
+
+#include <concepts>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace osss {
+
+namespace detail {
+
+template <typename X>
+struct is_task : std::false_type {};
+template <typename R>
+struct is_task<sim::task<R>> : std::true_type {};
+
+template <typename R>
+struct task_result {
+    using type = R;
+};
+template <typename R>
+struct task_result<sim::task<R>> {
+    using type = R;
+};
+
+}  // namespace detail
+
+/// Per-client call statistics.
+struct client_stats {
+    std::uint64_t calls = 0;
+    sim::time wait_time{};   ///< arbitration wait, summed
+    sim::time held_time{};   ///< time the object was held, summed
+};
+
+template <typename T>
+class shared_object {
+public:
+    /// Construct the wrapped object in place.
+    template <typename... Args>
+    explicit shared_object(std::string name, scheduling_policy policy, Args&&... args)
+        : name_{std::move(name)},
+          arb_{name_ + ".arbiter", policy},
+          state_changed_{name_ + ".state_changed"},
+          obj_(std::forward<Args>(args)...)
+    {
+    }
+
+    shared_object(const shared_object&) = delete;
+    shared_object& operator=(const shared_object&) = delete;
+
+    /// A client handle — the Application-Layer "port" bound to this object.
+    class client {
+    public:
+        client() = default;
+        [[nodiscard]] const std::string& name() const noexcept { return name_; }
+        [[nodiscard]] int id() const noexcept { return id_; }
+        [[nodiscard]] int priority() const noexcept { return priority_; }
+        [[nodiscard]] const client_stats& stats() const noexcept { return stats_; }
+
+    private:
+        friend class shared_object;
+        std::string name_;
+        int id_ = -1;
+        int priority_ = 0;
+        client_stats stats_;
+    };
+
+    /// Register a client; `priority` matters under scheduling_policy::priority.
+    [[nodiscard]] client make_client(std::string name, int priority = 0)
+    {
+        client c;
+        c.name_ = std::move(name);
+        c.id_ = next_client_id_++;
+        c.priority_ = priority;
+        return c;
+    }
+
+    /// Blocking method call.  `fn` receives `T&`; it may return a value
+    /// (zero-time execution) or a `sim::task<R>` (timed execution while the
+    /// object is held).
+    template <typename Fn>
+    [[nodiscard]] auto call(client& c, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        auto* k = sim::kernel::current();
+        const sim::time t0 = k->now();
+        co_await arb_.acquire(c.id_, c.priority_);
+        const sim::time granted = k->now();
+        c.stats_.wait_time += granted - t0;
+        ++c.stats_.calls;
+        ++total_calls_;
+
+        using direct = std::invoke_result_t<Fn, T&>;
+        if constexpr (detail::is_task<direct>::value) {
+            using R = typename detail::task_result<direct>::type;
+            if constexpr (std::is_void_v<R>) {
+                co_await fn(obj_);
+                finish_call(c, granted);
+            } else {
+                R r = co_await fn(obj_);
+                finish_call(c, granted);
+                co_return r;
+            }
+        } else if constexpr (std::is_void_v<direct>) {
+            fn(obj_);
+            finish_call(c, granted);
+        } else {
+            direct r = fn(obj_);
+            finish_call(c, granted);
+            co_return r;
+        }
+    }
+
+    /// Guarded blocking call: waits (releasing the object between attempts)
+    /// until `guard(const T&)` holds, then executes `fn` as in call().
+    template <typename Guard, typename Fn>
+    [[nodiscard]] auto call_when(client& c, Guard guard, Fn fn)
+        -> sim::task<typename detail::task_result<std::invoke_result_t<Fn, T&>>::type>
+    {
+        auto* k = sim::kernel::current();
+        const sim::time t0 = k->now();
+        for (;;) {
+            co_await arb_.acquire(c.id_, c.priority_);
+            if (guard(static_cast<const T&>(obj_))) break;
+            arb_.release();  // let state-changing calls through, then retry
+            co_await state_changed_.wait();
+        }
+        const sim::time granted = k->now();
+        c.stats_.wait_time += granted - t0;
+        ++c.stats_.calls;
+        ++total_calls_;
+
+        using direct = std::invoke_result_t<Fn, T&>;
+        if constexpr (detail::is_task<direct>::value) {
+            using R = typename detail::task_result<direct>::type;
+            if constexpr (std::is_void_v<R>) {
+                co_await fn(obj_);
+                finish_call(c, granted);
+            } else {
+                R r = co_await fn(obj_);
+                finish_call(c, granted);
+                co_return r;
+            }
+        } else if constexpr (std::is_void_v<direct>) {
+            fn(obj_);
+            finish_call(c, granted);
+        } else {
+            direct r = fn(obj_);
+            finish_call(c, granted);
+            co_return r;
+        }
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const arbiter_stats& stats() const noexcept { return arb_.stats(); }
+    [[nodiscard]] std::uint64_t total_calls() const noexcept { return total_calls_; }
+
+    /// Direct access for tests and for the synthesis front end.  Not legal
+    /// from concurrently running processes.
+    [[nodiscard]] T& object() noexcept { return obj_; }
+    [[nodiscard]] const T& object() const noexcept { return obj_; }
+
+private:
+    void finish_call(client& c, sim::time granted)
+    {
+        auto* k = sim::kernel::current();
+        c.stats_.held_time += k->now() - granted;
+        arb_.release();
+        state_changed_.notify();
+    }
+
+    std::string name_;
+    arbiter arb_;
+    sim::event state_changed_;
+    int next_client_id_ = 0;
+    std::uint64_t total_calls_ = 0;
+    T obj_;
+};
+
+}  // namespace osss

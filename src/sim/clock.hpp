@@ -1,0 +1,53 @@
+// sim/clock.hpp — free-running clock source.
+//
+// Models a clock as a lightweight period + phase bookkeeping object rather
+// than a toggling process: cycle-accurate models await `rising_edge()` or
+// advance whole cycles with `cycles(n)`.  This keeps kernel load proportional
+// to *interesting* activity, not to raw clock ticks, while preserving
+// cycle-exact timestamps (edges always land on multiples of the period).
+#pragma once
+
+#include "kernel.hpp"
+#include "time.hpp"
+
+#include <string>
+#include <utility>
+
+namespace sim {
+
+class clock {
+public:
+    clock(std::string name, time period) : name_{std::move(name)}, period_{period} {}
+
+    [[nodiscard]] time period() const noexcept { return period_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] double frequency_mhz() const noexcept { return 1e6 / period_.to_ps(); }
+
+    /// Cycle index of the most recent edge at or before `t`.
+    [[nodiscard]] std::int64_t cycle_at(time t) const noexcept { return t / period_; }
+
+    /// Time of the next rising edge strictly after `t`.
+    [[nodiscard]] time next_edge_after(time t) const noexcept
+    {
+        return period_ * (t / period_ + 1);
+    }
+
+    /// Awaitable: suspend until the next rising edge.
+    [[nodiscard]] auto rising_edge() const
+    {
+        auto* k = kernel::current();
+        return k->wait_for(next_edge_after(k->now()) - k->now());
+    }
+
+    /// Awaitable: advance exactly n clock periods (n may be 0).
+    [[nodiscard]] auto cycles(std::int64_t n) const
+    {
+        return kernel::current()->wait_for(period_ * n);
+    }
+
+private:
+    std::string name_;
+    time period_;
+};
+
+}  // namespace sim

@@ -1,0 +1,115 @@
+#include "kernel.hpp"
+
+#include <stdexcept>
+
+namespace sim {
+
+thread_local kernel* kernel::current_ = nullptr;
+
+kernel::~kernel()
+{
+    // Destroy all coroutine frames still owned by the kernel.  Finished
+    // coroutines are suspended at their final suspend point; unfinished ones
+    // are parked in a queue — destroying the handle unwinds the frame.
+    for (auto& rec : processes_) {
+        if (rec.h) rec.h.destroy();
+    }
+}
+
+void kernel::spawn(process p, std::string name)
+{
+    auto h = p.handle();
+    if (!h) throw std::invalid_argument{"kernel::spawn: empty process"};
+    processes_.push_back({h, std::move(name), false});
+    auto& rec = processes_.back();
+    h.promise().owner = this;
+    h.promise().finished_flag = &rec.finished;  // deque ⇒ address stays valid
+    schedule_delta(rec.h);
+}
+
+void kernel::schedule_at(time t, std::coroutine_handle<> h)
+{
+    timed_.push(timed_item{t, seq_++, h});
+}
+
+void kernel::schedule_delta(std::coroutine_handle<> h)
+{
+    runnable_.push_back(h);
+}
+
+void kernel::request_update(update_listener& l)
+{
+    updates_.push_back(&l);
+}
+
+void kernel::resume(std::coroutine_handle<> h)
+{
+    if (!h || h.done()) return;  // process may have been destroyed/finished
+    ++activations_;
+    kernel* prev = current_;
+    current_ = this;
+    h.resume();
+    current_ = prev;
+}
+
+void kernel::reap_finished()
+{
+    for (auto& rec : processes_) {
+        if (rec.finished && rec.h) {
+            auto ph = std::coroutine_handle<detail::process_promise>::from_address(rec.h.address());
+            if (ph.promise().exception) {
+                auto ex = ph.promise().exception;
+                rec.h.destroy();
+                rec.h = nullptr;
+                std::rethrow_exception(ex);
+            }
+            rec.h.destroy();
+            rec.h = nullptr;
+        }
+    }
+}
+
+time kernel::run(time until)
+{
+    // Make this kernel "current" for the whole run so that primitives invoked
+    // outside a coroutine resume (e.g. event::notify from the update phase)
+    // can still reach the scheduler.
+    kernel* prev = current_;
+    current_ = this;
+    struct restore {
+        kernel** slot;
+        kernel* prev;
+        ~restore() { *slot = prev; }
+    } r{&current_, prev};
+
+    while (!stop_requested_) {
+        // Delta loop at the current time point.
+        while (!runnable_.empty() && !stop_requested_) {
+            std::deque<std::coroutine_handle<>> batch;
+            batch.swap(runnable_);
+            for (auto h : batch) resume(h);
+
+            // Update phase: commit signal writes; value changes notify events
+            // whose waiters land in runnable_ (the next delta cycle).
+            std::vector<update_listener*> ups;
+            ups.swap(updates_);
+            for (auto* u : ups) u->update();
+
+            reap_finished();
+            ++delta_;
+        }
+        if (stop_requested_ || timed_.empty()) break;
+
+        const time next = timed_.top().t;
+        if (next > until) break;
+        now_ = next;
+        delta_ = 0;
+        while (!timed_.empty() && timed_.top().t == now_) {
+            runnable_.push_back(timed_.top().h);
+            timed_.pop();
+        }
+    }
+    return now_;
+}
+
+}  // namespace sim

@@ -1,0 +1,244 @@
+// sim/kernel.hpp — discrete-event simulation kernel.
+//
+// This is the SystemC-kernel substitute the whole repository runs on.  It
+// implements the classic evaluate / update / delta-notification cycle:
+//
+//   1. Evaluate: resume every runnable process coroutine.
+//   2. Update:   commit pending signal writes (update requests).
+//   3. Delta:    processes woken by notifications/value-changes form the next
+//                delta cycle at the same simulated time.
+//   4. Advance:  when no delta work remains, jump to the earliest timed event.
+//
+// Processes are top-level coroutines (`sim::process`); all blocking
+// primitives (`delay`, `event::wait`, fifo/mutex operations, OSSS calls) are
+// awaitables that park the current coroutine inside kernel queues.
+#pragma once
+
+#include "task.hpp"
+#include "time.hpp"
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class kernel;
+class event;
+
+namespace detail {
+
+/// Promise for top-level processes.  A process is eagerly suspended at its
+/// initial suspend point; kernel::spawn schedules its first resume.
+struct process_promise;
+
+}  // namespace detail
+
+/// Handle type returned by process coroutines.  The kernel takes ownership of
+/// the coroutine frame when the process is spawned.
+class process {
+public:
+    using promise_type = detail::process_promise;
+
+    process() noexcept = default;
+    explicit process(std::coroutine_handle<promise_type> h) noexcept : h_{h} {}
+
+    [[nodiscard]] std::coroutine_handle<promise_type> handle() const noexcept { return h_; }
+
+private:
+    std::coroutine_handle<promise_type> h_{};
+};
+
+/// Interface implemented by primitives (signals) that need an update phase.
+class update_listener {
+public:
+    virtual ~update_listener() = default;
+    /// Commit the pending value; called by the kernel in the update phase.
+    virtual void update() = 0;
+};
+
+/// The simulation kernel / scheduler.  Not thread-safe: one kernel per thread.
+class kernel {
+public:
+    kernel() = default;
+    kernel(const kernel&) = delete;
+    kernel& operator=(const kernel&) = delete;
+    ~kernel();
+
+    /// Register and start a process coroutine.  The process becomes runnable
+    /// in the first delta cycle at the current simulation time.
+    void spawn(process p, std::string name = "process");
+
+    /// Run until no events remain or simulated time would exceed `until`.
+    /// Returns the time at which the simulation stopped.
+    time run(time until = time::max());
+
+    /// Current simulated time.
+    [[nodiscard]] time now() const noexcept { return now_; }
+    /// Delta-cycle counter at the current time (diagnostics).
+    [[nodiscard]] std::uint64_t delta_count() const noexcept { return delta_; }
+    /// Total number of coroutine resumptions performed (diagnostics).
+    [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
+
+    /// Kernel owning the coroutine currently being resumed; null outside run().
+    [[nodiscard]] static kernel* current() noexcept { return current_; }
+
+    /// Request termination at the end of the current delta cycle.
+    void stop() noexcept { stop_requested_ = true; }
+    [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+
+    /// Awaitable: suspend the current coroutine for duration `d`.
+    [[nodiscard]] auto wait_for(time d) noexcept
+    {
+        struct awaiter {
+            kernel* k;
+            time at;
+            [[nodiscard]] bool await_ready() const noexcept { return false; }
+            void await_suspend(std::coroutine_handle<> h) { k->schedule_at(at, h); }
+            void await_resume() const noexcept {}
+        };
+        return awaiter{this, now_ + d};
+    }
+
+    /// Awaitable: yield to the next delta cycle at the same time.
+    [[nodiscard]] auto next_delta() noexcept
+    {
+        struct awaiter {
+            kernel* k;
+            [[nodiscard]] bool await_ready() const noexcept { return false; }
+            void await_suspend(std::coroutine_handle<> h) { k->schedule_delta(h); }
+            void await_resume() const noexcept {}
+        };
+        return awaiter{this};
+    }
+
+    // -- scheduling interface used by events / signals -----------------------
+    void schedule_at(time t, std::coroutine_handle<> h);
+    void schedule_delta(std::coroutine_handle<> h);
+    void request_update(update_listener& l);
+
+private:
+    friend struct detail::process_promise;
+
+    struct timed_item {
+        time t;
+        std::uint64_t seq;  // FIFO order among equal times
+        std::coroutine_handle<> h;
+        [[nodiscard]] bool operator>(const timed_item& o) const noexcept
+        {
+            return t > o.t || (t == o.t && seq > o.seq);
+        }
+    };
+
+    void resume(std::coroutine_handle<> h);
+    void reap_finished();
+
+    time now_{};
+    std::uint64_t delta_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t activations_ = 0;
+    bool stop_requested_ = false;
+
+    std::deque<std::coroutine_handle<>> runnable_;
+    std::priority_queue<timed_item, std::vector<timed_item>, std::greater<>> timed_;
+    std::vector<update_listener*> updates_;
+
+    struct process_record {
+        std::coroutine_handle<> h;
+        std::string name;
+        bool finished = false;
+    };
+    std::deque<process_record> processes_;  // deque: stable addresses for finished_flag
+
+    static thread_local kernel* current_;
+};
+
+namespace detail {
+
+struct process_promise {
+    kernel* owner = nullptr;  // set by kernel::spawn
+    bool* finished_flag = nullptr;
+    std::exception_ptr exception{};
+
+    [[nodiscard]] process get_return_object() noexcept
+    {
+        return process{std::coroutine_handle<process_promise>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct final_awaiter {
+        [[nodiscard]] bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<process_promise> h) noexcept
+        {
+            if (h.promise().finished_flag) *h.promise().finished_flag = true;
+        }
+        void await_resume() const noexcept {}
+    };
+    [[nodiscard]] final_awaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Convenience: awaitable that suspends the current process for `d`.
+/// Must be used from a coroutine resumed by a kernel.
+[[nodiscard]] inline auto delay(time d)
+{
+    return kernel::current()->wait_for(d);
+}
+
+/// One-slot notification primitive, analogous to sc_event.
+///
+/// `notify()` wakes all current waiters in the *next delta cycle*;
+/// `notify(d)` wakes them at now+d.  Waiters re-arm by awaiting again.
+class event {
+public:
+    explicit event(std::string name = "event") : name_{std::move(name)} {}
+    event(const event&) = delete;
+    event& operator=(const event&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Awaitable: park the current coroutine until the next notification.
+    [[nodiscard]] auto wait() noexcept
+    {
+        struct awaiter {
+            event* e;
+            [[nodiscard]] bool await_ready() const noexcept { return false; }
+            void await_suspend(std::coroutine_handle<> h) { e->waiters_.push_back(h); }
+            void await_resume() const noexcept {}
+        };
+        return awaiter{this};
+    }
+
+    /// Wake all waiters in the next delta cycle.
+    void notify()
+    {
+        auto* k = kernel::current();
+        for (auto h : waiters_) k->schedule_delta(h);
+        waiters_.clear();
+    }
+
+    /// Wake all waiters at now + d.
+    void notify(time d)
+    {
+        auto* k = kernel::current();
+        for (auto h : waiters_) k->schedule_at(k->now() + d, h);
+        waiters_.clear();
+    }
+
+    [[nodiscard]] std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+private:
+    std::string name_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace sim

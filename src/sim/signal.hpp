@@ -1,0 +1,64 @@
+// sim/signal.hpp — delta-cycle signal, analogous to sc_signal<T>.
+//
+// Writes are deferred: the new value becomes visible only in the update phase
+// at the end of the current delta cycle, and waiters on `value_changed()` run
+// in the following delta.  This gives the usual SystemC race-free semantics
+// for communicating between concurrently evaluated processes.
+#pragma once
+
+#include "kernel.hpp"
+
+#include <string>
+#include <utility>
+
+namespace sim {
+
+template <typename T>
+class signal final : public update_listener {
+public:
+    explicit signal(std::string name = "signal", T initial = T{})
+        : name_{std::move(name)},
+          cur_{initial},
+          next_{initial},
+          changed_{name_ + ".changed"}
+    {
+    }
+
+    [[nodiscard]] const T& read() const noexcept { return cur_; }
+
+    /// Schedule `v` to become the visible value in the update phase.
+    void write(const T& v)
+    {
+        next_ = v;
+        if (!update_pending_) {
+            update_pending_ = true;
+            kernel::current()->request_update(*this);
+        }
+    }
+
+    /// Event fired (next delta) whenever a committed write changed the value.
+    [[nodiscard]] event& value_changed() noexcept { return changed_; }
+
+    /// Awaitable: suspend until the value changes.
+    [[nodiscard]] auto wait_change() noexcept { return changed_.wait(); }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    void update() override
+    {
+        update_pending_ = false;
+        if (!(next_ == cur_)) {
+            cur_ = next_;
+            changed_.notify();
+        }
+    }
+
+private:
+    std::string name_;
+    T cur_;
+    T next_;
+    bool update_pending_ = false;
+    event changed_;
+};
+
+}  // namespace sim

@@ -1,0 +1,10 @@
+// sim/sim.hpp — umbrella header for the discrete-event simulation kernel.
+#pragma once
+
+#include "clock.hpp"    // IWYU pragma: export
+#include "kernel.hpp"   // IWYU pragma: export
+#include "signal.hpp"   // IWYU pragma: export
+#include "sync.hpp"     // IWYU pragma: export
+#include "task.hpp"     // IWYU pragma: export
+#include "time.hpp"     // IWYU pragma: export
+#include "trace.hpp"    // IWYU pragma: export

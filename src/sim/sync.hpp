@@ -1,0 +1,116 @@
+// sim/sync.hpp — blocking synchronisation primitives for simulated processes.
+//
+// `mutex` and `semaphore` park waiting coroutines in FIFO order; `fifo<T>` is
+// the bounded channel analogous to sc_fifo<T>.  All blocking operations are
+// `sim::task`s so they compose with the rest of the coroutine call chain.
+#pragma once
+
+#include "kernel.hpp"
+#include "task.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace sim {
+
+/// FIFO-fair mutex.  Hold time is simulated time; no host threads involved.
+class mutex {
+public:
+    explicit mutex(std::string name = "mutex") : free_{name + ".free"} {}
+
+    [[nodiscard]] task<void> lock()
+    {
+        while (locked_) co_await free_.wait();
+        locked_ = true;
+    }
+
+    void unlock()
+    {
+        locked_ = false;
+        free_.notify();
+    }
+
+    [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+private:
+    bool locked_ = false;
+    event free_;
+};
+
+/// Counting semaphore with FIFO wakeup.
+class semaphore {
+public:
+    explicit semaphore(int initial, std::string name = "semaphore")
+        : count_{initial}, posted_{name + ".posted"}
+    {
+    }
+
+    [[nodiscard]] task<void> acquire()
+    {
+        while (count_ == 0) co_await posted_.wait();
+        --count_;
+    }
+
+    void release()
+    {
+        ++count_;
+        posted_.notify();
+    }
+
+    [[nodiscard]] int value() const noexcept { return count_; }
+
+private:
+    int count_;
+    event posted_;
+};
+
+/// Bounded blocking FIFO channel (sc_fifo analogue).
+template <typename T>
+class fifo {
+public:
+    explicit fifo(std::size_t capacity = 16, std::string name = "fifo")
+        : capacity_{capacity},
+          written_{name + ".written"},
+          read_{name + ".read"}
+    {
+    }
+
+    [[nodiscard]] task<void> write(T v)
+    {
+        while (buf_.size() >= capacity_) co_await read_.wait();
+        buf_.push_back(std::move(v));
+        written_.notify();
+    }
+
+    [[nodiscard]] task<T> read()
+    {
+        while (buf_.empty()) co_await written_.wait();
+        T v = std::move(buf_.front());
+        buf_.pop_front();
+        read_.notify();
+        co_return v;
+    }
+
+    /// Non-blocking variants.
+    [[nodiscard]] bool try_write(T v)
+    {
+        if (buf_.size() >= capacity_) return false;
+        buf_.push_back(std::move(v));
+        written_.notify();
+        return true;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool empty() const noexcept { return buf_.empty(); }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> buf_;
+    event written_;
+    event read_;
+};
+
+}  // namespace sim

@@ -1,0 +1,158 @@
+// sim/task.hpp — composable coroutine type for simulated processes.
+//
+// `sim::task<T>` is the unit of blocking behaviour inside the kernel: every
+// operation that can consume simulated time (a wait, a shared-object call, a
+// bus transaction) is a task that the caller `co_await`s.  Tasks use symmetric
+// transfer so arbitrarily deep call chains suspend and resume as a single
+// logical process, mirroring the blocking method-call semantics of OSSS.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace sim {
+
+template <typename T = void>
+class [[nodiscard]] task;
+
+namespace detail {
+
+struct task_promise_base {
+    std::coroutine_handle<> continuation{};  // resumed when the task finishes
+    std::exception_ptr exception{};
+
+    struct final_awaiter {
+        [[nodiscard]] bool await_ready() const noexcept { return false; }
+        template <typename Promise>
+        [[nodiscard]] std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+    };
+
+    [[nodiscard]] std::suspend_always initial_suspend() noexcept { return {}; }
+    [[nodiscard]] final_awaiter final_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct task_promise final : task_promise_base {
+    // Deferred-constructed result; alignas/union kept simple via optional-like
+    // manual storage would be overkill here: require default-constructible or
+    // store via union.  We store in a union to support non-default-constructible T.
+    union {
+        T value;
+    };
+    bool has_value = false;
+
+    task_promise() noexcept {}
+    ~task_promise()
+    {
+        if (has_value) value.~T();
+    }
+
+    [[nodiscard]] task<T> get_return_object() noexcept;
+
+    template <typename U>
+    void return_value(U&& v)
+    {
+        ::new (static_cast<void*>(&value)) T(std::forward<U>(v));
+        has_value = true;
+    }
+
+    [[nodiscard]] T consume()
+    {
+        if (exception) std::rethrow_exception(exception);
+        assert(has_value && "task finished without a value");
+        return std::move(value);
+    }
+};
+
+template <>
+struct task_promise<void> final : task_promise_base {
+    [[nodiscard]] task<void> get_return_object() noexcept;
+    void return_void() noexcept {}
+    void consume() const
+    {
+        if (exception) std::rethrow_exception(exception);
+    }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a `T`.  Must be `co_await`ed exactly
+/// once (by a process or another task); ownership of the frame lives in the
+/// task object and is released on destruction.
+template <typename T>
+class [[nodiscard]] task {
+public:
+    using promise_type = detail::task_promise<T>;
+
+    task() noexcept = default;
+    explicit task(std::coroutine_handle<promise_type> h) noexcept : h_{h} {}
+    task(task&& o) noexcept : h_{std::exchange(o.h_, nullptr)} {}
+    task& operator=(task&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            h_ = std::exchange(o.h_, nullptr);
+        }
+        return *this;
+    }
+    task(const task&) = delete;
+    task& operator=(const task&) = delete;
+    ~task() { destroy(); }
+
+    [[nodiscard]] bool valid() const noexcept { return h_ != nullptr; }
+    [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+    /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+    /// once the task completes.
+    [[nodiscard]] auto operator co_await() && noexcept
+    {
+        struct awaiter {
+            std::coroutine_handle<promise_type> h;
+            [[nodiscard]] bool await_ready() const noexcept { return !h || h.done(); }
+            [[nodiscard]] std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                h.promise().continuation = awaiting;
+                return h;
+            }
+            T await_resume() { return h.promise().consume(); }
+        };
+        return awaiter{h_};
+    }
+
+private:
+    void destroy() noexcept
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = nullptr;
+        }
+    }
+    std::coroutine_handle<promise_type> h_{};
+};
+
+namespace detail {
+
+template <typename T>
+task<T> task_promise<T>::get_return_object() noexcept
+{
+    return task<T>{std::coroutine_handle<task_promise<T>>::from_promise(*this)};
+}
+
+inline task<void> task_promise<void>::get_return_object() noexcept
+{
+    return task<void>{std::coroutine_handle<task_promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace sim

@@ -1,0 +1,38 @@
+#include "time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace sim {
+
+std::string time::str() const
+{
+    struct unit {
+        std::int64_t div;
+        const char* suffix;
+    };
+    static constexpr std::array<unit, 5> units{{
+        {1'000'000'000'000, "s"},
+        {1'000'000'000, "ms"},
+        {1'000'000, "us"},
+        {1'000, "ns"},
+        {1, "ps"},
+    }};
+    if (ps_ == 0) return "0 s";
+    for (const auto& u : units) {
+        if (std::llabs(ps_) >= u.div) {
+            const double v = static_cast<double>(ps_) / static_cast<double>(u.div);
+            char buf[48];
+            if (ps_ % u.div == 0)
+                std::snprintf(buf, sizeof buf, "%lld %s",
+                              static_cast<long long>(ps_ / u.div), u.suffix);
+            else
+                std::snprintf(buf, sizeof buf, "%.3f %s", v, u.suffix);
+            return buf;
+        }
+    }
+    return "0 s";
+}
+
+}  // namespace sim

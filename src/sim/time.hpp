@@ -1,0 +1,71 @@
+// sim/time.hpp — simulated-time type for the discrete-event kernel.
+//
+// Plays the role of SystemC's sc_time: an absolute point (or duration) on the
+// simulated time axis with picosecond resolution stored in a 64-bit signed
+// integer.  At 1 ps resolution this covers ~106 days of simulated time, far
+// beyond any model in this repository.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace sim {
+
+/// A duration / point on the simulated time axis.  Resolution: 1 picosecond.
+class time {
+public:
+    /// Zero time (also the default).
+    constexpr time() noexcept = default;
+
+    // -- named constructors ------------------------------------------------
+    [[nodiscard]] static constexpr time ps(std::int64_t v) noexcept { return time{v}; }
+    [[nodiscard]] static constexpr time ns(std::int64_t v) noexcept { return time{v * 1'000}; }
+    [[nodiscard]] static constexpr time us(std::int64_t v) noexcept { return time{v * 1'000'000}; }
+    [[nodiscard]] static constexpr time ms(std::int64_t v) noexcept { return time{v * 1'000'000'000}; }
+    [[nodiscard]] static constexpr time sec(std::int64_t v) noexcept { return time{v * 1'000'000'000'000}; }
+
+    /// Fractional helpers (useful for clock periods, e.g. 10.5 ns).
+    [[nodiscard]] static constexpr time ns_f(double v) noexcept
+    {
+        return time{static_cast<std::int64_t>(v * 1'000.0 + (v >= 0 ? 0.5 : -0.5))};
+    }
+
+    /// Largest representable time; used as "run forever" bound.
+    [[nodiscard]] static constexpr time max() noexcept { return time{INT64_MAX}; }
+    [[nodiscard]] static constexpr time zero() noexcept { return time{0}; }
+
+    // -- observers ----------------------------------------------------------
+    [[nodiscard]] constexpr std::int64_t to_ps() const noexcept { return ps_; }
+    [[nodiscard]] constexpr double to_ns() const noexcept { return static_cast<double>(ps_) / 1e3; }
+    [[nodiscard]] constexpr double to_us() const noexcept { return static_cast<double>(ps_) / 1e6; }
+    [[nodiscard]] constexpr double to_ms() const noexcept { return static_cast<double>(ps_) / 1e9; }
+    [[nodiscard]] constexpr double to_sec() const noexcept { return static_cast<double>(ps_) / 1e12; }
+    [[nodiscard]] constexpr bool is_zero() const noexcept { return ps_ == 0; }
+
+    /// Render with an auto-selected unit, e.g. "180 ms" or "12.5 ns".
+    [[nodiscard]] std::string str() const;
+
+    // -- arithmetic ----------------------------------------------------------
+    friend constexpr time operator+(time a, time b) noexcept { return time{a.ps_ + b.ps_}; }
+    friend constexpr time operator-(time a, time b) noexcept { return time{a.ps_ - b.ps_}; }
+    friend constexpr time operator*(time a, std::int64_t k) noexcept { return time{a.ps_ * k}; }
+    friend constexpr time operator*(std::int64_t k, time a) noexcept { return time{a.ps_ * k}; }
+    friend constexpr time operator/(time a, std::int64_t k) noexcept { return time{a.ps_ / k}; }
+    /// Ratio of two durations (e.g. cycle count = span / period).
+    friend constexpr std::int64_t operator/(time a, time b) noexcept { return a.ps_ / b.ps_; }
+
+    constexpr time& operator+=(time o) noexcept { ps_ += o.ps_; return *this; }
+    constexpr time& operator-=(time o) noexcept { ps_ -= o.ps_; return *this; }
+
+    friend constexpr auto operator<=>(time, time) noexcept = default;
+
+    friend std::ostream& operator<<(std::ostream& os, time t) { return os << t.str(); }
+
+private:
+    explicit constexpr time(std::int64_t p) noexcept : ps_{p} {}
+    std::int64_t ps_ = 0;
+};
+
+}  // namespace sim

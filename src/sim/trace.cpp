@@ -1,0 +1,79 @@
+#include "trace.hpp"
+
+#include <stdexcept>
+
+namespace sim {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string id_for(int index)
+{
+    std::string id;
+    int n = index;
+    do {
+        id.push_back(static_cast<char>(33 + n % 94));
+        n = n / 94 - 1;
+    } while (n >= 0);
+    return id;
+}
+
+std::string to_binary(std::uint64_t v, int width)
+{
+    std::string s(static_cast<std::size_t>(width), '0');
+    for (int i = 0; i < width; ++i)
+        if (v & (1ull << i)) s[static_cast<std::size_t>(width - 1 - i)] = '1';
+    return s;
+}
+
+}  // namespace
+
+vcd_writer::vcd_writer(const std::string& path, const std::string& top)
+    : out_{path}, top_{top}
+{
+    if (!out_) throw std::runtime_error{"vcd_writer: cannot open " + path};
+}
+
+vcd_writer::~vcd_writer() = default;
+
+int vcd_writer::add_variable(const std::string& name, int width)
+{
+    if (started_) throw std::logic_error{"vcd_writer: add_variable after start"};
+    const int handle = static_cast<int>(vars_.size());
+    vars_.push_back({name, id_for(handle), width});
+    return handle;
+}
+
+void vcd_writer::start()
+{
+    if (started_) return;
+    out_ << "$timescale 1ps $end\n$scope module " << top_ << " $end\n";
+    for (const auto& v : vars_)
+        out_ << "$var wire " << v.width << ' ' << v.id << ' ' << v.name << " $end\n";
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    started_ = true;
+}
+
+void vcd_writer::emit_timestamp(time t)
+{
+    if (t.to_ps() != last_ps_) {
+        out_ << '#' << t.to_ps() << '\n';
+        last_ps_ = t.to_ps();
+    }
+}
+
+void vcd_writer::record(int var, std::uint64_t value, time t)
+{
+    if (!started_) throw std::logic_error{"vcd_writer: record before start"};
+    auto& v = vars_.at(static_cast<std::size_t>(var));
+    if (v.has_last && v.last == value) return;
+    emit_timestamp(t);
+    if (v.width == 1)
+        out_ << (value ? '1' : '0') << v.id << '\n';
+    else
+        out_ << 'b' << to_binary(value, v.width) << ' ' << v.id << '\n';
+    v.last = value;
+    v.has_last = true;
+}
+
+}  // namespace sim

@@ -1,0 +1,57 @@
+// sim/trace.hpp — minimal VCD (value change dump) trace writer.
+//
+// Allows inspecting simulated activity (bus grants, FIFO levels, pipeline
+// occupancy) in any VCD viewer.  Values are sampled explicitly by the model
+// via `record`; the writer handles identifier allocation, the VCD header and
+// timestamp ordering.
+#pragma once
+
+#include "time.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class vcd_writer {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    explicit vcd_writer(const std::string& path, const std::string& top = "top");
+    ~vcd_writer();
+
+    vcd_writer(const vcd_writer&) = delete;
+    vcd_writer& operator=(const vcd_writer&) = delete;
+
+    /// Declare an integer variable of `width` bits; returns its handle.
+    [[nodiscard]] int add_variable(const std::string& name, int width = 32);
+
+    /// Finish the header.  Must be called once before the first record().
+    void start();
+
+    /// Record variable `var` holding `value` at time `t` (monotonically
+    /// non-decreasing across calls).
+    void record(int var, std::uint64_t value, time t);
+
+    [[nodiscard]] bool started() const noexcept { return started_; }
+
+private:
+    void emit_timestamp(time t);
+
+    struct var_info {
+        std::string name;
+        std::string id;
+        int width;
+        std::uint64_t last = ~0ull;
+        bool has_last = false;
+    };
+
+    std::ofstream out_;
+    std::string top_;
+    std::vector<var_info> vars_;
+    bool started_ = false;
+    std::int64_t last_ps_ = -1;
+};
+
+}  // namespace sim

@@ -1,0 +1,228 @@
+// The nine model versions: functional correctness of every model (each must
+// really decode the image) and the Table 1 relationships the paper reports.
+//
+// These tests use the full standard workload once (shared fixture) — the
+// relations are properties of the paper's experiment, not of a toy setup.
+#include <decoder/decoder.hpp>
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using decoder::model_result;
+using decoder::model_version;
+using decoder::workload;
+
+class Table1 : public testing::Test {
+protected:
+    static void SetUpTestSuite()
+    {
+        wl_ = new workload{workload::standard()};
+        for (bool lossy : {false, true})
+            for (const auto& r : decoder::run_all_models(*wl_, lossy))
+                results_[{r.version, lossy}] = r;
+    }
+    static void TearDownTestSuite()
+    {
+        delete wl_;
+        wl_ = nullptr;
+        results_.clear();
+    }
+
+    static const model_result& get(model_version v, bool lossy)
+    {
+        return results_.at({v, lossy});
+    }
+    static double decode_ms(model_version v, bool lossy)
+    {
+        return get(v, lossy).decode_time.to_ms();
+    }
+    static double idwt_ms(model_version v, bool lossy)
+    {
+        return get(v, lossy).idwt_time.to_ms();
+    }
+
+    static workload* wl_;
+    static std::map<std::pair<model_version, bool>, model_result> results_;
+};
+
+workload* Table1::wl_ = nullptr;
+std::map<std::pair<model_version, bool>, model_result> Table1::results_;
+
+TEST_F(Table1, EveryModelDecodesTheImageCorrectly)
+{
+    for (const auto& [key, r] : results_)
+        EXPECT_TRUE(r.image_ok) << "v" << decoder::version_name(key.first)
+                                << (key.second ? " lossy" : " lossless");
+}
+
+TEST_F(Table1, SwOnlyBaselineMatchesBackAnnotation)
+{
+    // 16 tiles × 180 ms of arithmetic decoding at 88.8% share ≈ 3243 ms.
+    EXPECT_NEAR(decode_ms(model_version::v1, false), 16.0 * 180.0 / 0.888, 35.0);
+    EXPECT_NEAR(decode_ms(model_version::v1, true), 16.0 * 180.0 / 0.786, 40.0);
+    // SW IDWT share: 5.5% / 12.4% of the total.
+    EXPECT_NEAR(idwt_ms(model_version::v1, false),
+                decode_ms(model_version::v1, false) * 0.055, 5.0);
+    EXPECT_NEAR(idwt_ms(model_version::v1, true),
+                decode_ms(model_version::v1, true) * 0.124, 10.0);
+}
+
+TEST_F(Table1, V2SpeedupAboutTenAndNineteenPercent)
+{
+    // Paper §3.1: "a speed-up of about 10/19% (lossless/lossy) compared to 1".
+    const double sl = decode_ms(model_version::v1, false) / decode_ms(model_version::v2, false);
+    const double sy = decode_ms(model_version::v1, true) / decode_ms(model_version::v2, true);
+    EXPECT_NEAR(sl, 1.10, 0.03);
+    EXPECT_NEAR(sy, 1.19, 0.03);
+}
+
+TEST_F(Table1, V3ParallelisationHasOnlySmallImpact)
+{
+    // "Regrettably, this effort only has a small impact on the speed-up."
+    for (bool lossy : {false, true}) {
+        const double v2 = decode_ms(model_version::v2, lossy);
+        const double v3 = decode_ms(model_version::v3, lossy);
+        EXPECT_LE(v3, v2);                 // still an improvement...
+        EXPECT_LT((v2 - v3) / v2, 0.005);  // ...but a marginal one
+    }
+}
+
+TEST_F(Table1, V4SpeedupAboutFourPointFiveAndFive)
+{
+    // "a design delivering an acceptable speedup by a factor of 4.5/5".
+    const double sl = decode_ms(model_version::v1, false) / decode_ms(model_version::v4, false);
+    const double sy = decode_ms(model_version::v1, true) / decode_ms(model_version::v4, true);
+    EXPECT_NEAR(sl, 4.5, 0.4);
+    EXPECT_NEAR(sy, 5.0, 0.4);
+}
+
+TEST_F(Table1, V5WithinHalfPercentOfV4AndSlowerLossless)
+{
+    // "Hence 5 is slightly slower than 4" (arbitration overhead, 7 clients).
+    EXPECT_GT(decode_ms(model_version::v5, false), decode_ms(model_version::v4, false));
+    for (bool lossy : {false, true}) {
+        const double v4 = decode_ms(model_version::v4, lossy);
+        const double v5 = decode_ms(model_version::v5, lossy);
+        EXPECT_LT(std::abs(v5 - v4) / v4, 0.005);
+    }
+}
+
+TEST_F(Table1, VtaRefinementIncreasesIdwtTimeSignificantly)
+{
+    // "3 → 6a/6b: The IDWT time is increased significantly (up to factor 8)".
+    for (bool lossy : {false, true}) {
+        const double app = idwt_ms(model_version::v3, lossy);
+        const double bus = idwt_ms(model_version::v6a, lossy);
+        EXPECT_GT(bus / app, 3.0) << "lossy=" << lossy;
+        EXPECT_LT(bus / app, 9.0) << "lossy=" << lossy;
+    }
+}
+
+TEST_F(Table1, VtaDecodeTimeStillSwDominated)
+{
+    // "this version is dominated by the SW part and therefore the overall
+    // decoding time is not affected significantly" (v3 → 6a/6b).
+    for (bool lossy : {false, true}) {
+        const double app = decode_ms(model_version::v3, lossy);
+        const double vta = decode_ms(model_version::v6b, lossy);
+        EXPECT_LT((vta - app) / app, 0.01);
+    }
+}
+
+TEST_F(Table1, P2pBeatsBusForIdwtTraffic)
+{
+    // 6b < 6a and 7b < 7a.
+    for (bool lossy : {false, true}) {
+        EXPECT_LT(idwt_ms(model_version::v6b, lossy), idwt_ms(model_version::v6a, lossy));
+        EXPECT_LT(idwt_ms(model_version::v7b, lossy), idwt_ms(model_version::v7a, lossy));
+    }
+}
+
+TEST_F(Table1, BusContentionFromMoreProcessorsHurts7a)
+{
+    // "In 7a the IDWT time is increased even more than in 6a since three more
+    // processors are competing for access to the single shared bus."
+    for (bool lossy : {false, true})
+        EXPECT_GT(idwt_ms(model_version::v7a, lossy), idwt_ms(model_version::v6a, lossy));
+}
+
+TEST_F(Table1, P2pIdwtTimeRobustToSwParallelism)
+{
+    // "The IDWT times of 6b and 7b are equal since in both VTA models the
+    // same P2P connections are used" — allow a modest tolerance for the
+    // shared-object arbitration that our model resolves per call.
+    for (bool lossy : {false, true}) {
+        const double a = idwt_ms(model_version::v6b, lossy);
+        const double b = idwt_ms(model_version::v7b, lossy);
+        EXPECT_LT(std::abs(b - a) / a, 0.30);
+    }
+}
+
+TEST_F(Table1, HwIdwtSpeedupTwelveAndSixteen)
+{
+    // "we still observe a speed-up by a factor of 12/16 for the IDWT in HW
+    // 6b/7b compared to the SW only execution in 1".
+    const double sl = idwt_ms(model_version::v1, false) / idwt_ms(model_version::v6b, false);
+    const double sy = idwt_ms(model_version::v1, true) / idwt_ms(model_version::v6b, true);
+    EXPECT_NEAR(sl, 12.0, 2.5);
+    EXPECT_NEAR(sy, 16.0, 2.5);
+}
+
+TEST_F(Table1, VtaModelsUseTheBus)
+{
+    for (auto v : {model_version::v6a, model_version::v6b, model_version::v7a,
+                   model_version::v7b})
+        EXPECT_GT(get(v, false).bus_transactions, 0u);
+    // Four processors on one bus must actually contend.
+    EXPECT_GT(get(model_version::v7a, false).bus_wait.to_ns(), 0.0);
+    // Application-layer models have no physical channels.
+    EXPECT_EQ(get(model_version::v3, false).bus_transactions, 0u);
+}
+
+TEST_F(Table1, BusOnlyMappingMovesMoreBusTraffic)
+{
+    EXPECT_GT(get(model_version::v6a, false).bus_transactions,
+              get(model_version::v6b, false).bus_transactions);
+}
+
+TEST_F(Table1, PlbUpgradeBeatsOpbOnIdwtTime)
+{
+    // Our extension: swapping the shared OPB for a 64-bit pipelined PLB must
+    // cut the bus-mapped IDWT service time without touching behaviour.
+    auto cfg = decoder::config_for(model_version::v7a);
+    const auto opb = decoder::run_custom_model(*wl_, false, cfg);
+    cfg.use_plb = true;
+    const auto plb = decoder::run_custom_model(*wl_, false, cfg);
+    EXPECT_TRUE(plb.image_ok);
+    EXPECT_LT(plb.idwt_time.to_ms(), opb.idwt_time.to_ms());
+    // Overall decode stays in the same band (it is arithmetic-decoder bound;
+    // burst-pattern shifts move it a few percent either way).
+    EXPECT_LE(plb.decode_time.to_ms(), opb.decode_time.to_ms() * 1.10);
+}
+
+// ---- smaller, isolated checks on a reduced workload ----
+
+TEST(Models, RunModelHandlesSmallWorkloads)
+{
+    const auto wl = workload::standard(2, 32, 7);
+    for (auto v : {model_version::v1, model_version::v3, model_version::v6b}) {
+        const auto r = decoder::run_model(wl, v, false);
+        EXPECT_TRUE(r.image_ok) << decoder::version_name(v);
+        EXPECT_GT(r.decode_time.to_ms(), 0.0);
+    }
+}
+
+TEST(Models, LossyAndLosslessDifferInIdwtShare)
+{
+    const auto wl = workload::standard(2, 32, 9);
+    const auto rl = decoder::run_model(wl, model_version::v1, false);
+    const auto ry = decoder::run_model(wl, model_version::v1, true);
+    const double share_l = rl.idwt_time.to_ms() / rl.decode_time.to_ms();
+    const double share_y = ry.idwt_time.to_ms() / ry.decode_time.to_ms();
+    EXPECT_GT(share_y, share_l);  // 12.4% vs 5.5%
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Workload construction and timing calibration.
+#include <decoder/decoder.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using decoder::workload;
+
+TEST(Workload, StandardHas16TilesAnd3Components)
+{
+    const auto wl = workload::standard();
+    EXPECT_EQ(wl.tile_count(), 16);
+    EXPECT_EQ(wl.original().components(), 3);
+    EXPECT_EQ(wl.original().width(), 256);
+    EXPECT_EQ(wl.lossless().per_tile.size(), 16u);
+    EXPECT_EQ(wl.lossy().per_tile.size(), 16u);
+}
+
+TEST(Workload, ExpectedImagesMatchReferenceDecode)
+{
+    const auto wl = workload::standard(2, 32);
+    // Lossless mode reproduces the original exactly.
+    EXPECT_EQ(wl.lossless().expected, wl.original());
+    // Lossy mode is close but not exact.
+    EXPECT_NE(wl.lossy().expected, wl.original());
+    EXPECT_GT(j2k::psnr(wl.original(), wl.lossy().expected), 22.0);
+}
+
+TEST(Workload, TileWorkCountsArePlausible)
+{
+    const auto wl = workload::standard(2, 32);
+    for (const auto& w : wl.lossless().per_tile) {
+        EXPECT_EQ(w.samples, 32u * 32u * 3u);
+        EXPECT_GT(w.mq_decisions, w.samples / 4);  // several decisions per sample
+    }
+    EXPECT_GT(wl.lossless().mean_decisions_per_tile, 0u);
+}
+
+TEST(Timing, CalibrationAnchorsArithTo180msPerMeanTile)
+{
+    const auto wl = workload::standard(2, 32);
+    const auto T = decoder::sw_timing::calibrate(wl.lossless(), false);
+    // Mean tile arith time == 180 ms by construction.
+    double total = 0;
+    for (const auto& w : wl.lossless().per_tile) total += T.arith(w).to_ms();
+    EXPECT_NEAR(total / static_cast<double>(wl.tile_count()), 180.0, 0.01);
+}
+
+TEST(Timing, StageSharesFollowFigure1)
+{
+    const auto wl = workload::standard(2, 32);
+    for (bool lossy : {false, true}) {
+        const auto& md = wl.mode(lossy);
+        const auto T = decoder::sw_timing::calibrate(md, lossy);
+        const auto& p = lossy ? decoder::k_profile_lossy : decoder::k_profile_lossless;
+        double arith = 0, iq = 0, idwt = 0, ict = 0, dc = 0;
+        for (const auto& w : md.per_tile) {
+            arith += T.arith(w).to_ms();
+            iq += T.iq(w).to_ms();
+            idwt += T.idwt(w).to_ms();
+            ict += T.ict(w).to_ms();
+            dc += T.dc(w).to_ms();
+        }
+        const double total = arith + iq + idwt + ict + dc;
+        EXPECT_NEAR(arith / total, p.arith, 0.01) << "lossy=" << lossy;
+        EXPECT_NEAR(iq / total, p.iq, 0.01);
+        EXPECT_NEAR(idwt / total, p.idwt, 0.01);
+        EXPECT_NEAR(ict / total, p.ict, 0.01);
+        EXPECT_NEAR(dc / total, p.dc, 0.01);
+    }
+}
+
+TEST(Timing, HwCyclesHelper)
+{
+    const decoder::hw_timing H;
+    // 1000 samples at 2 cycles/sample on a 10 ns clock = 20 us.
+    EXPECT_EQ(H.cycles(2.0, 1000, sim::time::ns(10)), sim::time::us(20));
+}
+
+TEST(Describe, ModelInventoriesMatchStructure)
+{
+    using decoder::model_version;
+    using osss::component_kind;
+    const auto d3 = decoder::describe_model(model_version::v3);
+    EXPECT_EQ(d3.of_kind(component_kind::sw_task).size(), 1u);
+    EXPECT_EQ(d3.of_kind(component_kind::module).size(), 3u);  // 3 IDWT blocks
+    EXPECT_EQ(d3.of_kind(component_kind::shared_object).size(), 2u);
+    EXPECT_TRUE(d3.of_kind(component_kind::processor).empty());  // app layer
+
+    const auto d7b = decoder::describe_model(model_version::v7b);
+    EXPECT_EQ(d7b.of_kind(component_kind::processor).size(), 4u);
+    EXPECT_EQ(d7b.of_kind(component_kind::sw_task).size(), 4u);
+    bool has_p2p = false;
+    for (const auto& c : d7b.of_kind(component_kind::channel))
+        has_p2p |= c.type == "p2p_channel";
+    EXPECT_TRUE(has_p2p);
+}
+
+}  // namespace

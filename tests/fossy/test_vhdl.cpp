@@ -1,0 +1,179 @@
+// VHDL emission, area estimation, and platform file generation.
+#include <fossy/fossy.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace fossy;
+
+TEST(Vhdl, EmitsWellFormedDesignUnit)
+{
+    const std::string v = emit_vhdl(idwt53_reference());
+    EXPECT_NE(v.find("entity idwt53_ref is"), std::string::npos);
+    EXPECT_NE(v.find("architecture rtl of idwt53_ref"), std::string::npos);
+    EXPECT_NE(v.find("use ieee.numeric_std.all;"), std::string::npos);
+    EXPECT_NE(v.find("end architecture rtl;"), std::string::npos);
+    EXPECT_NE(v.find("case ctrl_state is"), std::string::npos);
+    EXPECT_NE(v.find("rising_edge(clk)"), std::string::npos);
+}
+
+TEST(Vhdl, PreservesIdentifiers)
+{
+    // "Since all identifiers are preserved during synthesis the resulting
+    // VHDL code remains human readable."
+    const entity gen = run_fossy(idwt53_osss_source());
+    const std::string v = emit_vhdl(gen);
+    EXPECT_NE(v.find("lift_predict"), std::string::npos);
+    EXPECT_NE(v.find("line_buffer"), std::string::npos);
+    EXPECT_NE(v.find("lvl_hpred"), std::string::npos);
+}
+
+TEST(Vhdl, MemoryGetsBlockRamAttribute)
+{
+    const std::string v = emit_vhdl(idwt97_reference());
+    EXPECT_NE(v.find("attribute ram_style of line_buffer : signal is \"block\";"),
+              std::string::npos);
+}
+
+TEST(Vhdl, LineCountMatchesNewlines)
+{
+    EXPECT_EQ(line_count("a\nb\nc\n"), 3u);
+    EXPECT_EQ(line_count(""), 0u);
+}
+
+TEST(Estimate, EmptyEntityIsTiny)
+{
+    entity e;
+    e.name = "empty";
+    const auto a = estimate_virtex4(e);
+    EXPECT_EQ(a.slice_ff, 0);
+    EXPECT_EQ(a.lut4, 0);
+    EXPECT_GT(a.fmax_mhz, 300.0);  // nothing but clock overhead
+}
+
+TEST(Estimate, RegistersCostFlipFlops)
+{
+    entity e;
+    e.name = "regs";
+    e.signals = {{"a", 32, true}, {"b", 16, false}};
+    const auto a = estimate_virtex4(e);
+    EXPECT_EQ(a.slice_ff, 32);  // only the registered signal
+}
+
+TEST(Estimate, DeeperChainsLowerFmax)
+{
+    entity shallow;
+    shallow.name = "shallow";
+    shallow.fsms.push_back(
+        {"m", {{"s0", {{op_kind::add, 16, "r", {"a", "b"}}}, {}}}});
+    entity deep = shallow;
+    deep.name = "deep";
+    deep.fsms[0].states[0].ops = {
+        {op_kind::add, 16, "t0", {"a", "b"}},
+        {op_kind::add, 16, "t1", {"t0", "c"}},
+        {op_kind::add, 16, "t2", {"t1", "d"}},
+        {op_kind::mul, 18, "r", {"t2", "k"}},
+    };
+    EXPECT_GT(estimate_virtex4(shallow).fmax_mhz, estimate_virtex4(deep).fmax_mhz);
+}
+
+TEST(Estimate, SynchronousBramReadsDoNotExtendConsumers)
+{
+    entity direct;
+    direct.name = "direct";
+    direct.fsms.push_back({"m",
+                           {{"s0",
+                             {{op_kind::mem_read, 18, "v", {"mem", "addr"}},
+                              {op_kind::add, 18, "r", {"v", "k"}}},
+                             {}}}});
+    // Chain must be read ∥ add, not read + add.
+    const double path = critical_path_ns(direct);
+    EXPECT_LT(path, 2.5);
+}
+
+TEST(Estimate, MoreStatesMeanMoreControlLogic)
+{
+    entity small;
+    small.name = "s";
+    fsm f{"m", {}};
+    for (int i = 0; i < 4; ++i)
+        f.states.push_back({"st" + std::to_string(i), {}, {{"", "st0"}}});
+    small.fsms.push_back(f);
+    entity big = small;
+    big.name = "b";
+    for (int i = 4; i < 64; ++i)
+        big.fsms[0].states.push_back({"st" + std::to_string(i), {}, {{"", "st0"}}});
+    EXPECT_GT(estimate_virtex4(big).lut4, estimate_virtex4(small).lut4);
+    EXPECT_GT(estimate_virtex4(big).slice_ff, estimate_virtex4(small).slice_ff);
+}
+
+TEST(Estimate, GateCountIncludesRamBits)
+{
+    entity e;
+    e.name = "m";
+    e.memories.push_back({"buf", 1024, 32, true});
+    EXPECT_GE(estimate_virtex4(e).equivalent_gates, 1024 * 32);
+}
+
+TEST(Device, Virtex4Lx25Capacity)
+{
+    const device_model dev;
+    EXPECT_EQ(dev.slice_ff, 21504);
+    EXPECT_EQ(dev.lut4, 21504);
+    // Both IDWT designs fit comfortably on the LX25.
+    EXPECT_LT(estimate_virtex4(run_fossy(idwt97_osss_source())).occupied_slices,
+              dev.slices);
+}
+
+// ---- platform generation ----
+
+osss::design demo_design()
+{
+    osss::design d{"jpeg2000"};
+    d.add(osss::component_kind::processor, "microblaze_0", "microblaze");
+    d.add(osss::component_kind::channel, "opb_v20_0", "opb_bus");
+    d.add(osss::component_kind::channel, "p2p_idwt", "p2p_channel");
+    d.add(osss::component_kind::memory, "ddr_ram", "mch_opb_ddr");
+    d.add(osss::component_kind::memory, "bram_tiles", "bram_block");
+    d.add(osss::component_kind::shared_object, "hw_sw_so", "shared_object<iq_idwt>",
+          "opb_v20_0");
+    d.add(osss::component_kind::module, "idwt53", "idwt53_osss", "opb_v20_0");
+    d.add(osss::component_kind::sw_task, "arith_dec", "sw_task", "microblaze_0");
+    d.add_link("arith_dec", "hw_sw_so", "opb_v20_0");
+    return d;
+}
+
+TEST(Platform, MhsListsAllHardware)
+{
+    const std::string mhs = generate_mhs(demo_design());
+    EXPECT_NE(mhs.find("BEGIN microblaze"), std::string::npos);
+    EXPECT_NE(mhs.find("PARAMETER INSTANCE = microblaze_0"), std::string::npos);
+    EXPECT_NE(mhs.find("BEGIN opb_v20"), std::string::npos);
+    EXPECT_NE(mhs.find("BEGIN fsl_v20"), std::string::npos);  // p2p → FSL link
+    EXPECT_NE(mhs.find("BEGIN mch_opb_ddr"), std::string::npos);
+    EXPECT_NE(mhs.find("BEGIN bram_block"), std::string::npos);
+    EXPECT_NE(mhs.find("BUS_INTERFACE SOPB = opb_v20_0"), std::string::npos);
+    EXPECT_NE(mhs.find("CLK_FREQ = 100000000"), std::string::npos);
+}
+
+TEST(Platform, SwSourceGeneratedPerTask)
+{
+    const auto d = demo_design();
+    const std::string src = generate_sw_source(d, "arith_dec");
+    EXPECT_NE(src.find("#include \"osss_rmi_embedded.h\""), std::string::npos);
+    EXPECT_NE(src.find("osss_rmi_init();"), std::string::npos);
+    EXPECT_NE(src.find("mapped onto microblaze_0"), std::string::npos);
+    EXPECT_NE(src.find("osss_rmi_call("), std::string::npos);
+    EXPECT_THROW((void)generate_sw_source(d, "no_such_task"), std::invalid_argument);
+}
+
+TEST(Platform, MssMapsTasksToProcessors)
+{
+    const std::string mss = generate_mss(demo_design());
+    EXPECT_NE(mss.find("PARAMETER HW_INSTANCE = microblaze_0"), std::string::npos);
+    EXPECT_NE(mss.find("add_sw_task(arith_dec)"), std::string::npos);
+    EXPECT_NE(mss.find("osss_rmi_embedded"), std::string::npos);
+}
+
+}  // namespace

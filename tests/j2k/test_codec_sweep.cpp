@@ -1,0 +1,80 @@
+// Parameterised codec sweep: every combination of mode, tile geometry,
+// decomposition depth and layering must round-trip (exactly for 5/3, within
+// quantiser-bounded error for 9/7).
+#include <j2k/j2k.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct sweep_case {
+    j2k::wavelet mode;
+    int image_w;
+    int image_h;
+    int tile;
+    int levels;
+    int layers;
+};
+
+std::ostream& operator<<(std::ostream& os, const sweep_case& c)
+{
+    return os << (c.mode == j2k::wavelet::w5_3 ? "w53" : "w97") << "_" << c.image_w << "x"
+              << c.image_h << "_t" << c.tile << "_l" << c.levels << "_q" << c.layers;
+}
+
+class CodecSweep : public testing::TestWithParam<sweep_case> {};
+
+TEST_P(CodecSweep, RoundTrips)
+{
+    const auto& c = GetParam();
+    const j2k::image img =
+        j2k::make_test_image(c.image_w, c.image_h, 3, 8,
+                             static_cast<std::uint32_t>(c.image_w * 7 + c.tile));
+    j2k::codec_params p;
+    p.mode = c.mode;
+    p.tile_width = c.tile;
+    p.tile_height = c.tile;
+    p.levels = c.levels;
+    p.quality_layers = c.layers;
+    p.quant.base_step = 1.0 / 128.0;
+    const auto cs = j2k::encode(img, p);
+    const auto out = j2k::decode(cs);
+    ASSERT_EQ(out.width(), img.width());
+    ASSERT_EQ(out.height(), img.height());
+    if (c.mode == j2k::wavelet::w5_3) {
+        EXPECT_EQ(out, img);
+    } else {
+        EXPECT_GT(j2k::psnr(img, out), 26.0);
+    }
+    // Header reports the configuration faithfully.
+    const auto info = j2k::read_header(cs);
+    EXPECT_EQ(info.levels, c.levels);
+    EXPECT_EQ(info.quality_layers, c.layers);
+    EXPECT_EQ(info.tile_width, c.tile);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodecSweep,
+    testing::Values(
+        // mode, image w, h, tile, levels, layers
+        sweep_case{j2k::wavelet::w5_3, 64, 64, 64, 3, 1},
+        sweep_case{j2k::wavelet::w5_3, 64, 64, 32, 1, 1},
+        sweep_case{j2k::wavelet::w5_3, 96, 64, 48, 2, 1},
+        sweep_case{j2k::wavelet::w5_3, 80, 112, 40, 4, 1},
+        sweep_case{j2k::wavelet::w5_3, 64, 64, 64, 0, 1},   // no transform at all
+        sweep_case{j2k::wavelet::w5_3, 65, 47, 32, 3, 1},   // ragged borders
+        sweep_case{j2k::wavelet::w5_3, 64, 64, 64, 3, 4},
+        sweep_case{j2k::wavelet::w5_3, 96, 96, 48, 2, 2},
+        sweep_case{j2k::wavelet::w5_3, 65, 47, 32, 3, 3},
+        sweep_case{j2k::wavelet::w9_7, 64, 64, 64, 3, 1},
+        sweep_case{j2k::wavelet::w9_7, 96, 64, 48, 2, 1},
+        sweep_case{j2k::wavelet::w9_7, 65, 47, 32, 3, 1},
+        sweep_case{j2k::wavelet::w9_7, 64, 64, 64, 3, 4},
+        sweep_case{j2k::wavelet::w9_7, 80, 112, 40, 4, 2}),
+    [](const testing::TestParamInfo<sweep_case>& info) {
+        std::ostringstream os;
+        os << info.param;
+        return os.str();
+    });
+
+}  // namespace

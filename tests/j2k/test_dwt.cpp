@@ -1,0 +1,180 @@
+// DWT: perfect reconstruction, energy compaction, layout geometry.
+#include <j2k/dwt.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace {
+
+using j2k::plane;
+
+plane random_plane(int w, int h, std::uint32_t seed, int range = 255)
+{
+    plane p{w, h};
+    std::mt19937 rng{seed};
+    for (auto& v : p.samples()) v = static_cast<std::int32_t>(rng() % static_cast<std::uint32_t>(range + 1)) - range / 2;
+    return p;
+}
+
+// ---- 5/3 ----
+
+struct Geometry {
+    int w;
+    int h;
+    int levels;
+};
+
+class Dwt53Reconstruction : public testing::TestWithParam<Geometry> {};
+
+TEST_P(Dwt53Reconstruction, IsExactForRandomData)
+{
+    const auto [w, h, levels] = GetParam();
+    const plane orig = random_plane(w, h, static_cast<std::uint32_t>(w * 1000 + h));
+    plane p = orig;
+    j2k::dwt53_forward(p, levels);
+    j2k::dwt53_inverse(p, levels);
+    EXPECT_EQ(p, orig) << w << "x" << h << " L" << levels;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Dwt53Reconstruction,
+                         testing::Values(Geometry{8, 8, 1}, Geometry{8, 8, 3},
+                                         Geometry{64, 64, 5}, Geometry{17, 9, 2},
+                                         Geometry{1, 16, 2}, Geometry{16, 1, 2},
+                                         Geometry{2, 2, 1}, Geometry{3, 3, 1},
+                                         Geometry{5, 7, 3}, Geometry{128, 96, 4},
+                                         Geometry{33, 65, 6}, Geometry{1, 1, 3}));
+
+TEST(Dwt53, ConstantSignalHasZeroHighBands)
+{
+    plane p{16, 16};
+    for (auto& v : p.samples()) v = 100;
+    j2k::dwt53_forward(p, 2);
+    for (const auto& br : j2k::subband_layout(16, 16, 2)) {
+        if (br.b == j2k::band::ll) continue;
+        for (int y = 0; y < br.height; ++y)
+            for (int x = 0; x < br.width; ++x)
+                EXPECT_EQ(p.at(br.x0 + x, br.y0 + y), 0)
+                    << j2k::band_name(br.b) << " L" << br.level;
+    }
+}
+
+TEST(Dwt53, SmoothSignalCompactsEnergyIntoLL)
+{
+    plane p{64, 64};
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            p.at(x, y) = static_cast<std::int32_t>(
+                100.0 * std::sin(x * 0.1) * std::cos(y * 0.08) + 2 * x + y);
+    j2k::dwt53_forward(p, 3);
+    // The 5/3 integer transform has unit DC gain, so compaction is judged in
+    // the coefficient domain: the LL quadrant (1/64 of the coefficients) must
+    // carry the bulk of the coefficient energy for a smooth signal.
+    const double total = std::accumulate(
+        p.samples().begin(), p.samples().end(), 0.0,
+        [](double a, std::int32_t v) { return a + static_cast<double>(v) * v; });
+    double ll = 0;
+    const auto layout = j2k::subband_layout(64, 64, 3);
+    const auto& llr = layout.front();
+    ASSERT_EQ(llr.b, j2k::band::ll);
+    for (int y = 0; y < llr.height; ++y)
+        for (int x = 0; x < llr.width; ++x) {
+            const double v = p.at(llr.x0 + x, llr.y0 + y);
+            ll += v * v;
+        }
+    EXPECT_GT(ll, 0.8 * total);  // most coefficient energy in 1/64 of samples
+}
+
+// ---- 9/7 ----
+
+class Dwt97Reconstruction : public testing::TestWithParam<Geometry> {};
+
+TEST_P(Dwt97Reconstruction, ReconstructsWithinTolerance)
+{
+    const auto [w, h, levels] = GetParam();
+    std::mt19937 rng{static_cast<std::uint32_t>(w * 31 + h)};
+    std::vector<double> orig(static_cast<std::size_t>(w) * h);
+    for (auto& v : orig) v = static_cast<double>(rng() % 256) - 128.0;
+    std::vector<double> buf = orig;
+    j2k::dwt97_forward(buf, w, h, levels);
+    j2k::dwt97_inverse(buf, w, h, levels);
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        ASSERT_NEAR(buf[i], orig[i], 1e-9) << "sample " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Dwt97Reconstruction,
+                         testing::Values(Geometry{8, 8, 1}, Geometry{64, 64, 5},
+                                         Geometry{17, 9, 2}, Geometry{1, 16, 2},
+                                         Geometry{5, 7, 3}, Geometry{128, 96, 4},
+                                         Geometry{2, 2, 1}, Geometry{3, 3, 2}));
+
+TEST(Dwt97, ConstantSignalPreservedInLLWithUnitGain)
+{
+    std::vector<double> buf(32 * 32, 50.0);
+    j2k::dwt97_forward(buf, 32, 32, 1);
+    // LL occupies the 16×16 top-left quadrant; DC gain is 1 per dimension.
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x) ASSERT_NEAR(buf[static_cast<std::size_t>(y) * 32 + x], 50.0, 1e-6);
+    // High bands vanish.
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            if (x >= 16 || y >= 16)
+                ASSERT_NEAR(buf[static_cast<std::size_t>(y) * 32 + x], 0.0, 1e-6);
+}
+
+// ---- layout ----
+
+TEST(SubbandLayout, CoversPlaneExactlyOnce)
+{
+    for (auto [w, h, levels] : {Geometry{64, 64, 3}, Geometry{17, 9, 2}, Geometry{33, 65, 4}}) {
+        std::vector<int> hits(static_cast<std::size_t>(w) * h, 0);
+        for (const auto& br : j2k::subband_layout(w, h, levels))
+            for (int y = 0; y < br.height; ++y)
+                for (int x = 0; x < br.width; ++x)
+                    ++hits[static_cast<std::size_t>(br.y0 + y) * w + (br.x0 + x)];
+        for (int v : hits) ASSERT_EQ(v, 1);
+    }
+}
+
+TEST(SubbandLayout, CountsAndOrder)
+{
+    const auto l = j2k::subband_layout(64, 64, 3);
+    ASSERT_EQ(l.size(), 10u);  // 3L+1
+    EXPECT_EQ(l[0].b, j2k::band::ll);
+    EXPECT_EQ(l[0].level, 3);
+    EXPECT_EQ(l[0].width, 8);
+    // Deepest level first after LL.
+    EXPECT_EQ(l[1].level, 3);
+    EXPECT_EQ(l.back().level, 1);
+    EXPECT_EQ(l.back().b, j2k::band::hh);
+    EXPECT_EQ(l.back().width, 32);
+}
+
+TEST(SubbandLayout, ZeroLevelsIsSingleLL)
+{
+    const auto l = j2k::subband_layout(10, 10, 0);
+    ASSERT_EQ(l.size(), 1u);
+    EXPECT_EQ(l[0].width, 10);
+    EXPECT_EQ(l[0].height, 10);
+}
+
+TEST(SubbandLayout, RejectsBadGeometry)
+{
+    EXPECT_THROW(j2k::subband_layout(0, 4, 1), std::invalid_argument);
+    EXPECT_THROW(j2k::subband_layout(4, 4, -1), std::invalid_argument);
+}
+
+TEST(BandGain, HigherBandsHaveHigherGain)
+{
+    using j2k::band;
+    using j2k::wavelet;
+    EXPECT_GT(j2k::band_gain(band::hh, 1, wavelet::w9_7),
+              j2k::band_gain(band::hl, 1, wavelet::w9_7));
+    EXPECT_GT(j2k::band_gain(band::hl, 1, wavelet::w9_7),
+              j2k::band_gain(band::ll, 1, wavelet::w9_7));
+    EXPECT_EQ(j2k::band_gain(band::hh, 1, wavelet::w5_3), 1.0);
+}
+
+}  // namespace

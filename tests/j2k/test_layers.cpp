@@ -1,0 +1,175 @@
+// Quality-layered (tier-2 style) streams: layered tier-1 round trips,
+// layer-major codestreams, prefix decoding.
+#include <j2k/j2k.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using j2k::image;
+using j2k::layered_codeblock;
+
+std::vector<std::int32_t> random_coeffs(std::size_t n, std::uint32_t seed, int mag)
+{
+    std::mt19937 rng{seed};
+    std::vector<std::int32_t> v(n);
+    for (auto& c : v) {
+        c = static_cast<std::int32_t>(rng() % static_cast<std::uint32_t>(mag));
+        if (rng() % 2) c = -c;
+    }
+    return v;
+}
+
+TEST(LayeredTier1, FullDecodeIsExact)
+{
+    const auto coeffs = random_coeffs(32 * 32, 3, 500);
+    for (int layers : {1, 2, 4, 9}) {
+        std::vector<int> split(static_cast<std::size_t>(layers), 2);
+        const auto cb =
+            j2k::tier1_encode_layered(coeffs.data(), 32, 32, j2k::band::ll, split);
+        EXPECT_EQ(static_cast<int>(cb.segments.size()), layers);
+        std::vector<std::int32_t> out(coeffs.size());
+        j2k::tier1_decode_layered(cb, out.data(), j2k::band::ll);
+        EXPECT_EQ(out, coeffs) << layers << " layers";
+    }
+}
+
+TEST(LayeredTier1, ErrorDecreasesMonotonicallyWithLayers)
+{
+    const auto coeffs = random_coeffs(32 * 32, 17, 1000);
+    const std::vector<int> split{3, 5, 7, 100};
+    const auto cb = j2k::tier1_encode_layered(coeffs.data(), 32, 32, j2k::band::hl, split);
+    long prev = LONG_MAX;
+    for (int L = 1; L <= 4; ++L) {
+        std::vector<std::int32_t> out(coeffs.size());
+        j2k::tier1_decode_layered(cb, out.data(), j2k::band::hl, L);
+        long err = 0;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            err += std::abs(out[i] - coeffs[i]);
+        EXPECT_LE(err, prev) << "layer " << L;
+        prev = err;
+    }
+    EXPECT_EQ(prev, 0);  // all layers → exact
+}
+
+TEST(LayeredTier1, SegmentsPartitionThePassSequence)
+{
+    const auto coeffs = random_coeffs(16 * 16, 9, 200);
+    const auto plain = j2k::tier1_encode(coeffs.data(), 16, 16, j2k::band::hh);
+    const std::vector<int> split{4, 4, 4, 100};
+    const auto lay = j2k::tier1_encode_layered(coeffs.data(), 16, 16, j2k::band::hh, split);
+    EXPECT_EQ(lay.total_passes(), plain.pass_count());
+    EXPECT_EQ(lay.num_planes, plain.num_planes);
+}
+
+TEST(LayeredTier1, AllZeroBlockHasEmptyLayers)
+{
+    std::vector<std::int32_t> z(8 * 8, 0);
+    const auto cb = j2k::tier1_encode_layered(z.data(), 8, 8, j2k::band::ll, {1, 1});
+    EXPECT_EQ(cb.num_planes, 0);
+    std::vector<std::int32_t> out(z.size(), 5);
+    j2k::tier1_decode_layered(cb, out.data(), j2k::band::ll);
+    EXPECT_EQ(out, z);
+}
+
+// ---- layered codestreams ----
+
+TEST(LayeredStream, FullDecodeMatchesPlainStream)
+{
+    const image img = j2k::make_test_image(96, 96, 3);
+    j2k::codec_params plain;
+    plain.tile_width = 48;
+    plain.tile_height = 48;
+    j2k::codec_params layered = plain;
+    layered.quality_layers = 5;
+
+    const auto cs_plain = j2k::encode(img, plain);
+    const auto cs_lay = j2k::encode(img, layered);
+    EXPECT_EQ(j2k::decode(cs_plain), img);
+    EXPECT_EQ(j2k::decode(cs_lay), img);  // layering is lossless end-to-end
+    j2k::decoder dec{cs_lay};
+    EXPECT_EQ(dec.info().quality_layers, 5);
+}
+
+TEST(LayeredStream, QualityGrowsWithDecodedLayers)
+{
+    const image img = j2k::make_test_image(128, 128, 1);
+    j2k::codec_params p;
+    p.quality_layers = 6;
+    const auto cs = j2k::encode(img, p);
+    j2k::decoder dec{cs};
+    double prev = 0.0;
+    for (int L = 1; L <= 6; ++L) {
+        dec.set_max_quality_layers(L);
+        const double q = j2k::psnr(img, dec.decode_all());
+        const double qv = std::isinf(q) ? 1000.0 : q;
+        EXPECT_GE(qv, prev - 0.25) << "layer " << L;
+        prev = qv;
+    }
+    EXPECT_EQ(prev, 1000.0);  // all 6 layers: exact (5/3 reversible)
+}
+
+TEST(LayeredStream, PrefixContainsWholeEarlyLayers)
+{
+    const image img = j2k::make_test_image(64, 64, 3);
+    j2k::codec_params p;
+    p.quality_layers = 4;
+    const auto cs = j2k::encode(img, p);
+    const auto info = j2k::read_header(cs);
+    // The full stream holds all layers; tiny prefixes hold none.
+    EXPECT_EQ(info.layers_in_prefix(cs.size()), 4);
+    EXPECT_EQ(info.layers_in_prefix(100), 0);
+    // A truncated "download" still decodes at the advertised layer count.
+    for (std::size_t cut : {cs.size() * 3 / 4, cs.size() / 2}) {
+        const int layers = info.layers_in_prefix(cut);
+        if (layers == 0) continue;
+        j2k::decoder dec{cs};  // full buffer, but only use the prefix layers
+        dec.set_max_quality_layers(layers);
+        const auto out = dec.decode_all();
+        EXPECT_EQ(out.width(), img.width());
+        EXPECT_GT(j2k::psnr(img, out), 10.0);
+    }
+}
+
+TEST(LayeredStream, LayeredLossyModeWorks)
+{
+    const image img = j2k::make_test_image(64, 64, 3);
+    j2k::codec_params p;
+    p.mode = j2k::wavelet::w9_7;
+    p.quality_layers = 3;
+    p.quant.base_step = 1.0 / 128.0;
+    const auto cs = j2k::encode(img, p);
+    j2k::decoder dec{cs};
+    dec.set_max_quality_layers(1);
+    const double q1 = j2k::psnr(img, dec.decode_all());
+    dec.set_max_quality_layers(0);
+    const double q3 = j2k::psnr(img, dec.decode_all());
+    EXPECT_GT(q3, q1);
+}
+
+TEST(LayeredStream, SingleLayerParamEqualsPlainFormat)
+{
+    const image img = j2k::make_test_image(32, 32, 1);
+    j2k::codec_params a;
+    j2k::codec_params b;
+    b.quality_layers = 1;
+    EXPECT_EQ(j2k::encode(img, a), j2k::encode(img, b));
+}
+
+TEST(LayeredStream, LayeredStreamsAreModestlyLarger)
+{
+    // Per-layer MQ termination costs a few bytes per block per layer; the
+    // overhead must stay small.
+    const image img = j2k::make_test_image(128, 128, 3);
+    j2k::codec_params plain;
+    j2k::codec_params lay = plain;
+    lay.quality_layers = 5;
+    const auto a = j2k::encode(img, plain);
+    const auto b = j2k::encode(img, lay);
+    EXPECT_GT(b.size(), a.size());
+    EXPECT_LT(static_cast<double>(b.size()), 1.35 * static_cast<double>(a.size()));
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// PGM/PPM file I/O.
+#include <j2k/j2k.hpp>
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace {
+
+using j2k::image;
+
+TEST(Pnm, PpmRoundTrip)
+{
+    const image img = j2k::make_test_image(37, 23, 3);
+    const std::string path = testing::TempDir() + "/t.ppm";
+    j2k::save_pnm(img, path);
+    EXPECT_EQ(j2k::load_pnm(path), img);
+}
+
+TEST(Pnm, PgmRoundTrip)
+{
+    const image img = j2k::make_test_image(16, 48, 1);
+    const std::string path = testing::TempDir() + "/t.pgm";
+    j2k::save_pnm(img, path);
+    EXPECT_EQ(j2k::load_pnm(path), img);
+}
+
+TEST(Pnm, SixteenBitRoundTrip)
+{
+    const image img = j2k::make_test_image(8, 8, 1, 12);
+    const std::string path = testing::TempDir() + "/t16.pgm";
+    j2k::save_pnm(img, path);
+    const image back = j2k::load_pnm(path);
+    EXPECT_EQ(back, img);
+    EXPECT_EQ(back.bit_depth(), 12);
+}
+
+TEST(Pnm, HeaderIsStandard)
+{
+    const image img = j2k::make_test_image(5, 7, 3);
+    const std::string path = testing::TempDir() + "/hdr.ppm";
+    j2k::save_pnm(img, path);
+    std::ifstream in{path, std::ios::binary};
+    std::string magic;
+    int w = 0;
+    int h = 0;
+    int maxv = 0;
+    in >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 5);
+    EXPECT_EQ(h, 7);
+    EXPECT_EQ(maxv, 255);
+}
+
+TEST(Pnm, CommentsInHeaderAreSkipped)
+{
+    const std::string path = testing::TempDir() + "/comment.pgm";
+    {
+        std::ofstream out{path, std::ios::binary};
+        out << "P5\n# a comment\n2 2\n# another\n255\n";
+        out.put(1).put(2).put(3).put(4);
+    }
+    const image img = j2k::load_pnm(path);
+    EXPECT_EQ(img.width(), 2);
+    EXPECT_EQ(img.comp(0).at(0, 0), 1);
+    EXPECT_EQ(img.comp(0).at(1, 1), 4);
+}
+
+TEST(Pnm, ErrorsAreReported)
+{
+    EXPECT_THROW((void)j2k::load_pnm("/nonexistent/file.pgm"), std::runtime_error);
+    const std::string path = testing::TempDir() + "/bad.pgm";
+    {
+        std::ofstream out{path};
+        out << "P9\n1 1\n255\n";
+    }
+    EXPECT_THROW((void)j2k::load_pnm(path), std::runtime_error);
+    {
+        std::ofstream out{path, std::ios::binary};
+        out << "P5\n4 4\n255\n";
+        out.put(0);  // truncated raster
+    }
+    EXPECT_THROW((void)j2k::load_pnm(path), std::runtime_error);
+    const image two{2, 2, 2};
+    EXPECT_THROW(j2k::save_pnm(two, path), std::runtime_error);
+}
+
+TEST(Pnm, CodecPipelineThroughFiles)
+{
+    // File in → encode → decode → file out → file in: everything intact.
+    const image img = j2k::make_test_image(64, 64, 3);
+    const std::string in_path = testing::TempDir() + "/pipe_in.ppm";
+    const std::string out_path = testing::TempDir() + "/pipe_out.ppm";
+    j2k::save_pnm(img, in_path);
+    const image loaded = j2k::load_pnm(in_path);
+    const auto cs = j2k::encode(loaded, j2k::codec_params{});
+    j2k::save_pnm(j2k::decode(cs), out_path);
+    EXPECT_EQ(j2k::load_pnm(out_path), img);
+}
+
+}  // namespace

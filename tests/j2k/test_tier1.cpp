@@ -1,0 +1,158 @@
+// EBCOT tier-1: exact round trips over block shapes, orientations, and
+// coefficient distributions; pass accounting; compression sanity.
+#include <j2k/tier1.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace {
+
+using j2k::band;
+using j2k::codeblock;
+
+std::vector<std::int32_t> random_coeffs(int w, int h, std::uint32_t seed,
+                                        int max_mag, double density)
+{
+    std::mt19937 rng{seed};
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    std::vector<std::int32_t> v(static_cast<std::size_t>(w) * h, 0);
+    for (auto& x : v) {
+        if (u(rng) < density) {
+            x = static_cast<std::int32_t>(rng() % static_cast<std::uint32_t>(max_mag)) + 1;
+            if (rng() % 2) x = -x;
+        }
+    }
+    return v;
+}
+
+void expect_roundtrip(const std::vector<std::int32_t>& coeffs, int w, int h, band b)
+{
+    const codeblock cb = j2k::tier1_encode(coeffs.data(), w, h, b);
+    std::vector<std::int32_t> out(coeffs.size(), -12345);
+    j2k::tier1_decode(cb, out.data(), b);
+    ASSERT_EQ(out, coeffs);
+}
+
+TEST(Tier1, AllZeroBlockProducesNoData)
+{
+    std::vector<std::int32_t> z(32 * 32, 0);
+    const codeblock cb = j2k::tier1_encode(z.data(), 32, 32, band::ll);
+    EXPECT_EQ(cb.num_planes, 0);
+    EXPECT_TRUE(cb.data.empty());
+    EXPECT_EQ(cb.pass_count(), 0);
+    std::vector<std::int32_t> out(z.size(), 7);
+    j2k::tier1_decode(cb, out.data(), band::ll);
+    EXPECT_EQ(out, z);
+}
+
+TEST(Tier1, SingleCoefficientRoundTrips)
+{
+    for (int val : {1, -1, 5, -127, 1024, -32768}) {
+        std::vector<std::int32_t> v(32 * 32, 0);
+        v[static_cast<std::size_t>(17) * 32 + 11] = val;
+        expect_roundtrip(v, 32, 32, band::hl);
+    }
+}
+
+TEST(Tier1, PassCountFormula)
+{
+    std::vector<std::int32_t> v(16 * 16, 0);
+    v[0] = 5;  // 3 magnitude planes
+    const codeblock cb = j2k::tier1_encode(v.data(), 16, 16, band::ll);
+    EXPECT_EQ(cb.num_planes, 3);
+    EXPECT_EQ(cb.pass_count(), 7);
+}
+
+struct T1Case {
+    int w;
+    int h;
+    band b;
+    int max_mag;
+    double density;
+};
+
+class Tier1RoundTrip : public testing::TestWithParam<T1Case> {};
+
+TEST_P(Tier1RoundTrip, Exact)
+{
+    const auto& c = GetParam();
+    const auto coeffs = random_coeffs(c.w, c.h, static_cast<std::uint32_t>(c.w * 131 + c.h + c.max_mag), c.max_mag, c.density);
+    expect_roundtrip(coeffs, c.w, c.h, c.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Tier1RoundTrip,
+    testing::Values(T1Case{32, 32, band::ll, 255, 0.5}, T1Case{32, 32, band::hl, 255, 0.5},
+                    T1Case{32, 32, band::lh, 255, 0.5}, T1Case{32, 32, band::hh, 255, 0.5},
+                    T1Case{64, 64, band::ll, 1000, 0.3}, T1Case{1, 1, band::hh, 9, 1.0},
+                    T1Case{5, 3, band::lh, 100, 0.8}, T1Case{32, 7, band::hl, 31, 0.2},
+                    T1Case{7, 32, band::lh, 31, 0.2}, T1Case{4, 4, band::ll, 65535, 1.0},
+                    T1Case{33, 29, band::hh, 511, 0.05}, T1Case{32, 32, band::ll, 3, 0.9},
+                    T1Case{16, 16, band::hl, 1, 0.01}, T1Case{63, 61, band::hh, 12345, 0.4}));
+
+TEST(Tier1, SparseBlocksCompressWell)
+{
+    // 1% density: run-length coding in the cleanup pass must pay off.
+    const auto coeffs = random_coeffs(64, 64, 99, 7, 0.01);
+    const codeblock cb = j2k::tier1_encode(coeffs.data(), 64, 64, band::hh);
+    EXPECT_LT(cb.data.size(), 64u * 64u / 8u);  // far below 1 bit/sample
+    std::vector<std::int32_t> out(coeffs.size());
+    j2k::tier1_decode(cb, out.data(), band::hh);
+    EXPECT_EQ(out, coeffs);
+}
+
+TEST(Tier1, DenseBlocksStillRoundTrip)
+{
+    const auto coeffs = random_coeffs(32, 32, 5, 100000, 1.0);
+    expect_roundtrip(coeffs, 32, 32, band::ll);
+}
+
+TEST(Tier1, StatsAccumulate)
+{
+    const auto coeffs = random_coeffs(32, 32, 11, 255, 0.5);
+    const codeblock cb = j2k::tier1_encode(coeffs.data(), 32, 32, band::ll);
+    j2k::tier1_stats st;
+    std::vector<std::int32_t> out(coeffs.size());
+    j2k::tier1_decode(cb, out.data(), band::ll, &st);
+    EXPECT_GT(st.mq_decisions, 0u);
+    EXPECT_EQ(st.passes, static_cast<std::uint64_t>(cb.pass_count()));
+    EXPECT_GT(st.samples, 0u);
+    // Decoding again accumulates rather than overwrites.
+    const auto first = st.mq_decisions;
+    j2k::tier1_decode(cb, out.data(), band::ll, &st);
+    EXPECT_EQ(st.mq_decisions, 2 * first);
+}
+
+TEST(Tier1, OrientationAffectsBitstreamButNotValues)
+{
+    const auto coeffs = random_coeffs(32, 32, 21, 63, 0.3);
+    const codeblock a = j2k::tier1_encode(coeffs.data(), 32, 32, band::hl);
+    const codeblock b = j2k::tier1_encode(coeffs.data(), 32, 32, band::hh);
+    // Different context tables generally give different bytes...
+    EXPECT_NE(a.data, b.data);
+    // ...but each decodes exactly with its own orientation.
+    std::vector<std::int32_t> out(coeffs.size());
+    j2k::tier1_decode(a, out.data(), band::hl);
+    EXPECT_EQ(out, coeffs);
+    j2k::tier1_decode(b, out.data(), band::hh);
+    EXPECT_EQ(out, coeffs);
+}
+
+TEST(Tier1, RejectsEmptyBlock)
+{
+    std::vector<std::int32_t> v(4, 0);
+    EXPECT_THROW((void)j2k::tier1_encode(v.data(), 0, 2, band::ll), std::invalid_argument);
+    codeblock cb;
+    EXPECT_THROW(j2k::tier1_decode(cb, v.data(), band::ll), std::invalid_argument);
+}
+
+TEST(Tier1, NegativeAndPositiveSignsPreserved)
+{
+    std::vector<std::int32_t> v(8 * 8, 0);
+    for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = (i % 2 ? -1 : 1) * (i + 1);
+    expect_roundtrip(v, 8, 8, band::ll);
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+// OSSS channels: transfer timing, bus contention, P2P independence, RMI
+// sockets, memories, serialisation.
+#include <osss/osss.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using osss::opb_bus;
+using osss::p2p_channel;
+using osss::scheduling_policy;
+using sim::time;
+
+constexpr time clk = time::ns(10);  // 100 MHz, as in the paper
+
+TEST(OpbBus, SingleTransferTiming)
+{
+    sim::kernel k;
+    opb_bus bus{"opb", clk};  // 32-bit, arb 1 + addr 1 + 2 cycles/beat
+    k.spawn([](opb_bus& b) -> sim::process {
+        co_await b.transact(0, 64);  // 16 beats of 4 bytes
+    }(bus));
+    k.run();
+    // 1 (arb) + 1 (addr) + 16*2 (beats) = 34 cycles.
+    EXPECT_EQ(k.now(), clk * 34);
+    EXPECT_EQ(bus.stats().transactions, 1u);
+    EXPECT_EQ(bus.stats().data_beats, 16u);
+    EXPECT_EQ(bus.stats().payload_bytes, 64u);
+}
+
+TEST(OpbBus, ZeroByteTransferStillCostsABeat)
+{
+    sim::kernel k;
+    opb_bus bus{"opb", clk};
+    k.spawn([](opb_bus& b) -> sim::process { co_await b.transact(0, 0); }(bus));
+    k.run();
+    EXPECT_EQ(k.now(), clk * 4);  // arb + addr + 1 beat * 2
+}
+
+TEST(OpbBus, ContentionSerialisesMasters)
+{
+    sim::kernel k;
+    opb_bus bus{"opb", clk};
+    std::vector<std::int64_t> done;
+    for (int m = 0; m < 3; ++m) {
+        k.spawn([](opb_bus& b, std::vector<std::int64_t>& d, int id) -> sim::process {
+            co_await b.transact(id, 4);  // 1 beat → 4 cycles each
+            d.push_back(sim::kernel::current()->now().to_ps());
+        }(bus, done, m));
+    }
+    k.run();
+    ASSERT_EQ(done.size(), 3u);
+    // Transfers run strictly back-to-back: 4, 8, 12 cycles.
+    EXPECT_EQ(done[0], (clk * 4).to_ps());
+    EXPECT_EQ(done[1], (clk * 8).to_ps());
+    EXPECT_EQ(done[2], (clk * 12).to_ps());
+    EXPECT_GT(bus.stats().wait_time, time::zero());
+}
+
+TEST(OpbBus, WiderBusMovesDataFaster)
+{
+    auto run = [](int width_bits) {
+        sim::kernel k;
+        opb_bus::config cfg;
+        cfg.width_bits = width_bits;
+        opb_bus bus{"opb", clk, cfg};
+        k.spawn([](opb_bus& b) -> sim::process { co_await b.transact(0, 1024); }(bus));
+        return k.run();
+    };
+    EXPECT_LT(run(64), run(32));
+    EXPECT_LT(run(32), run(8));
+}
+
+TEST(P2p, IndependentLinksDoNotContend)
+{
+    sim::kernel k;
+    p2p_channel l0{"p2p0", clk};
+    p2p_channel l1{"p2p1", clk};
+    std::vector<std::int64_t> done;
+    auto user = [](p2p_channel& c, std::vector<std::int64_t>& d) -> sim::process {
+        co_await c.transact(0, 400);  // 100 beats + 1 setup = 101 cycles
+        d.push_back(sim::kernel::current()->now().to_ps());
+    };
+    k.spawn(user(l0, done));
+    k.spawn(user(l1, done));
+    k.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], (clk * 101).to_ps());
+    EXPECT_EQ(done[1], (clk * 101).to_ps());  // fully parallel
+}
+
+TEST(P2p, FasterThanBusForSamePayload)
+{
+    sim::kernel k;
+    opb_bus bus{"opb", clk};
+    p2p_channel link{"p2p", clk};
+    // P2P: 1 setup + N beats·1; OPB: 2 + N·2 — P2P strictly faster.
+    EXPECT_LT(link.uncontended_latency(256).to_ps(), bus.uncontended_latency(256).to_ps());
+}
+
+// ---- RMI socket ----
+
+struct coproc {
+    int invocations = 0;
+    std::vector<int> scale(std::vector<int> v)
+    {
+        ++invocations;
+        for (auto& x : v) x *= 2;
+        return v;
+    }
+};
+
+TEST(ObjectSocket, RmiCallMovesPayloadAndExecutes)
+{
+    sim::kernel k;
+    osss::shared_object<coproc> so{"hw_so", scheduling_policy::fifo};
+    osss::object_socket<coproc> sock{so};
+    opb_bus bus{"opb", clk};
+    auto b = sock.bind("sw_client", bus, /*initiator=*/0);
+
+    std::vector<int> result;
+    k.spawn([](osss::object_socket<coproc>& s, osss::object_socket<coproc>::binding& bd,
+               std::vector<int>& out) -> sim::process {
+        const std::vector<int> arg{1, 2, 3, 4};
+        out = co_await s.call(bd, arg, [&arg](coproc& c) { return c.scale(arg); });
+    }(sock, b, result));
+    k.run();
+    EXPECT_EQ(result, (std::vector<int>{2, 4, 6, 8}));
+    EXPECT_EQ(so.object().invocations, 1);
+    // Two bus transactions: request and response.
+    EXPECT_EQ(bus.stats().transactions, 2u);
+    // Request: 8 B header + 8 B length + 16 B data; response likewise.
+    EXPECT_EQ(bus.stats().payload_bytes, 2u * (8 + 8 + 16));
+    EXPECT_GT(k.now(), time::zero());
+}
+
+TEST(ObjectSocket, BusClientsContendP2pClientsDoNot)
+{
+    auto run = [](bool use_p2p) {
+        sim::kernel k;
+        osss::shared_object<coproc> so{"so", scheduling_policy::fifo};
+        osss::object_socket<coproc> sock{so};
+        opb_bus bus{"opb", clk};
+        p2p_channel l0{"l0", clk}, l1{"l1", clk};
+        auto b0 = use_p2p ? sock.bind("c0", l0, 0) : sock.bind("c0", bus, 0);
+        auto b1 = use_p2p ? sock.bind("c1", l1, 1) : sock.bind("c1", bus, 1);
+        auto user = [](osss::object_socket<coproc>& s,
+                       osss::object_socket<coproc>::binding& bd) -> sim::process {
+            // Large payloads, trivial method: communication dominates.
+            co_await s.call_sized(bd, 4096, 4096, [](coproc&) {});
+        };
+        k.spawn(user(sock, b0));
+        k.spawn(user(sock, b1));
+        return k.run();
+    };
+    EXPECT_LT(run(true), run(false));  // the paper's 6b-vs-6a effect
+}
+
+// ---- memories ----
+
+TEST(BlockRam, ChargesCyclesPerAccess)
+{
+    sim::kernel k;
+    osss::xilinx_block_ram<std::int16_t> ram{"bram", clk, 1024};
+    k.spawn([](osss::xilinx_block_ram<std::int16_t>& r) -> sim::process {
+        co_await r.write(5, 123);
+        const auto v = co_await r.read(5);
+        EXPECT_EQ(v, 123);
+    }(ram));
+    k.run();
+    EXPECT_EQ(k.now(), clk * 2);
+    EXPECT_EQ(ram.stats().reads, 1u);
+    EXPECT_EQ(ram.stats().writes, 1u);
+}
+
+TEST(BlockRam, BlockTransfersAndDualPort)
+{
+    auto run = [](int ports) {
+        sim::kernel k;
+        osss::xilinx_block_ram<std::int32_t> ram{
+            "bram", clk, 4096, {.ports = ports, .cycles_per_access = 1}};
+        k.spawn([](osss::xilinx_block_ram<std::int32_t>& r) -> sim::process {
+            std::vector<std::int32_t> data(1000, 7);
+            co_await r.write_block(0, data);
+        }(ram));
+        return k.run();
+    };
+    EXPECT_EQ(run(1), clk * 1000);
+    EXPECT_EQ(run(2), clk * 500);
+}
+
+TEST(BlockRam, OutOfRangeThrows)
+{
+    sim::kernel k;
+    osss::xilinx_block_ram<std::int32_t> ram{"bram", clk, 8};
+    k.spawn([](osss::xilinx_block_ram<std::int32_t>& r) -> sim::process {
+        bool threw = false;
+        try {
+            (void)co_await r.read(8);
+        } catch (const std::out_of_range&) {
+            threw = true;
+        }
+        EXPECT_TRUE(threw);
+    }(ram));
+    k.run();
+}
+
+TEST(OsssArray, SameInterfaceZeroTime)
+{
+    sim::kernel k;
+    osss::osss_array<std::int16_t> arr{64};
+    k.spawn([](osss::osss_array<std::int16_t>& a) -> sim::process {
+        co_await a.write(3, 9);
+        EXPECT_EQ(co_await a.read(3), 9);
+    }(arr));
+    k.run();
+    EXPECT_EQ(k.now(), time::zero());  // Application Layer: no memory timing
+}
+
+TEST(DdrMemory, BurstLatencyModel)
+{
+    sim::kernel k;
+    osss::ddr_memory ddr{"ddr", clk};
+    k.spawn([](osss::ddr_memory& d) -> sim::process {
+        co_await d.burst(0, 64);  // 12 CAS + 8 beats
+    }(ddr));
+    k.run();
+    EXPECT_EQ(k.now(), clk * 20);
+}
+
+// ---- serialisation ----
+
+TEST(Serialization, ScalarsAndVectorsRoundTrip)
+{
+    EXPECT_EQ(osss::serial_roundtrip(42), 42);
+    EXPECT_EQ(osss::serial_roundtrip(3.5), 3.5);
+    EXPECT_EQ(osss::serial_roundtrip(std::string{"tile"}), "tile");
+    const std::vector<std::int16_t> v{1, -2, 3, -4};
+    EXPECT_EQ(osss::serial_roundtrip(v), v);
+    const std::vector<std::string> vs{"a", "bc"};
+    EXPECT_EQ(osss::serial_roundtrip(vs), vs);
+    const std::pair<int, double> p{7, 2.25};
+    EXPECT_EQ(osss::serial_roundtrip(p), p);
+}
+
+TEST(Serialization, SizesMatchWireFormat)
+{
+    EXPECT_EQ(osss::serial_size(std::int32_t{1}), 4u);
+    EXPECT_EQ(osss::serial_size(std::vector<std::int32_t>(10, 0)), 8u + 40u);
+    EXPECT_EQ(osss::serial_size(std::string{"ab"}), 8u + 2u);
+}
+
+TEST(Serialization, ReaderUnderflowThrows)
+{
+    std::vector<std::uint8_t> two{1, 2};
+    osss::archive_reader r{std::span<const std::uint8_t>{two}};
+    std::int32_t v = 0;
+    EXPECT_THROW(r.get(v), std::out_of_range);
+}
+
+// ---- design registry ----
+
+TEST(Design, InventoryAndReport)
+{
+    osss::design d{"jpeg2000_v3"};
+    d.add(osss::component_kind::sw_task, "arith_decoder", "sw_task", "microblaze0");
+    d.add(osss::component_kind::shared_object, "hw_sw_so", "shared_object<iq_idwt>");
+    d.add(osss::component_kind::channel, "opb", "opb_bus");
+    d.add_link("arith_decoder", "hw_sw_so", "opb");
+    EXPECT_EQ(d.components().size(), 3u);
+    EXPECT_EQ(d.of_kind(osss::component_kind::channel).size(), 1u);
+    const auto rep = d.report();
+    EXPECT_NE(rep.find("arith_decoder"), std::string::npos);
+    EXPECT_NE(rep.find("via opb"), std::string::npos);
+}
+
+TEST(Design, DotExportDrawsNodesAndEdges)
+{
+    osss::design d{"demo"};
+    d.add(osss::component_kind::sw_task, "task0", "sw_task", "cpu0");
+    d.add(osss::component_kind::processor, "cpu0", "microblaze");
+    d.add(osss::component_kind::shared_object, "so", "shared_object<x>");
+    d.add_link("task0", "so", "opb");
+    const std::string dot = d.to_dot();
+    EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+    EXPECT_NE(dot.find("\"task0\" [shape=ellipse"), std::string::npos);
+    EXPECT_NE(dot.find("\"so\" [shape=hexagon"), std::string::npos);
+    EXPECT_NE(dot.find("\"task0\" -> \"so\" [label=\"opb\"]"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed, label=\"mapped\""), std::string::npos);
+}
+
+}  // namespace

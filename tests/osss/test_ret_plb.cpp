@@ -1,0 +1,165 @@
+// RET deadline supervision, the PLB channel, and bus observability.
+#include <osss/osss.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sim::time;
+
+constexpr time clk = time::ns(10);
+
+sim::task<int> busy_for(time t, int result)
+{
+    co_await sim::delay(t);
+    co_return result;
+}
+
+TEST(Ret, MetDeadlinePassesThroughResult)
+{
+    sim::kernel k;
+    int got = 0;
+    k.spawn([](int& out) -> sim::process {
+        out = co_await osss::ret(time::us(10), busy_for(time::us(5), 42));
+    }(got));
+    k.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(Ret, MissedDeadlineThrows)
+{
+    sim::kernel k;
+    bool caught = false;
+    k.spawn([](bool& c) -> sim::process {
+        try {
+            (void)co_await osss::ret(time::us(1), busy_for(time::us(5), 0));
+        } catch (const osss::ret_violation& v) {
+            c = true;
+            EXPECT_EQ(v.deadline(), time::us(1));
+            EXPECT_EQ(v.actual(), time::us(5));
+        }
+    }(caught));
+    k.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Ret, MonitorRecordsInsteadOfThrowing)
+{
+    sim::kernel k;
+    osss::ret_monitor mon;
+    k.spawn([](osss::ret_monitor& m) -> sim::process {
+        (void)co_await osss::ret(time::us(10), busy_for(time::us(5), 1), &m);
+        (void)co_await osss::ret(time::us(2), busy_for(time::us(5), 2), &m);
+        (void)co_await osss::ret(time::us(2), busy_for(time::us(9), 3), &m);
+    }(mon));
+    k.run();
+    EXPECT_EQ(mon.checks(), 3u);
+    EXPECT_EQ(mon.violations(), 2u);
+    EXPECT_FALSE(mon.all_met());
+    EXPECT_EQ(mon.worst_overrun(), time::us(7));
+    EXPECT_EQ(mon.worst_actual(), time::us(9));
+}
+
+TEST(Ret, VoidBodySupported)
+{
+    sim::kernel k;
+    osss::ret_monitor mon;
+    k.spawn([](osss::ret_monitor& m) -> sim::process {
+        auto body = []() -> sim::task<void> { co_await sim::delay(time::us(3)); };
+        co_await osss::ret(time::us(4), body(), &m);
+    }(mon));
+    k.run();
+    EXPECT_EQ(mon.checks(), 1u);
+    EXPECT_TRUE(mon.all_met());
+}
+
+// ---- PLB ----
+
+TEST(PlbBus, FasterThanOpbForLargePayloads)
+{
+    osss::opb_bus opb{"opb", clk};
+    osss::plb_bus plb{"plb", clk};
+    // 64-bit, 1 cycle/beat, burst: PLB must be much faster.
+    EXPECT_LT(plb.uncontended_latency(4096).to_ns() * 3,
+              opb.uncontended_latency(4096).to_ns());
+}
+
+TEST(PlbBus, PipeliningHidesAddressPhaseUnderContention)
+{
+    sim::kernel k;
+    osss::plb_bus plb{"plb", clk};
+    for (int m = 0; m < 2; ++m) {
+        k.spawn([](osss::plb_bus& b, int id) -> sim::process {
+            for (int i = 0; i < 8; ++i) co_await b.transact(id, 512);
+        }(plb, m));
+    }
+    k.run();
+    // 16 bursts of 512 B = 64 beats each; the first pays the address cycle,
+    // contended ones overlap it: ≤ 16·64 + a few address cycles.
+    const std::int64_t total_cycles = k.now() / clk;
+    EXPECT_LE(total_cycles, 16 * 64 + 3);
+    EXPECT_EQ(plb.stats().transactions, 16u);
+}
+
+TEST(PlbBus, ArbitratesLikeAnyChannel)
+{
+    sim::kernel k;
+    osss::plb_bus plb{"plb", clk};
+    std::vector<int> order;
+    for (int m = 0; m < 3; ++m) {
+        k.spawn([](osss::plb_bus& b, std::vector<int>& o, int id) -> sim::process {
+            co_await b.transact(id, 64);
+            o.push_back(id);
+        }(plb, order, m));
+    }
+    k.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_GT(plb.stats().wait_time, time::zero());
+}
+
+// ---- observability ----
+
+TEST(BusObservability, BusyAndPendingVisibleDuringRun)
+{
+    sim::kernel k;
+    osss::opb_bus bus{"opb", clk};
+    bool saw_busy = false;
+    bool saw_pending = false;
+    for (int m = 0; m < 3; ++m) {
+        k.spawn([](osss::opb_bus& b, int id) -> sim::process {
+            co_await b.transact(id, 1024);
+        }(bus, m));
+    }
+    k.spawn([](osss::opb_bus& b, bool& busy, bool& pending) -> sim::process {
+        for (int i = 0; i < 50; ++i) {
+            busy |= b.busy();
+            pending |= b.pending_masters() > 0;
+            co_await sim::delay(time::ns(20));
+        }
+    }(bus, saw_busy, saw_pending));
+    k.run();
+    EXPECT_TRUE(saw_busy);
+    EXPECT_TRUE(saw_pending);
+    EXPECT_FALSE(bus.busy());  // released at the end
+}
+
+TEST(OpbBus, ChunkingReArbitratesLongTransfers)
+{
+    // A long transfer must not block the bus monolithically: a competing
+    // 4-byte transfer finishes long before the 64 KiB one.
+    sim::kernel k;
+    osss::opb_bus bus{"opb", clk};
+    time small_done{};
+    k.spawn([](osss::opb_bus& b) -> sim::process {
+        co_await b.transact(0, 65536);
+    }(bus));
+    k.spawn([](osss::opb_bus& b, time& done) -> sim::process {
+        co_await sim::delay(time::ns(5));  // arrive just after the big one
+        co_await b.transact(1, 4);
+        done = sim::kernel::current()->now();
+    }(bus, small_done));
+    const time total = k.run();
+    EXPECT_LT(small_done.to_ns(), total.to_ns() / 10);
+}
+
+}  // namespace

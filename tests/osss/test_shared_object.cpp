@@ -1,0 +1,263 @@
+// Shared Objects: blocking method calls, mutual exclusion, timed methods,
+// guarded calls, statistics.
+#include <osss/processor.hpp>
+#include <osss/shared_object.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using osss::scheduling_policy;
+using osss::shared_object;
+using sim::time;
+
+struct counter {
+    int value = 0;
+    int max_concurrent = 0;
+    int inside = 0;
+};
+
+TEST(SharedObject, CallReturnsMethodResult)
+{
+    sim::kernel k;
+    shared_object<counter> so{"cnt", scheduling_policy::fifo};
+    auto cl = so.make_client("c0");
+    int got = -1;
+    k.spawn([](shared_object<counter>& s, shared_object<counter>::client& c,
+               int& out) -> sim::process {
+        out = co_await s.call(c, [](counter& x) { return ++x.value; });
+    }(so, cl, got));
+    k.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(so.object().value, 1);
+    EXPECT_EQ(so.total_calls(), 1u);
+}
+
+TEST(SharedObject, BlockingCallsAreMutuallyExclusive)
+{
+    sim::kernel k;
+    shared_object<counter> so{"cnt", scheduling_policy::fifo};
+    std::vector<shared_object<counter>::client> cls;
+    for (int i = 0; i < 4; ++i) cls.push_back(so.make_client("c" + std::to_string(i)));
+    for (auto& cl : cls) {
+        k.spawn([](shared_object<counter>& s,
+                   shared_object<counter>::client& c) -> sim::process {
+            for (int i = 0; i < 5; ++i) {
+                co_await s.call(c, [](counter& x) -> sim::task<void> {
+                    ++x.inside;
+                    x.max_concurrent = std::max(x.max_concurrent, x.inside);
+                    co_await sim::delay(time::ns(10));  // timed method body
+                    --x.inside;
+                    ++x.value;
+                });
+            }
+        }(so, cl));
+    }
+    k.run();
+    EXPECT_EQ(so.object().value, 20);
+    EXPECT_EQ(so.object().max_concurrent, 1);  // never concurrent
+    // 20 calls × 10 ns exclusive: total 200 ns of busy time.
+    EXPECT_EQ(so.stats().busy_time, time::ns(200));
+    EXPECT_EQ(k.now(), time::ns(200));
+}
+
+TEST(SharedObject, MethodCallBlocksCallerUntilComplete)
+{
+    // The paper: "A method call on a port will not return until its
+    // execution has been completed."
+    sim::kernel k;
+    shared_object<counter> so{"cnt", scheduling_policy::fifo};
+    auto cl = so.make_client("c");
+    time returned_at{};
+    k.spawn([](shared_object<counter>& s, shared_object<counter>::client& c,
+               time& ret) -> sim::process {
+        co_await s.call(c, [](counter&) -> sim::task<void> {
+            co_await sim::delay(time::ms(3));
+        });
+        ret = sim::kernel::current()->now();
+    }(so, cl, returned_at));
+    k.run();
+    EXPECT_EQ(returned_at, time::ms(3));
+}
+
+struct mailbox {
+    std::vector<int> slots;
+    [[nodiscard]] bool has_data() const noexcept { return !slots.empty(); }
+};
+
+TEST(SharedObject, GuardedCallWaitsForPredicate)
+{
+    sim::kernel k;
+    shared_object<mailbox> so{"mbox", scheduling_policy::fifo};
+    auto producer = so.make_client("producer");
+    auto consumer = so.make_client("consumer");
+    int received = 0;
+    time received_at{};
+    k.spawn([](shared_object<mailbox>& s, shared_object<mailbox>::client& c,
+               int& out, time& at) -> sim::process {
+        out = co_await s.call_when(
+            c, [](const mailbox& m) { return m.has_data(); },
+            [](mailbox& m) {
+                const int v = m.slots.back();
+                m.slots.pop_back();
+                return v;
+            });
+        at = sim::kernel::current()->now();
+    }(so, consumer, received, received_at));
+    k.spawn([](shared_object<mailbox>& s,
+               shared_object<mailbox>::client& c) -> sim::process {
+        co_await sim::delay(time::us(7));
+        co_await s.call(c, [](mailbox& m) { m.slots.push_back(42); });
+    }(so, producer));
+    k.run();
+    EXPECT_EQ(received, 42);
+    EXPECT_EQ(received_at, time::us(7));
+}
+
+TEST(SharedObject, GuardedCallDoesNotDeadlockOtherClients)
+{
+    // A waiting guard must release the object so producers can get in.
+    sim::kernel k;
+    shared_object<mailbox> so{"mbox", scheduling_policy::fifo};
+    auto c1 = so.make_client("g1");
+    auto c2 = so.make_client("g2");
+    auto prod = so.make_client("p");
+    int sum = 0;
+    auto consume = [](shared_object<mailbox>& s, shared_object<mailbox>::client& c,
+                      int& acc) -> sim::process {
+        const int v = co_await s.call_when(
+            c, [](const mailbox& m) { return m.has_data(); },
+            [](mailbox& m) {
+                const int x = m.slots.back();
+                m.slots.pop_back();
+                return x;
+            });
+        acc += v;
+    };
+    k.spawn(consume(so, c1, sum));
+    k.spawn(consume(so, c2, sum));
+    k.spawn([](shared_object<mailbox>& s,
+               shared_object<mailbox>::client& c) -> sim::process {
+        for (int i = 1; i <= 2; ++i) {
+            co_await sim::delay(time::us(1));
+            co_await s.call(c, [i](mailbox& m) { m.slots.push_back(i); });
+        }
+    }(so, prod));
+    k.run();
+    EXPECT_EQ(sum, 3);
+}
+
+TEST(SharedObject, PriorityPolicyOrdersCompetingClients)
+{
+    sim::kernel k;
+    shared_object<counter> so{"cnt", scheduling_policy::priority};
+    auto low = so.make_client("low", 1);
+    auto high = so.make_client("high", 9);
+    auto holder = so.make_client("holder");
+    std::vector<std::string> order;
+    k.spawn([](shared_object<counter>& s, shared_object<counter>::client& c) -> sim::process {
+        co_await s.call(c, [](counter&) -> sim::task<void> {
+            co_await sim::delay(time::ns(100));
+        });
+    }(so, holder));
+    auto contender = [](shared_object<counter>& s, shared_object<counter>::client& c,
+                        std::vector<std::string>& ord, time start) -> sim::process {
+        co_await sim::delay(start);
+        co_await s.call(c, [&ord, &c](counter&) { ord.push_back(c.name()); });
+    };
+    k.spawn(contender(so, low, order, time::ns(1)));   // low asks first
+    k.spawn(contender(so, high, order, time::ns(2)));  // high asks second
+    k.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "high");
+    EXPECT_EQ(order[1], "low");
+}
+
+TEST(SharedObject, ClientStatsTrackWaitAndCalls)
+{
+    sim::kernel k;
+    shared_object<counter> so{"cnt", scheduling_policy::fifo};
+    auto a = so.make_client("a");
+    auto b = so.make_client("b");
+    k.spawn([](shared_object<counter>& s, shared_object<counter>::client& c) -> sim::process {
+        co_await s.call(c, [](counter&) -> sim::task<void> {
+            co_await sim::delay(time::us(5));
+        });
+    }(so, a));
+    k.spawn([](shared_object<counter>& s, shared_object<counter>::client& c) -> sim::process {
+        co_await sim::delay(time::us(1));
+        co_await s.call(c, [](counter&) {});
+    }(so, b));
+    k.run();
+    EXPECT_EQ(a.stats().calls, 1u);
+    EXPECT_EQ(a.stats().wait_time, time::zero());
+    EXPECT_EQ(a.stats().held_time, time::us(5));
+    EXPECT_EQ(b.stats().calls, 1u);
+    EXPECT_EQ(b.stats().wait_time, time::us(4));
+}
+
+// ---- EET / processor ----
+
+TEST(Eet, AnnotatedBlockAdvancesTimeAndRunsBody)
+{
+    sim::kernel k;
+    int computed = 0;
+    k.spawn([](int& out) -> sim::process {
+        out = co_await osss::eet(time::ms(180), [] { return 6 * 7; });
+        EXPECT_EQ(sim::kernel::current()->now(), time::ms(180));
+    }(computed));
+    k.run();
+    EXPECT_EQ(computed, 42);
+}
+
+TEST(Processor, SerialisesTasksMappedOntoIt)
+{
+    sim::kernel k;
+    osss::processor cpu{"ppc405", time::ns(10)};  // 100 MHz
+    // Two EET blocks of 1 ms each from two tasks on one CPU: 2 ms total.
+    osss::sw_task t1{"t1", [&cpu]() -> sim::task<void> {
+        co_await cpu.execute(time::ms(1));
+    }};
+    osss::sw_task t2{"t2", [&cpu]() -> sim::task<void> {
+        co_await cpu.execute(time::ms(1));
+    }};
+    cpu.add_sw_task(t1);
+    cpu.add_sw_task(t2);
+    cpu.start(k);
+    k.run();
+    EXPECT_EQ(k.now(), time::ms(2));
+    EXPECT_EQ(cpu.busy_time(), time::ms(2));
+    EXPECT_EQ(cpu.task_count(), 2u);
+}
+
+TEST(Processor, SpeedFactorScalesExecution)
+{
+    sim::kernel k;
+    osss::processor fast{"fast", time::ns(5), 2.0};
+    osss::sw_task t{"t", [&fast]() -> sim::task<void> {
+        co_await fast.execute(time::ms(4));
+    }};
+    fast.add_sw_task(t);
+    fast.start(k);
+    k.run();
+    EXPECT_EQ(k.now(), time::ms(2));  // 2× faster
+}
+
+TEST(Processor, TwoProcessorsRunInParallel)
+{
+    sim::kernel k;
+    osss::processor a{"cpu0", time::ns(10)};
+    osss::processor b{"cpu1", time::ns(10)};
+    osss::sw_task ta{"ta", [&a]() -> sim::task<void> { co_await a.execute(time::ms(3)); }};
+    osss::sw_task tb{"tb", [&b]() -> sim::task<void> { co_await b.execute(time::ms(3)); }};
+    a.add_sw_task(ta);
+    b.add_sw_task(tb);
+    a.start(k);
+    b.start(k);
+    k.run();
+    EXPECT_EQ(k.now(), time::ms(3));  // true parallelism across processors
+}
+
+}  // namespace

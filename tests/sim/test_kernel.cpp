@@ -1,0 +1,267 @@
+// Kernel semantics: process scheduling, delays, events, delta cycles,
+// nested task composition, exception propagation.
+#include <sim/sim.hpp>
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using sim::time;
+
+TEST(Kernel, StartsAtTimeZero)
+{
+    sim::kernel k;
+    EXPECT_EQ(k.now(), time::zero());
+    EXPECT_EQ(k.run(), time::zero());
+}
+
+TEST(Kernel, DelayAdvancesTime)
+{
+    sim::kernel k;
+    time observed{};
+    k.spawn([](sim::kernel& kr, time& obs) -> sim::process {
+        co_await sim::delay(time::ns(42));
+        obs = kr.now();
+    }(k, observed));
+    k.run();
+    EXPECT_EQ(observed, time::ns(42));
+    EXPECT_EQ(k.now(), time::ns(42));
+}
+
+TEST(Kernel, SequentialDelaysAccumulate)
+{
+    sim::kernel k;
+    std::vector<std::int64_t> stamps;
+    k.spawn([](sim::kernel& kr, std::vector<std::int64_t>& s) -> sim::process {
+        for (int i = 0; i < 5; ++i) {
+            co_await sim::delay(time::us(10));
+            s.push_back(kr.now().to_ps());
+        }
+    }(k, stamps));
+    k.run();
+    ASSERT_EQ(stamps.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(stamps[static_cast<std::size_t>(i)], time::us(10 * (i + 1)).to_ps());
+}
+
+TEST(Kernel, TwoProcessesInterleaveByTimestamp)
+{
+    sim::kernel k;
+    std::vector<std::string> order;
+    k.spawn([](std::vector<std::string>& o) -> sim::process {
+        co_await sim::delay(time::ns(10));
+        o.push_back("a@10");
+        co_await sim::delay(time::ns(20));
+        o.push_back("a@30");
+    }(order));
+    k.spawn([](std::vector<std::string>& o) -> sim::process {
+        co_await sim::delay(time::ns(5));
+        o.push_back("b@5");
+        co_await sim::delay(time::ns(20));
+        o.push_back("b@25");
+    }(order));
+    k.run();
+    const std::vector<std::string> expect{"b@5", "a@10", "b@25", "a@30"};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(Kernel, EventNotifyWakesWaiterNextDelta)
+{
+    sim::kernel k;
+    sim::event ev{"ev"};
+    bool woke = false;
+    k.spawn([](sim::event& e, bool& w) -> sim::process {
+        co_await e.wait();
+        w = true;
+    }(ev, woke));
+    k.spawn([](sim::event& e) -> sim::process {
+        co_await sim::delay(time::ns(7));
+        e.notify();
+    }(ev));
+    k.run();
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(k.now(), time::ns(7));
+}
+
+TEST(Kernel, TimedNotifyDelaysWakeup)
+{
+    sim::kernel k;
+    sim::event ev{"ev"};
+    time woke_at{};
+    k.spawn([](sim::kernel& kr, sim::event& e, time& w) -> sim::process {
+        co_await e.wait();
+        w = kr.now();
+    }(k, ev, woke_at));
+    k.spawn([](sim::event& e) -> sim::process {
+        co_await sim::delay(time::ns(3));
+        e.notify(time::ns(9));
+        co_return;
+    }(ev));
+    k.run();
+    EXPECT_EQ(woke_at, time::ns(12));
+}
+
+TEST(Kernel, NotifyWakesAllWaiters)
+{
+    sim::kernel k;
+    sim::event ev{"ev"};
+    int woken = 0;
+    for (int i = 0; i < 4; ++i) {
+        k.spawn([](sim::event& e, int& w) -> sim::process {
+            co_await e.wait();
+            ++w;
+        }(ev, woken));
+    }
+    k.spawn([](sim::event& e) -> sim::process {
+        co_await sim::delay(time::ns(1));
+        e.notify();
+    }(ev));
+    k.run();
+    EXPECT_EQ(woken, 4);
+}
+
+// A nested task chain: process -> task<int> -> task<int> with delays inside.
+sim::task<int> leaf_wait()
+{
+    co_await sim::delay(time::ns(100));
+    co_return 21;
+}
+
+sim::task<int> mid_wait()
+{
+    const int v = co_await leaf_wait();
+    co_await sim::delay(time::ns(100));
+    co_return v * 2;
+}
+
+TEST(Kernel, NestedTasksSuspendWholeChain)
+{
+    sim::kernel k;
+    int result = 0;
+    k.spawn([](sim::kernel& kr, int& r) -> sim::process {
+        r = co_await mid_wait();
+        EXPECT_EQ(kr.now(), time::ns(200));
+    }(k, result));
+    k.run();
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(k.now(), time::ns(200));
+}
+
+TEST(Kernel, RunUntilBoundStopsEarly)
+{
+    sim::kernel k;
+    int steps = 0;
+    k.spawn([](int& s) -> sim::process {
+        for (;;) {
+            co_await sim::delay(time::ms(1));
+            ++s;
+        }
+    }(steps));
+    k.run(time::ms(10));
+    EXPECT_EQ(steps, 10);
+    EXPECT_EQ(k.now(), time::ms(10));
+}
+
+TEST(Kernel, StopRequestTerminatesRun)
+{
+    sim::kernel k;
+    k.spawn([](sim::kernel& kr) -> sim::process {
+        co_await sim::delay(time::ns(5));
+        kr.stop();
+        co_await sim::delay(time::ns(5));  // never reached
+        ADD_FAILURE() << "ran past stop()";
+    }(k));
+    k.run();
+    EXPECT_EQ(k.now(), time::ns(5));
+}
+
+TEST(Kernel, ProcessExceptionPropagatesFromRun)
+{
+    sim::kernel k;
+    k.spawn([]() -> sim::process {
+        co_await sim::delay(time::ns(1));
+        throw std::runtime_error{"boom"};
+    }());
+    EXPECT_THROW(k.run(), std::runtime_error);
+}
+
+TEST(Kernel, TaskExceptionPropagatesToAwaiter)
+{
+    sim::kernel k;
+    bool caught = false;
+    k.spawn([](bool& c) -> sim::process {
+        auto throwing = []() -> sim::task<void> {
+            co_await sim::delay(time::ns(1));
+            throw std::logic_error{"inner"};
+        };
+        try {
+            co_await throwing();
+        } catch (const std::logic_error&) {
+            c = true;
+        }
+    }(caught));
+    k.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Kernel, SignalCommitsInUpdatePhase)
+{
+    sim::kernel k;
+    sim::signal<int> s{"s", 0};
+    std::vector<int> seen;
+    k.spawn([](sim::signal<int>& sg, std::vector<int>& out) -> sim::process {
+        co_await sg.wait_change();
+        out.push_back(sg.read());
+        co_await sg.wait_change();
+        out.push_back(sg.read());
+    }(s, seen));
+    k.spawn([](sim::signal<int>& sg) -> sim::process {
+        sg.write(1);
+        sg.write(2);  // same delta: last write wins
+        co_await sim::delay(time::ns(1));
+        sg.write(3);
+    }(s));
+    k.run();
+    const std::vector<int> expect{2, 3};
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(Kernel, DeltaCyclesDoNotAdvanceTime)
+{
+    sim::kernel k;
+    int bounces = 0;
+    k.spawn([](sim::kernel& kr, int& b) -> sim::process {
+        for (int i = 0; i < 100; ++i) {
+            co_await kr.next_delta();
+            ++b;
+        }
+        EXPECT_EQ(kr.now(), time::zero());
+    }(k, bounces));
+    k.run();
+    EXPECT_EQ(bounces, 100);
+}
+
+TEST(Clock, EdgesLandOnPeriodMultiples)
+{
+    sim::kernel k;
+    sim::clock clk{"clk", time::ns(10)};  // 100 MHz
+    std::vector<std::int64_t> edges;
+    k.spawn([](sim::clock& c, std::vector<std::int64_t>& e) -> sim::process {
+        co_await sim::delay(time::ns(3));
+        for (int i = 0; i < 3; ++i) {
+            co_await c.rising_edge();
+            e.push_back(sim::kernel::current()->now().to_ps());
+        }
+        co_await c.cycles(5);
+        e.push_back(sim::kernel::current()->now().to_ps());
+    }(clk, edges));
+    k.run();
+    const std::vector<std::int64_t> expect{10'000, 20'000, 30'000, 80'000};
+    EXPECT_EQ(edges, expect);
+    EXPECT_NEAR(clk.frequency_mhz(), 100.0, 1e-9);
+}
+
+}  // namespace

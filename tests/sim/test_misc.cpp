@@ -1,0 +1,158 @@
+// Additional kernel semantics: dynamic process creation, notify corner
+// cases, diagnostics counters, stress interleavings.
+#include <sim/sim.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using sim::time;
+
+TEST(KernelMisc, ProcessCanSpawnProcessesDuringRun)
+{
+    sim::kernel k;
+    int leaves = 0;
+    k.spawn([](sim::kernel& kr, int& count) -> sim::process {
+        co_await sim::delay(time::ns(1));
+        for (int i = 0; i < 5; ++i) {
+            kr.spawn([](int& c, int delay_ns) -> sim::process {
+                co_await sim::delay(time::ns(delay_ns));
+                ++c;
+            }(count, i + 1), "leaf");
+        }
+    }(k, leaves));
+    k.run();
+    EXPECT_EQ(leaves, 5);
+    EXPECT_EQ(k.now(), time::ns(6));  // 1 + max leaf delay
+}
+
+TEST(KernelMisc, NotifyWithoutWaitersIsHarmless)
+{
+    sim::kernel k;
+    sim::event ev{"lonely"};
+    k.spawn([](sim::event& e) -> sim::process {
+        e.notify();
+        e.notify(time::ns(5));
+        co_await sim::delay(time::ns(1));
+    }(ev));
+    k.run();
+    EXPECT_EQ(ev.waiter_count(), 0u);
+}
+
+TEST(KernelMisc, WaiterCountTracksParkedProcesses)
+{
+    sim::kernel k;
+    sim::event ev{"gate"};
+    k.spawn([](sim::event& e) -> sim::process { co_await e.wait(); }(ev));
+    k.spawn([](sim::event& e) -> sim::process { co_await e.wait(); }(ev));
+    k.spawn([](sim::event& e) -> sim::process {
+        co_await sim::delay(time::ns(2));
+        EXPECT_EQ(e.waiter_count(), 2u);
+        e.notify();
+    }(ev));
+    k.run();
+    EXPECT_EQ(ev.waiter_count(), 0u);
+}
+
+TEST(KernelMisc, ActivationsCountResumes)
+{
+    sim::kernel k;
+    k.spawn([]() -> sim::process {
+        for (int i = 0; i < 9; ++i) co_await sim::delay(time::ns(1));
+    }());
+    k.run();
+    // 1 initial resume + 9 delay wakeups.
+    EXPECT_EQ(k.activations(), 10u);
+}
+
+TEST(KernelMisc, DeltaCountResetsAtEachTimestep)
+{
+    sim::kernel k;
+    k.spawn([](sim::kernel& kr) -> sim::process {
+        for (int i = 0; i < 3; ++i) co_await kr.next_delta();
+        EXPECT_GE(kr.delta_count(), 3u);
+        co_await sim::delay(time::ns(1));
+        EXPECT_LE(kr.delta_count(), 1u);
+    }(k));
+    k.run();
+}
+
+TEST(KernelMisc, MutexLockedAccessor)
+{
+    sim::kernel k;
+    sim::mutex m;
+    k.spawn([](sim::mutex& mx) -> sim::process {
+        EXPECT_FALSE(mx.locked());
+        co_await mx.lock();
+        EXPECT_TRUE(mx.locked());
+        co_await sim::delay(time::ns(1));
+        mx.unlock();
+        EXPECT_FALSE(mx.locked());
+    }(m));
+    k.run();
+}
+
+TEST(KernelMisc, ManyProcessesHeavyInterleaving)
+{
+    // Stress: 200 processes ping-ponging through one FIFO must conserve all
+    // items in order per producer.
+    sim::kernel k;
+    sim::fifo<std::pair<int, int>> q{8};
+    std::vector<int> next_expected(100, 0);
+    bool order_ok = true;
+    for (int p = 0; p < 100; ++p) {
+        k.spawn([](sim::fifo<std::pair<int, int>>& f, int id) -> sim::process {
+            for (int i = 0; i < 10; ++i) {
+                co_await f.write({id, i});
+                if (id % 7 == 0) co_await sim::delay(time::ns(id + 1));
+            }
+        }(q, p));
+    }
+    k.spawn([](sim::fifo<std::pair<int, int>>& f, std::vector<int>& next,
+               bool& ok) -> sim::process {
+        for (int n = 0; n < 1000; ++n) {
+            const auto [id, seq] = co_await f.read();
+            ok &= next[static_cast<std::size_t>(id)] == seq;
+            ++next[static_cast<std::size_t>(id)];
+        }
+    }(q, next_expected, order_ok));
+    k.run();
+    EXPECT_TRUE(order_ok);
+    for (int v : next_expected) EXPECT_EQ(v, 10);
+}
+
+TEST(KernelMisc, TwoKernelsAreIndependent)
+{
+    sim::kernel a;
+    sim::kernel b;
+    a.spawn([]() -> sim::process { co_await sim::delay(time::ns(5)); }());
+    b.spawn([]() -> sim::process { co_await sim::delay(time::ns(9)); }());
+    EXPECT_EQ(a.run(), time::ns(5));
+    EXPECT_EQ(b.run(), time::ns(9));
+}
+
+TEST(KernelMisc, SignalOfStructType)
+{
+    struct pt {
+        int x = 0;
+        int y = 0;
+        bool operator==(const pt&) const = default;
+    };
+    sim::kernel k;
+    sim::signal<pt> s{"pos"};
+    pt seen{};
+    k.spawn([](sim::signal<pt>& sg, pt& out) -> sim::process {
+        co_await sg.wait_change();
+        out = sg.read();
+    }(s, seen));
+    k.spawn([](sim::signal<pt>& sg) -> sim::process {
+        sg.write({3, 4});
+        co_return;
+    }(s));
+    k.run();
+    EXPECT_EQ(seen, (pt{3, 4}));
+}
+
+}  // namespace

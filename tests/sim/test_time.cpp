@@ -1,0 +1,84 @@
+// sim::time arithmetic, comparisons and formatting.
+#include <sim/time.hpp>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sim::time;
+
+TEST(Time, DefaultIsZero)
+{
+    EXPECT_TRUE(time{}.is_zero());
+    EXPECT_EQ(time{}, time::zero());
+}
+
+TEST(Time, UnitConstructorsAgree)
+{
+    EXPECT_EQ(time::ns(1), time::ps(1'000));
+    EXPECT_EQ(time::us(1), time::ns(1'000));
+    EXPECT_EQ(time::ms(1), time::us(1'000));
+    EXPECT_EQ(time::sec(1), time::ms(1'000));
+}
+
+TEST(Time, Arithmetic)
+{
+    EXPECT_EQ(time::ns(10) + time::ns(5), time::ns(15));
+    EXPECT_EQ(time::ns(10) - time::ns(5), time::ns(5));
+    EXPECT_EQ(time::ns(10) * 3, time::ns(30));
+    EXPECT_EQ(4 * time::ns(10), time::ns(40));
+    EXPECT_EQ(time::ns(10) / 2, time::ns(5));
+}
+
+TEST(Time, DurationRatioGivesCycleCounts)
+{
+    // 125 ns of activity on a 10 ns clock = 12 complete cycles.
+    EXPECT_EQ(time::ns(125) / time::ns(10), 12);
+    EXPECT_EQ(time::ns(120) / time::ns(10), 12);
+    EXPECT_EQ(time::ns(9) / time::ns(10), 0);
+}
+
+TEST(Time, Comparisons)
+{
+    EXPECT_LT(time::ns(1), time::ns(2));
+    EXPECT_GT(time::ms(1), time::us(999));
+    EXPECT_LE(time::ns(5), time::ns(5));
+}
+
+TEST(Time, CompoundAssignment)
+{
+    time t = time::ns(10);
+    t += time::ns(5);
+    EXPECT_EQ(t, time::ns(15));
+    t -= time::ns(10);
+    EXPECT_EQ(t, time::ns(5));
+}
+
+TEST(Time, ConversionsToFloating)
+{
+    EXPECT_DOUBLE_EQ(time::ms(180).to_ms(), 180.0);
+    EXPECT_DOUBLE_EQ(time::ns(2500).to_us(), 2.5);
+    EXPECT_DOUBLE_EQ(time::us(1).to_ns(), 1000.0);
+}
+
+TEST(Time, FractionalNanoseconds)
+{
+    EXPECT_EQ(time::ns_f(10.5), time::ps(10'500));
+    EXPECT_EQ(time::ns_f(0.001), time::ps(1));
+}
+
+TEST(Time, FormattingPicksReadableUnit)
+{
+    EXPECT_EQ(time::ms(180).str(), "180 ms");
+    EXPECT_EQ(time::ns(42).str(), "42 ns");
+    EXPECT_EQ(time::zero().str(), "0 s");
+    EXPECT_EQ(time::ps(10'500).str(), "10.500 ns");
+    EXPECT_EQ(time::sec(2).str(), "2 s");
+}
+
+TEST(Time, MaxActsAsInfinity)
+{
+    EXPECT_GT(time::max(), time::sec(1'000'000));
+}
+
+}  // namespace
