@@ -1,0 +1,90 @@
+// bench_runtime_throughput — batch-decode service throughput and latency vs
+// worker count, on the paper's 16-tile workload scaled up.
+//
+// Emits a single JSON object so the harness (and CI) can track jobs/sec and
+// latency percentiles over time:
+//   { "bench": "runtime_throughput", "hardware_concurrency": N,
+//     "results": [ {"workers":1, "jobs_per_sec":..., "p50_us":..., ...}, ... ],
+//     "speedup_max_vs_1": ... }
+#include <runtime/service.hpp>
+
+#include <j2k/j2k.hpp>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct run_result {
+    int workers = 0;
+    int jobs = 0;
+    double seconds = 0.0;
+    runtime::metrics_snapshot metrics;
+};
+
+run_result run_with_workers(const std::vector<std::uint8_t>& cs, int workers, int jobs)
+{
+    runtime::decode_service svc{{.workers = workers,
+                                 .queue_capacity = 256,
+                                 .policy = runtime::backpressure::block,
+                                 .copy_input = false}};
+    // Warm-up: touch every worker once before timing.
+    svc.submit(cs).get();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<j2k::image>> futs;
+    futs.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) futs.push_back(svc.submit(cs));
+    for (auto& f : futs) (void)f.get();
+    const auto t1 = std::chrono::steady_clock::now();
+    run_result r;
+    r.workers = workers;
+    r.jobs = jobs;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.metrics = svc.metrics();
+    return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    // Multi-tile workload: 256×256 RGB in 64×64 tiles = 16 independent tiles
+    // per job (the paper's Table 1 geometry).
+    const j2k::image img = j2k::make_test_image(256, 256, 3);
+    j2k::codec_params p;
+    p.tile_width = 64;
+    p.tile_height = 64;
+    const auto cs = j2k::encode(img, p);
+
+    const int jobs = std::max(1, argc > 1 ? std::atoi(argv[1]) : 32);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+    std::printf("{\"bench\":\"runtime_throughput\",\"image\":\"256x256x3\","
+                "\"tiles\":16,\"jobs\":%d,\"hardware_concurrency\":%u,"
+                "\"results\":[",
+                jobs, hw);
+    double base_jps = 0.0, best_jps = 0.0;
+    bool first = true;
+    for (int workers : {1, 2, 4, 8}) {
+        const run_result r = run_with_workers(cs, workers, jobs);
+        const double jps = static_cast<double>(r.jobs) / r.seconds;
+        if (workers == 1) base_jps = jps;
+        if (jps > best_jps) best_jps = jps;
+        const auto& m = r.metrics;
+        std::printf("%s{\"workers\":%d,\"seconds\":%.4f,\"jobs_per_sec\":%.2f,"
+                    "\"speedup_vs_1\":%.2f,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                    "\"p99_us\":%.1f,\"mean_us\":%.1f,\"queue_high_water\":%llu,"
+                    "\"tiles_decoded\":%llu}",
+                    first ? "" : ",", workers, r.seconds, jps,
+                    base_jps > 0 ? jps / base_jps : 0.0, m.latency_p50_us,
+                    m.latency_p95_us, m.latency_p99_us, m.latency_mean_us,
+                    static_cast<unsigned long long>(m.queue_depth_high_water),
+                    static_cast<unsigned long long>(m.tiles_decoded));
+        first = false;
+    }
+    std::printf("],\"speedup_max_vs_1\":%.2f}\n", base_jps > 0 ? best_jps / base_jps : 0.0);
+    return 0;
+}

@@ -1,0 +1,99 @@
+// decode_server — flood the batch-decode service with a mixed workload and
+// watch it degrade gracefully.
+//
+// Three phases:
+//   1. steady state  — mixed full / reduced-resolution / layer-capped jobs
+//                      through a comfortably sized queue (block policy);
+//   2. overload      — the same mix slammed into a tiny queue with the
+//                      drop_oldest policy: old previews are evicted, the
+//                      service stays responsive, nothing OOMs;
+//   3. drain         — shutdown() completes every admitted job.
+// Metrics are dumped after each phase.
+#include <runtime/service.hpp>
+
+#include <j2k/j2k.hpp>
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+namespace {
+
+struct workload {
+    const char* name;
+    const std::vector<std::uint8_t>* cs;
+    runtime::decode_options opt;
+};
+
+int run_mix(runtime::decode_service& svc, const std::vector<workload>& mix, int rounds)
+{
+    std::vector<std::pair<const char*, std::future<j2k::image>>> futs;
+    for (int r = 0; r < rounds; ++r)
+        for (const auto& w : mix) futs.emplace_back(w.name, svc.submit(*w.cs, w.opt));
+    int ok = 0, shed = 0;
+    for (auto& [name, f] : futs) {
+        try {
+            const j2k::image img = f.get();
+            std::printf("  done %-14s -> %dx%d, %d comp\n", name, img.width(),
+                        img.height(), img.components());
+            ++ok;
+        } catch (const runtime::service_error& e) {
+            std::printf("  shed %-14s -> %s\n", name, e.what());
+            ++shed;
+        }
+    }
+    std::printf("  phase total: %d decoded, %d shed\n", ok, shed);
+    return ok;
+}
+
+}  // namespace
+
+int main()
+{
+    // One layered stream (for quality-capped jobs) and one plain stream.
+    const j2k::image img = j2k::make_test_image(256, 256, 3);
+    j2k::codec_params p;
+    p.tile_width = 64;
+    p.tile_height = 64;
+    const auto plain = j2k::encode(img, p);
+    p.quality_layers = 4;
+    const auto layered = j2k::encode(img, p);
+
+    const std::vector<workload> mix{
+        {"full", &plain, {}},
+        {"half-res", &plain, {.discard_levels = 1}},
+        {"thumbnail", &plain, {.discard_levels = 3}},
+        {"2-layer", &layered, {.max_quality_layers = 2}},
+        {"draft-passes", &plain, {.max_passes = 4}},
+    };
+
+    std::printf("=== phase 1: steady state (block policy, capacity 64) ===\n");
+    {
+        runtime::decode_service svc{{.workers = 4, .queue_capacity = 64}};
+        run_mix(svc, mix, 4);
+        std::printf("\n%s\n", svc.metrics().dump().c_str());
+    }
+
+    std::printf("=== phase 2: overload (drop_oldest policy, capacity 2) ===\n");
+    {
+        runtime::decode_service svc{{.workers = 2,
+                                     .queue_capacity = 2,
+                                     .policy = runtime::backpressure::drop_oldest}};
+        run_mix(svc, mix, 8);
+        std::printf("\n%s\n", svc.metrics().dump().c_str());
+    }
+
+    std::printf("=== phase 3: shutdown drains admitted work ===\n");
+    {
+        runtime::decode_service svc{{.workers = 4, .queue_capacity = 64}};
+        std::vector<std::future<j2k::image>> futs;
+        for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(plain));
+        svc.shutdown();
+        int ready = 0;
+        for (auto& f : futs)
+            if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) ++ready;
+        std::printf("  after shutdown(): %d/12 futures ready\n", ready);
+        std::printf("\n%s\n", svc.metrics().dump().c_str());
+    }
+    return 0;
+}

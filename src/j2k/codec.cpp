@@ -1,6 +1,7 @@
 #include "codec.hpp"
 
-#include <atomic>
+#include <runtime/thread_pool.hpp>
+
 #include <cmath>
 #include <stdexcept>
 #include <thread>
@@ -386,34 +387,28 @@ image decoder::decode_all(decode_stats* stats) const
 
 image decoder::decode_all_parallel(int threads) const
 {
+    const auto grid = tiles();
     if (threads <= 0)
         threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    // No point in more workers than tiles; and a single worker (or a 1-tile
+    // image) decodes inline with zero thread overhead.
+    threads = std::min(threads, static_cast<int>(grid.size()));
+    if (threads <= 1) return decode_all();
+
     image img{info_.width, info_.height, info_.components, info_.bit_depth};
-    const auto grid = tiles();
-    std::atomic<int> next{0};
-    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
-    auto worker = [&](int wid) {
-        try {
-            for (;;) {
-                const int t = next.fetch_add(1);
-                if (t >= static_cast<int>(grid.size())) break;
-                const tile_pixels tp = idwt(dequantize(entropy_decode(t)));
-                // Tiles are disjoint, so concurrent insert_tile calls write
-                // disjoint rows/columns of the shared image.
-                for (int cidx = 0; cidx < info_.components; ++cidx)
-                    insert_tile(img.comp(cidx), tp.comps[static_cast<std::size_t>(cidx)],
-                                grid[static_cast<std::size_t>(t)]);
-            }
-        } catch (...) {
-            errors[static_cast<std::size_t>(wid)] = std::current_exception();
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
-    for (auto& th : pool) th.join();
-    for (const auto& e : errors)
-        if (e) std::rethrow_exception(e);
+    // Runs on the process-wide pool instead of spawning threads per call;
+    // `threads` caps how many workers pull tiles from this loop.
+    runtime::thread_pool::shared().parallel_for(
+        static_cast<int>(grid.size()),
+        [&](int t) {
+            const tile_pixels tp = idwt(dequantize(entropy_decode(t)));
+            // Tiles are disjoint, so concurrent insert_tile calls write
+            // disjoint rows/columns of the shared image.
+            for (int cidx = 0; cidx < info_.components; ++cidx)
+                insert_tile(img.comp(cidx), tp.comps[static_cast<std::size_t>(cidx)],
+                            grid[static_cast<std::size_t>(t)]);
+        },
+        threads);
     finish(img);
     return img;
 }

@@ -1,0 +1,145 @@
+#include "metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace runtime {
+
+namespace {
+
+int bucket_of(std::uint64_t us) noexcept
+{
+    const int b = static_cast<int>(std::bit_width(us));  // 0 for us == 0
+    return b >= latency_histogram::k_buckets ? latency_histogram::k_buckets - 1 : b;
+}
+
+void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+void latency_histogram::observe(std::uint64_t us) noexcept
+{
+    buckets_[static_cast<std::size_t>(bucket_of(us))].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    fetch_max(max_us_, us);
+}
+
+latency_histogram::data latency_histogram::snapshot() const noexcept
+{
+    data d;
+    for (int b = 0; b < k_buckets; ++b)
+        d.buckets[static_cast<std::size_t>(b)] =
+            buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    d.count = count_.load(std::memory_order_relaxed);
+    d.sum_us = sum_us_.load(std::memory_order_relaxed);
+    d.max_us = max_us_.load(std::memory_order_relaxed);
+    return d;
+}
+
+double latency_histogram::data::quantile(double q) const noexcept
+{
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < k_buckets; ++b) {
+        const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (static_cast<double>(cum + n) >= target) {
+            // Bucket b holds values in [lo, hi); interpolate linearly.
+            const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+            const double hi = static_cast<double>(1ull << b);
+            const double frac = (target - static_cast<double>(cum)) / static_cast<double>(n);
+            return lo + (hi - lo) * frac;
+        }
+        cum += n;
+    }
+    return static_cast<double>(max_us);
+}
+
+void service_metrics::record_queue_depth(std::size_t depth) noexcept
+{
+    fetch_max(queue_high_water_, static_cast<std::uint64_t>(depth));
+}
+
+metrics_snapshot service_metrics::snapshot() const
+{
+    metrics_snapshot s;
+    s.jobs_submitted = submitted_.load(std::memory_order_relaxed);
+    s.jobs_completed = completed_.load(std::memory_order_relaxed);
+    s.jobs_failed = failed_.load(std::memory_order_relaxed);
+    s.jobs_rejected = rejected_.load(std::memory_order_relaxed);
+    s.jobs_dropped = dropped_.load(std::memory_order_relaxed);
+    s.queue_depth_high_water = queue_high_water_.load(std::memory_order_relaxed);
+    s.tiles_decoded = tiles_.load(std::memory_order_relaxed);
+    s.entropy_ms = static_cast<double>(entropy_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.iq_ms = static_cast<double>(iq_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.idwt_ms = static_cast<double>(idwt_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.finish_ms = static_cast<double>(finish_ns_.load(std::memory_order_relaxed)) / 1e6;
+    const auto lat = latency_.snapshot();
+    s.latency_count = lat.count;
+    s.latency_mean_us = lat.mean_us();
+    s.latency_max_us = lat.max_us;
+    s.latency_p50_us = lat.quantile(0.50);
+    s.latency_p95_us = lat.quantile(0.95);
+    s.latency_p99_us = lat.quantile(0.99);
+    return s;
+}
+
+std::string metrics_snapshot::dump() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu\n"
+        "queue: high_water=%llu\n"
+        "work: tiles_decoded=%llu\n"
+        "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
+        "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n",
+        static_cast<unsigned long long>(jobs_submitted),
+        static_cast<unsigned long long>(jobs_completed),
+        static_cast<unsigned long long>(jobs_failed),
+        static_cast<unsigned long long>(jobs_rejected),
+        static_cast<unsigned long long>(jobs_dropped),
+        static_cast<unsigned long long>(queue_depth_high_water),
+        static_cast<unsigned long long>(tiles_decoded), entropy_ms, iq_ms, idwt_ms,
+        finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
+        latency_p50_us, latency_p95_us, latency_p99_us,
+        static_cast<unsigned long long>(latency_max_us));
+    return buf;
+}
+
+std::string metrics_snapshot::to_json() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
+        "\"jobs_rejected\":%llu,\"jobs_dropped\":%llu,\"queue_depth_high_water\":%llu,"
+        "\"tiles_decoded\":%llu,\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
+        "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
+        "\"latency_p50_us\":%.1f,\"latency_p95_us\":%.1f,\"latency_p99_us\":%.1f,"
+        "\"latency_max_us\":%llu}",
+        static_cast<unsigned long long>(jobs_submitted),
+        static_cast<unsigned long long>(jobs_completed),
+        static_cast<unsigned long long>(jobs_failed),
+        static_cast<unsigned long long>(jobs_rejected),
+        static_cast<unsigned long long>(jobs_dropped),
+        static_cast<unsigned long long>(queue_depth_high_water),
+        static_cast<unsigned long long>(tiles_decoded), entropy_ms, iq_ms, idwt_ms,
+        finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
+        latency_p50_us, latency_p95_us, latency_p99_us,
+        static_cast<unsigned long long>(latency_max_us));
+    return buf;
+}
+
+}  // namespace runtime

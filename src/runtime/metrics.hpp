@@ -1,0 +1,122 @@
+// runtime/metrics.hpp — counters and latency histograms for the decode
+// service.
+//
+// Everything on the update path is a relaxed atomic: recording a sample is a
+// handful of uncontended RMWs, cheap enough to leave enabled in production.
+// `snapshot()` copies the live values into a plain struct; percentiles are
+// derived from a log2-bucketed histogram (exact bucket, linear interpolation
+// within it), which bounds the error at ~½ bucket width — plenty for p50/p95/
+// p99 dashboards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace runtime {
+
+/// Log2-bucketed histogram of microsecond latencies.
+class latency_histogram {
+public:
+    static constexpr int k_buckets = 40;  ///< bucket b counts values with bit_width b
+
+    void observe(std::uint64_t us) noexcept;
+
+    struct data {
+        std::array<std::uint64_t, k_buckets> buckets{};
+        std::uint64_t count = 0;
+        std::uint64_t sum_us = 0;
+        std::uint64_t max_us = 0;
+
+        /// Approximate quantile in microseconds, q in [0, 1].
+        [[nodiscard]] double quantile(double q) const noexcept;
+        [[nodiscard]] double mean_us() const noexcept
+        {
+            return count == 0 ? 0.0 : static_cast<double>(sum_us) / static_cast<double>(count);
+        }
+    };
+
+    [[nodiscard]] data snapshot() const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, k_buckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_us_{0};
+    std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Point-in-time copy of every service metric.
+struct metrics_snapshot {
+    // Admission.
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_failed = 0;    ///< decode threw (malformed stream, ...)
+    std::uint64_t jobs_rejected = 0;  ///< refused at admission (reject policy)
+    std::uint64_t jobs_dropped = 0;   ///< evicted while queued (drop_oldest)
+    std::uint64_t queue_depth_high_water = 0;
+
+    // Work.
+    std::uint64_t tiles_decoded = 0;
+
+    // Cumulative per-stage wall time across all workers (Figure 1's stage
+    // split, measured on the host).
+    double entropy_ms = 0.0;
+    double iq_ms = 0.0;
+    double idwt_ms = 0.0;
+    double finish_ms = 0.0;
+
+    // End-to-end job latency (submit → future ready), queue wait included.
+    std::uint64_t latency_count = 0;
+    double latency_mean_us = 0.0;
+    std::uint64_t latency_max_us = 0;
+    double latency_p50_us = 0.0;
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
+
+    /// Multi-line human-readable dump.
+    [[nodiscard]] std::string dump() const;
+    /// Single JSON object (stable keys, machine-readable).
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Live metric registers, shared by every worker of one decode_service.
+class service_metrics {
+public:
+    void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
+    void on_completed() noexcept { completed_.fetch_add(1, std::memory_order_relaxed); }
+    void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+    void on_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
+    void on_dropped() noexcept { dropped_.fetch_add(1, std::memory_order_relaxed); }
+    void on_tile_decoded() noexcept { tiles_.fetch_add(1, std::memory_order_relaxed); }
+
+    void record_queue_depth(std::size_t depth) noexcept;
+    void record_latency_us(std::uint64_t us) noexcept { latency_.observe(us); }
+
+    void add_stage_ns(std::uint64_t entropy, std::uint64_t iq, std::uint64_t idwt,
+                      std::uint64_t finish) noexcept
+    {
+        entropy_ns_.fetch_add(entropy, std::memory_order_relaxed);
+        iq_ns_.fetch_add(iq, std::memory_order_relaxed);
+        idwt_ns_.fetch_add(idwt, std::memory_order_relaxed);
+        finish_ns_.fetch_add(finish, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] metrics_snapshot snapshot() const;
+
+private:
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> tiles_{0};
+    std::atomic<std::uint64_t> queue_high_water_{0};
+    std::atomic<std::uint64_t> entropy_ns_{0};
+    std::atomic<std::uint64_t> iq_ns_{0};
+    std::atomic<std::uint64_t> idwt_ns_{0};
+    std::atomic<std::uint64_t> finish_ns_{0};
+    latency_histogram latency_;
+};
+
+}  // namespace runtime

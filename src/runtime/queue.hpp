@@ -1,0 +1,161 @@
+// runtime/queue.hpp — bounded MPMC admission queue with backpressure.
+//
+// The host-side analogue of the explicit queued communication the OSSS models
+// use between concurrent units: producers (request handlers) and consumers
+// (pool workers) meet at a fixed-capacity queue, and what happens when the
+// queue is full is a declared policy instead of an accident:
+//
+//   block       — producers wait for space (lossless, propagates pressure)
+//   reject      — push fails immediately (shed load at admission)
+//   drop_oldest — the oldest queued item is evicted to make room (bounded
+//                 staleness, e.g. live preview frames)
+//
+// All operations are linearisable under one internal mutex; this queue sits
+// on the admission path (one push per decode job), not on the per-tile hot
+// path, so contention is negligible compared to the decode work behind it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace runtime {
+
+/// What a producer wants done when the queue is full.
+enum class backpressure {
+    block,        ///< wait until space is available
+    reject,       ///< fail the push immediately
+    drop_oldest,  ///< evict the oldest queued item, then push
+};
+
+/// Outcome of a push attempt.
+enum class push_result {
+    ok,       ///< item enqueued
+    dropped,  ///< item enqueued, but an older item was evicted (drop_oldest)
+    rejected, ///< queue full and policy is reject
+    closed,   ///< queue closed; item not enqueued
+};
+
+/// Fixed-capacity multi-producer / multi-consumer FIFO.
+template <typename T>
+class bounded_queue {
+public:
+    explicit bounded_queue(std::size_t capacity, backpressure policy = backpressure::block)
+        : cap_{capacity == 0 ? 1 : capacity}, policy_{policy}
+    {
+    }
+
+    bounded_queue(const bounded_queue&) = delete;
+    bounded_queue& operator=(const bounded_queue&) = delete;
+
+    /// Enqueue `v` according to the backpressure policy.  `v` is consumed
+    /// only when the item is actually enqueued (`ok`/`dropped`): on
+    /// `rejected`/`closed` the caller keeps it — important when the item
+    /// carries a promise that must be failed.  On `dropped`, the evicted item
+    /// is moved into `*evicted` when non-null (so the caller can fail it) and
+    /// destroyed otherwise.
+    push_result push(T&& v, T* evicted = nullptr)
+    {
+        std::unique_lock lk{m_};
+        if (closed_) return push_result::closed;
+        if (q_.size() >= cap_) {
+            switch (policy_) {
+            case backpressure::reject:
+                return push_result::rejected;
+            case backpressure::drop_oldest: {
+                if (evicted) *evicted = std::move(q_.front());
+                q_.pop_front();
+                q_.push_back(std::move(v));
+                high_water_ = std::max(high_water_, q_.size());
+                lk.unlock();
+                not_empty_.notify_one();
+                return push_result::dropped;
+            }
+            case backpressure::block:
+                not_full_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+                if (closed_) return push_result::closed;
+                break;
+            }
+        }
+        q_.push_back(std::move(v));
+        high_water_ = std::max(high_water_, q_.size());
+        lk.unlock();
+        not_empty_.notify_one();
+        return push_result::ok;
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue is closed *and*
+    /// drained.  Returns nullopt only on closed-and-empty.
+    std::optional<T> pop()
+    {
+        std::unique_lock lk{m_};
+        not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+        if (q_.empty()) return std::nullopt;
+        T v = std::move(q_.front());
+        q_.pop_front();
+        lk.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /// Non-blocking dequeue.
+    std::optional<T> try_pop()
+    {
+        std::unique_lock lk{m_};
+        if (q_.empty()) return std::nullopt;
+        T v = std::move(q_.front());
+        q_.pop_front();
+        lk.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /// Stop accepting pushes and wake every waiter.  Items already queued
+    /// remain poppable (drain semantics).
+    void close()
+    {
+        {
+            std::lock_guard lk{m_};
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const
+    {
+        std::lock_guard lk{m_};
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const
+    {
+        std::lock_guard lk{m_};
+        return q_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+    [[nodiscard]] backpressure policy() const noexcept { return policy_; }
+
+    /// Highest occupancy ever observed (for sizing the capacity).
+    [[nodiscard]] std::size_t high_water() const
+    {
+        std::lock_guard lk{m_};
+        return high_water_;
+    }
+
+private:
+    const std::size_t cap_;
+    const backpressure policy_;
+    mutable std::mutex m_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> q_;
+    std::size_t high_water_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace runtime

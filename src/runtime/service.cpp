@@ -1,0 +1,166 @@
+#include "service.hpp"
+
+#include <j2k/image.hpp>
+
+#include <utility>
+
+namespace runtime {
+
+namespace {
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+decode_service::decode_service(service_config cfg)
+    : cfg_{cfg},
+      queue_{cfg.queue_capacity, cfg.policy},
+      pool_{std::make_unique<thread_pool>(cfg.workers)}
+{
+}
+
+decode_service::~decode_service()
+{
+    shutdown();
+}
+
+std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
+                                               const decode_options& opt)
+{
+    auto j = std::make_unique<job>();
+    j->opt = opt;
+    j->submitted_at = std::chrono::steady_clock::now();
+    if (cfg_.copy_input) {
+        j->owned.assign(cs.begin(), cs.end());
+        j->bytes = j->owned;
+    } else {
+        j->bytes = cs;
+    }
+    auto fut = j->promise.get_future();
+    metrics_.on_submitted();
+
+    {
+        std::lock_guard lk{drain_m_};
+        if (stopped_) {
+            metrics_.on_rejected();
+            j->promise.set_exception(std::make_exception_ptr(service_stopped{}));
+            return fut;
+        }
+        ++in_flight_;  // admitted (tentatively); undone on rejection
+    }
+
+    job_ptr evicted;
+    const push_result r = queue_.push(std::move(j), &evicted);
+    metrics_.record_queue_depth(queue_.high_water());
+    switch (r) {
+    case push_result::dropped:
+        metrics_.on_dropped();
+        evicted->promise.set_exception(std::make_exception_ptr(job_dropped{}));
+        finish_one();  // the evicted job leaves the in-flight set
+        [[fallthrough]];
+    case push_result::ok:
+        // One pump per admitted job: a worker pops the oldest queued job and
+        // runs it to completion.  Extra pumps left behind by evictions find
+        // an empty queue and return — the invariant is pumps >= queued jobs.
+        pool_->submit([this] {
+            if (auto popped = queue_.try_pop()) {
+                run_job(**popped);
+                finish_one();
+            }
+        });
+        break;
+    case push_result::rejected:
+        metrics_.on_rejected();
+        j->promise.set_exception(std::make_exception_ptr(admission_rejected{}));
+        finish_one();
+        break;
+    case push_result::closed:
+        metrics_.on_rejected();
+        j->promise.set_exception(std::make_exception_ptr(service_stopped{}));
+        finish_one();
+        break;
+    }
+    return fut;
+}
+
+void decode_service::finish_one()
+{
+    {
+        std::lock_guard lk{drain_m_};
+        --in_flight_;
+    }
+    drained_cv_.notify_all();
+}
+
+void decode_service::run_job(job& j)
+{
+    try {
+        j2k::decoder dec{j.bytes};
+        dec.set_max_passes(j.opt.max_passes);
+        dec.set_max_quality_layers(j.opt.max_quality_layers);
+        j2k::image img = j.opt.discard_levels > 0 ? dec.decode_reduced(j.opt.discard_levels)
+                                                  : decode_tiled(dec);
+        metrics_.record_latency_us(
+            ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+        metrics_.on_completed();
+        j.promise.set_value(std::move(img));
+    } catch (...) {
+        metrics_.on_failed();
+        j.promise.set_exception(std::current_exception());
+    }
+}
+
+j2k::image decode_service::decode_tiled(const j2k::decoder& dec)
+{
+    using clock = std::chrono::steady_clock;
+    const auto& info = dec.info();
+    const auto grid = dec.tiles();
+    j2k::image img{info.width, info.height, info.components, info.bit_depth};
+    // Per-tile fan-out: subtasks land on the submitting worker's deque and
+    // are stolen by idle workers, so a single big job still uses the whole
+    // pool.  Tiles are disjoint, so insert_tile writes never overlap.
+    pool_->parallel_for(static_cast<int>(grid.size()), [&](int t) {
+        const auto t0 = clock::now();
+        const j2k::tile_coeffs tc = dec.entropy_decode(t);
+        const auto t1 = clock::now();
+        const j2k::tile_wavelet tw = dec.dequantize(tc);
+        const auto t2 = clock::now();
+        const j2k::tile_pixels tp = dec.idwt(tw);
+        const auto t3 = clock::now();
+        for (int c = 0; c < info.components; ++c)
+            j2k::insert_tile(img.comp(c), tp.comps[static_cast<std::size_t>(c)],
+                             grid[static_cast<std::size_t>(t)]);
+        metrics_.add_stage_ns(ns_between(t0, t1), ns_between(t1, t2), ns_between(t2, t3), 0);
+        metrics_.on_tile_decoded();
+    });
+    const auto f0 = clock::now();
+    dec.finish(img);
+    metrics_.add_stage_ns(0, 0, 0, ns_between(f0, clock::now()));
+    return img;
+}
+
+void decode_service::shutdown()
+{
+    {
+        std::lock_guard lk{drain_m_};
+        stopped_ = true;
+    }
+    queue_.close();  // wakes blocked submitters; queued jobs remain poppable
+    std::unique_lock lk{drain_m_};
+    drained_cv_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+metrics_snapshot decode_service::metrics() const
+{
+    metrics_snapshot s = metrics_.snapshot();
+    s.queue_depth_high_water =
+        std::max<std::uint64_t>(s.queue_depth_high_water, queue_.high_water());
+    return s;
+}
+
+}  // namespace runtime

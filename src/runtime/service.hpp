@@ -1,0 +1,132 @@
+// runtime/service.hpp — a persistent, concurrent batch-decode service.
+//
+// The host-side production shape of the paper's architecture: where the OSSS
+// model maps decode stages onto hardware resources behind queued channels,
+// this service maps many whole decode jobs onto a fixed worker pool behind a
+// bounded admission queue.
+//
+//   submit(bytes) ──► [bounded_queue, backpressure policy] ──► thread_pool
+//        │                                                        │
+//        └── std::future<j2k::image> ◄── promise fulfilled ◄──────┘
+//
+// Each job fans out per tile on the pool (tiles are independent, so the
+// result is byte-identical to a serial decode); idle workers steal tile
+// subtasks from busy ones, so one large image parallelises even when it is
+// the only job in flight.  `shutdown()` drains: queued and running jobs
+// complete, new submissions fail fast.
+#pragma once
+
+#include "metrics.hpp"
+#include "queue.hpp"
+#include "thread_pool.hpp"
+
+#include <j2k/codec.hpp>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace runtime {
+
+/// Base class of every service-raised error (delivered through futures).
+class service_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// The admission queue was full and the policy is `reject`.
+class admission_rejected : public service_error {
+public:
+    admission_rejected() : service_error{"decode_service: admission queue full"} {}
+};
+
+/// The job was evicted from the queue by a newer one (`drop_oldest`).
+class job_dropped : public service_error {
+public:
+    job_dropped() : service_error{"decode_service: job dropped by newer submission"} {}
+};
+
+/// submit() after shutdown().
+class service_stopped : public service_error {
+public:
+    service_stopped() : service_error{"decode_service: service is shut down"} {}
+};
+
+/// Per-job decode knobs (mirror the j2k::decoder scalability controls).
+struct decode_options {
+    int discard_levels = 0;      ///< resolution: decode at 1/2^n size
+    int max_quality_layers = 0;  ///< layered streams: first n layers (0 = all)
+    int max_passes = 0;          ///< SNR: cap tier-1 passes per block (0 = all)
+};
+
+struct service_config {
+    int workers = 0;                  ///< pool size; <= 0 = hardware concurrency
+    std::size_t queue_capacity = 64;  ///< pending-job bound
+    backpressure policy = backpressure::block;
+    /// Copy the codestream into the job (safe default).  With false the
+    /// caller guarantees the bytes outlive the returned future.
+    bool copy_input = true;
+};
+
+class decode_service {
+public:
+    explicit decode_service(service_config cfg = {});
+    ~decode_service();  ///< implies shutdown()
+
+    decode_service(const decode_service&) = delete;
+    decode_service& operator=(const decode_service&) = delete;
+
+    /// Submit one codestream; the future yields the decoded image or throws
+    /// (service_error subtypes for admission failures, codec exceptions for
+    /// malformed streams).  With the `block` policy this call itself blocks
+    /// while the queue is full — that is the backpressure.
+    std::future<j2k::image> submit(std::span<const std::uint8_t> cs)
+    {
+        return submit(cs, decode_options{});
+    }
+    std::future<j2k::image> submit(std::span<const std::uint8_t> cs,
+                                   const decode_options& opt);
+
+    /// Stop admitting and wait for every queued + running job to finish.
+    /// Idempotent; also called by the destructor.
+    void shutdown();
+
+    [[nodiscard]] int workers() const noexcept { return pool_->size(); }
+    [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+    /// Point-in-time metrics (queue high-water merged in).
+    [[nodiscard]] metrics_snapshot metrics() const;
+
+private:
+    struct job {
+        std::promise<j2k::image> promise;
+        std::vector<std::uint8_t> owned;      ///< storage when copy_input
+        std::span<const std::uint8_t> bytes;  ///< what the decoder reads
+        decode_options opt;
+        std::chrono::steady_clock::time_point submitted_at;
+    };
+    using job_ptr = std::unique_ptr<job>;
+
+    void run_job(job& j);
+    void finish_one();
+    j2k::image decode_tiled(const j2k::decoder& dec);
+
+    service_config cfg_;
+    service_metrics metrics_;
+
+    std::mutex drain_m_;
+    std::condition_variable drained_cv_;
+    std::size_t in_flight_ = 0;  ///< admitted but not yet completed/failed
+    bool stopped_ = false;
+
+    bounded_queue<job_ptr> queue_;
+    std::unique_ptr<thread_pool> pool_;  ///< last member: destroyed (joined) first
+};
+
+}  // namespace runtime

@@ -1,0 +1,98 @@
+// runtime/thread_pool.hpp — fixed worker pool with per-worker work-stealing
+// deques.
+//
+// Workers own a deque each: the owner pushes and pops at the back (LIFO, good
+// locality for subtasks it just spawned), idle workers steal from the front
+// (FIFO, takes the oldest — typically largest — piece of a competing job).
+// Tasks submitted from outside the pool are distributed round-robin.  The
+// deques are mutex-guarded (the Chase–Lev lock-free variant is a drop-in
+// upgrade later; the locking protocol here is already steal-shaped).
+//
+// `parallel_for` is the fork/join primitive the decode service fans tiles out
+// with.  The calling thread *helps* — it executes pending tasks while it
+// waits — so calling it from inside a pool task (nested fan-out) cannot
+// deadlock, and a pool of one worker degrades to clean inline execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace runtime {
+
+class thread_pool {
+public:
+    using task = std::function<void()>;
+
+    /// Start `workers` threads; <= 0 selects the hardware concurrency.
+    explicit thread_pool(int workers = 0);
+
+    /// Joins all workers; pending tasks are still executed (drain on exit).
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+    /// Enqueue a task.  From a worker thread the task lands on that worker's
+    /// own deque (stealable by the others); from outside, round-robin.
+    void submit(task t);
+
+    /// Run `fn(0) .. fn(n-1)`, returning when all have finished.  Subtasks
+    /// are claimed dynamically, so uneven iterations balance across workers.
+    /// `max_concurrency` > 0 additionally caps how many threads (including
+    /// the caller) work on this loop — the host-thread analogue of the
+    /// paper's "number of parallel arithmetic decoder tasks" knob.
+    /// The first exception thrown by any iteration is rethrown in the caller
+    /// after the loop has quiesced.
+    void parallel_for(int n, const std::function<void(int)>& fn, int max_concurrency = 0);
+
+    /// Execute one pending task if any is available.  Returns false when
+    /// every deque was empty.  Exposed so blocked threads can help.
+    bool try_run_one();
+
+    /// Tasks executed since construction (all workers + helpers).
+    [[nodiscard]] std::uint64_t tasks_executed() const noexcept
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /// Steals observed since construction (tasks run by a non-owning worker).
+    [[nodiscard]] std::uint64_t tasks_stolen() const noexcept
+    {
+        return stolen_.load(std::memory_order_relaxed);
+    }
+
+    /// Process-wide pool sized to the hardware concurrency, created on first
+    /// use and alive for the rest of the process.  `j2k::decoder::
+    /// decode_all_parallel` runs on this instead of spawning threads per call.
+    [[nodiscard]] static thread_pool& shared();
+
+private:
+    struct worker_state {
+        std::mutex m;
+        std::deque<task> deque;
+    };
+
+    void worker_loop(int index);
+    bool pop_or_steal(int self, task& out);
+
+    std::vector<std::unique_ptr<worker_state>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex wake_m_;
+    std::condition_variable wake_cv_;
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> stolen_{0};
+};
+
+}  // namespace runtime

@@ -65,6 +65,13 @@ void vcd_writer::emit_timestamp(time t)
 void vcd_writer::record(int var, std::uint64_t value, time t)
 {
     if (!started_) throw std::logic_error{"vcd_writer: record before start"};
+    // Checked before the unchanged-value early-return below: a time rollback
+    // is a caller bug even when it would not emit anything, and letting it
+    // through would silently misorder the dump for the next change.
+    if (t.to_ps() < last_ps_)
+        throw std::logic_error{"vcd_writer: record at t=" + std::to_string(t.to_ps()) +
+                               "ps before already-emitted t=" + std::to_string(last_ps_) +
+                               "ps (timestamps must be non-decreasing)"};
     auto& v = vars_.at(static_cast<std::size_t>(var));
     if (v.has_last && v.last == value) return;
     emit_timestamp(t);

@@ -30,8 +30,9 @@ public:
     /// Finish the header.  Must be called once before the first record().
     void start();
 
-    /// Record variable `var` holding `value` at time `t` (monotonically
-    /// non-decreasing across calls).
+    /// Record variable `var` holding `value` at time `t`.  Times must be
+    /// non-decreasing across calls; a `t` earlier than an already-emitted
+    /// timestamp throws std::logic_error (a misordered VCD renders garbage).
     void record(int var, std::uint64_t value, time t);
 
     [[nodiscard]] bool started() const noexcept { return started_; }

@@ -1,0 +1,237 @@
+// decode_service — determinism vs the serial decoder, decode options,
+// backpressure accounting, shutdown drain, metrics.
+#include <runtime/service.hpp>
+
+#include <j2k/j2k.hpp>
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+namespace {
+
+using runtime::backpressure;
+using runtime::decode_options;
+using runtime::decode_service;
+using runtime::service_config;
+
+std::vector<std::uint8_t> make_stream(int w, int h, int comps, int tile,
+                                      j2k::wavelet mode = j2k::wavelet::w5_3,
+                                      int layers = 1)
+{
+    const j2k::image img = j2k::make_test_image(w, h, comps);
+    j2k::codec_params p;
+    p.tile_width = tile;
+    p.tile_height = tile;
+    p.mode = mode;
+    p.quality_layers = layers;
+    return j2k::encode(img, p);
+}
+
+TEST(DecodeService, MatchesSerialDecodeAcrossGridsAndWorkerCounts)
+{
+    // 1 tile, 2×2, 4×4 grids × worker counts 1, 2, 8 (more workers than
+    // tiles included): the service must be byte-identical to decode_all.
+    struct grid_case {
+        int w, h, comps, tile;
+    };
+    for (const auto& g : {grid_case{64, 64, 1, 64},    // single tile
+                          grid_case{128, 128, 3, 64},  // 2×2
+                          grid_case{256, 256, 3, 64}}) {  // 4×4
+        const auto cs = make_stream(g.w, g.h, g.comps, g.tile);
+        const j2k::image serial = j2k::decoder{cs}.decode_all();
+        for (int workers : {1, 2, 8}) {
+            decode_service svc{{.workers = workers}};
+            auto fut = svc.submit(cs);
+            EXPECT_EQ(fut.get(), serial)
+                << g.w << "x" << g.h << " tile=" << g.tile << " workers=" << workers;
+        }
+    }
+}
+
+TEST(DecodeService, ParallelDecodeAllMatchesSerialIncludingClampedCounts)
+{
+    // decode_all_parallel now rides the shared pool; more threads than tiles
+    // must clamp rather than misbehave.
+    const auto cs = make_stream(128, 128, 3, 64);  // 4 tiles
+    j2k::decoder dec{cs};
+    const j2k::image serial = dec.decode_all();
+    for (int threads : {1, 2, 8, 64, 0})
+        EXPECT_EQ(dec.decode_all_parallel(threads), serial) << threads;
+    // Single-tile image: any thread count degrades to the serial path.
+    const auto one = make_stream(64, 64, 3, 64);
+    j2k::decoder dec1{one};
+    EXPECT_EQ(dec1.decode_all_parallel(8), dec1.decode_all());
+}
+
+TEST(DecodeService, ManyConcurrentJobsAllCorrect)
+{
+    const auto cs = make_stream(128, 128, 3, 32);  // 16 tiles
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{{.workers = 4, .queue_capacity = 8}};
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < 24; ++i) futs.push_back(svc.submit(cs));
+    for (auto& f : futs) EXPECT_EQ(f.get(), serial);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_submitted, 24u);
+    EXPECT_EQ(m.jobs_completed, 24u);
+    EXPECT_EQ(m.jobs_failed, 0u);
+    EXPECT_EQ(m.tiles_decoded, 24u * 16u);
+    EXPECT_EQ(m.latency_count, 24u);
+    EXPECT_GT(m.entropy_ms + m.iq_ms + m.idwt_ms, 0.0);
+}
+
+TEST(DecodeService, LossyAndLayeredStreamsMatchSerial)
+{
+    const auto lossy = make_stream(128, 128, 3, 64, j2k::wavelet::w9_7);
+    EXPECT_EQ(decode_service{{.workers = 4}}.submit(lossy).get(),
+              j2k::decoder{lossy}.decode_all());
+    const auto layered = make_stream(128, 128, 3, 64, j2k::wavelet::w5_3, 3);
+    EXPECT_EQ(decode_service{{.workers = 4}}.submit(layered).get(),
+              j2k::decoder{layered}.decode_all());
+}
+
+TEST(DecodeService, OptionsMatchTheEquivalentDecoderKnobs)
+{
+    const auto cs = make_stream(128, 128, 3, 64, j2k::wavelet::w5_3, 4);
+    decode_service svc{{.workers = 2}};
+
+    j2k::decoder reduced{cs};
+    EXPECT_EQ(svc.submit(cs, decode_options{.discard_levels = 2}).get(),
+              reduced.decode_reduced(2));
+
+    j2k::decoder capped{cs};
+    capped.set_max_quality_layers(2);
+    EXPECT_EQ(svc.submit(cs, decode_options{.max_quality_layers = 2}).get(),
+              capped.decode_all());
+
+    const auto plain = make_stream(128, 128, 3, 64);
+    j2k::decoder truncated{plain};
+    truncated.set_max_passes(3);
+    EXPECT_EQ(svc.submit(plain, decode_options{.max_passes = 3}).get(),
+              truncated.decode_all());
+}
+
+TEST(DecodeService, MalformedStreamFailsTheFutureNotTheService)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    decode_service svc{{.workers = 2}};
+    std::vector<std::uint8_t> bogus(64, 0);
+    auto bad = svc.submit(bogus);
+    EXPECT_THROW((void)bad.get(), j2k::codestream_error);
+    // The service survives and keeps decoding.
+    EXPECT_EQ(svc.submit(cs).get(), j2k::decoder{cs}.decode_all());
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_failed, 1u);
+    EXPECT_EQ(m.jobs_completed, 1u);
+}
+
+TEST(DecodeService, RejectPolicyAccountsForEveryJob)
+{
+    const auto cs = make_stream(256, 256, 3, 32);  // 64 tiles: slow enough to pile up
+    decode_service svc{
+        {.workers = 1, .queue_capacity = 1, .policy = backpressure::reject}};
+    constexpr int jobs = 16;
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < jobs; ++i) futs.push_back(svc.submit(cs));
+    int completed = 0, rejected = 0;
+    for (auto& f : futs) {
+        try {
+            (void)f.get();
+            ++completed;
+        } catch (const runtime::admission_rejected&) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(completed + rejected, jobs);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_submitted, static_cast<std::uint64_t>(jobs));
+    EXPECT_EQ(m.jobs_completed, static_cast<std::uint64_t>(completed));
+    EXPECT_EQ(m.jobs_rejected, static_cast<std::uint64_t>(rejected));
+    EXPECT_GE(m.queue_depth_high_water, 1u);
+}
+
+TEST(DecodeService, DropOldestPolicyFailsEvictedFutures)
+{
+    const auto cs = make_stream(256, 256, 3, 32);
+    decode_service svc{
+        {.workers = 1, .queue_capacity = 1, .policy = backpressure::drop_oldest}};
+    constexpr int jobs = 16;
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < jobs; ++i) futs.push_back(svc.submit(cs));
+    int completed = 0, dropped = 0;
+    for (auto& f : futs) {
+        try {
+            (void)f.get();
+            ++completed;
+        } catch (const runtime::job_dropped&) {
+            ++dropped;
+        }
+    }
+    EXPECT_EQ(completed + dropped, jobs);
+    // The newest submission is never the eviction victim, so at least one
+    // job (the last) always completes.
+    EXPECT_GE(completed, 1);
+    EXPECT_EQ(svc.metrics().jobs_dropped, static_cast<std::uint64_t>(dropped));
+}
+
+TEST(DecodeService, BlockPolicyCompletesEverythingUnderOverload)
+{
+    const auto cs = make_stream(128, 128, 3, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{
+        {.workers = 2, .queue_capacity = 2, .policy = backpressure::block}};
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(cs));  // blocks as needed
+    for (auto& f : futs) EXPECT_EQ(f.get(), serial);
+    EXPECT_EQ(svc.metrics().jobs_completed, 12u);
+}
+
+TEST(DecodeService, ShutdownDrainsQueuedAndRunningJobs)
+{
+    const auto cs = make_stream(128, 128, 3, 32);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{{.workers = 2, .queue_capacity = 32}};
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < 10; ++i) futs.push_back(svc.submit(cs));
+    svc.shutdown();
+    // After shutdown every admitted future is ready and correct.
+    for (auto& f : futs) {
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+        EXPECT_EQ(f.get(), serial);
+    }
+    // New submissions fail fast; shutdown is idempotent.
+    EXPECT_THROW((void)svc.submit(cs).get(), runtime::service_stopped);
+    svc.shutdown();
+}
+
+TEST(DecodeService, DestructorImpliesShutdown)
+{
+    const auto cs = make_stream(64, 64, 3, 32);
+    std::future<j2k::image> fut;
+    {
+        decode_service svc{{.workers = 1}};
+        fut = svc.submit(cs);
+    }
+    EXPECT_EQ(fut.get(), j2k::decoder{cs}.decode_all());
+}
+
+TEST(DecodeService, ZeroCopySubmitWorksWhenBytesOutliveFuture)
+{
+    const auto cs = make_stream(128, 128, 1, 64);
+    decode_service svc{{.workers = 2, .copy_input = false}};
+    EXPECT_EQ(svc.submit(cs).get(), j2k::decoder{cs}.decode_all());
+}
+
+TEST(DecodeService, MetricsDumpAndJsonContainCounters)
+{
+    const auto cs = make_stream(64, 64, 1, 32);
+    decode_service svc{{.workers = 2}};
+    (void)svc.submit(cs).get();
+    const auto m = svc.metrics();
+    EXPECT_NE(m.dump().find("submitted=1"), std::string::npos);
+    EXPECT_NE(m.to_json().find("\"jobs_completed\":1"), std::string::npos);
+}
+
+}  // namespace

@@ -133,6 +133,22 @@ TEST(KernelMisc, TwoKernelsAreIndependent)
     EXPECT_EQ(b.run(), time::ns(9));
 }
 
+TEST(VcdWriter, RejectsDecreasingTimestamps)
+{
+    const std::string path = testing::TempDir() + "vcd_monotonic_test.vcd";
+    sim::vcd_writer w{path};
+    const int v = w.add_variable("level", 8);
+    w.start();
+    w.record(v, 1, time::ns(10));
+    w.record(v, 2, time::ns(10));  // same time: fine (delta changes)
+    w.record(v, 3, time::ns(12));
+    EXPECT_THROW(w.record(v, 4, time::ns(5)), std::logic_error);
+    // A rollback with an unchanged value must also throw — the old code's
+    // value-dedup would have silently accepted it.
+    EXPECT_THROW(w.record(v, 3, time::ns(5)), std::logic_error);
+    w.record(v, 5, time::ns(12));  // non-decreasing again: recovers
+}
+
 TEST(KernelMisc, SignalOfStructType)
 {
     struct pt {
