@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bus"
+  "../bench/bench_ablation_bus.pdb"
+  "CMakeFiles/bench_ablation_bus.dir/bench_ablation_bus.cpp.o"
+  "CMakeFiles/bench_ablation_bus.dir/bench_ablation_bus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

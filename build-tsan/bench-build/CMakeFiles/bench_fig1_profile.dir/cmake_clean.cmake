@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_profile"
+  "../bench/bench_fig1_profile.pdb"
+  "CMakeFiles/bench_fig1_profile.dir/bench_fig1_profile.cpp.o"
+  "CMakeFiles/bench_fig1_profile.dir/bench_fig1_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_j2k_kernels"
+  "../bench/bench_j2k_kernels.pdb"
+  "CMakeFiles/bench_j2k_kernels.dir/bench_j2k_kernels.cpp.o"
+  "CMakeFiles/bench_j2k_kernels.dir/bench_j2k_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_j2k_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

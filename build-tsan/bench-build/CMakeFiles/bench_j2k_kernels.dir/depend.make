@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_j2k_kernels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rd_curve"
+  "../bench/bench_rd_curve.pdb"
+  "CMakeFiles/bench_rd_curve.dir/bench_rd_curve.cpp.o"
+  "CMakeFiles/bench_rd_curve.dir/bench_rd_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rd_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sim_kernel"
+  "../bench/bench_sim_kernel.pdb"
+  "CMakeFiles/bench_sim_kernel.dir/bench_sim_kernel.cpp.o"
+  "CMakeFiles/bench_sim_kernel.dir/bench_sim_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

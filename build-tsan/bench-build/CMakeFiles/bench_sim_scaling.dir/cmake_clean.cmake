@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sim_scaling"
+  "../bench/bench_sim_scaling.pdb"
+  "CMakeFiles/bench_sim_scaling.dir/bench_sim_scaling.cpp.o"
+  "CMakeFiles/bench_sim_scaling.dir/bench_sim_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

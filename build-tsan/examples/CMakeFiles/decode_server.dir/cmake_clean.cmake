@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_server.dir/decode_server.cpp.o"
+  "CMakeFiles/decode_server.dir/decode_server.cpp.o.d"
+  "decode_server"
+  "decode_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_space_exploration.cpp" "examples/CMakeFiles/design_space_exploration.dir/design_space_exploration.cpp.o" "gcc" "examples/CMakeFiles/design_space_exploration.dir/design_space_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/decoder/CMakeFiles/decoder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/j2k/CMakeFiles/j2k.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/osss/CMakeFiles/osss.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg2000_roundtrip.dir/jpeg2000_roundtrip.cpp.o"
+  "CMakeFiles/jpeg2000_roundtrip.dir/jpeg2000_roundtrip.cpp.o.d"
+  "jpeg2000_roundtrip"
+  "jpeg2000_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg2000_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_streaming.dir/progressive_streaming.cpp.o"
+  "CMakeFiles/progressive_streaming.dir/progressive_streaming.cpp.o.d"
+  "progressive_streaming"
+  "progressive_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_flow.dir/synthesis_flow.cpp.o"
+  "CMakeFiles/synthesis_flow.dir/synthesis_flow.cpp.o.d"
+  "synthesis_flow"
+  "synthesis_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_vta.dir/trace_vta.cpp.o"
+  "CMakeFiles/trace_vta.dir/trace_vta.cpp.o.d"
+  "trace_vta"
+  "trace_vta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_vta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder.dir/models.cpp.o"
+  "CMakeFiles/decoder.dir/models.cpp.o.d"
+  "CMakeFiles/decoder.dir/timing.cpp.o"
+  "CMakeFiles/decoder.dir/timing.cpp.o.d"
+  "CMakeFiles/decoder.dir/workload.cpp.o"
+  "CMakeFiles/decoder.dir/workload.cpp.o.d"
+  "libdecoder.a"
+  "libdecoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

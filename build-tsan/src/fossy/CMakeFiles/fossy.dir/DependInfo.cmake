@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fossy/estimate.cpp" "src/fossy/CMakeFiles/fossy.dir/estimate.cpp.o" "gcc" "src/fossy/CMakeFiles/fossy.dir/estimate.cpp.o.d"
+  "/root/repo/src/fossy/idwt_models.cpp" "src/fossy/CMakeFiles/fossy.dir/idwt_models.cpp.o" "gcc" "src/fossy/CMakeFiles/fossy.dir/idwt_models.cpp.o.d"
+  "/root/repo/src/fossy/platform.cpp" "src/fossy/CMakeFiles/fossy.dir/platform.cpp.o" "gcc" "src/fossy/CMakeFiles/fossy.dir/platform.cpp.o.d"
+  "/root/repo/src/fossy/transform.cpp" "src/fossy/CMakeFiles/fossy.dir/transform.cpp.o" "gcc" "src/fossy/CMakeFiles/fossy.dir/transform.cpp.o.d"
+  "/root/repo/src/fossy/vhdl.cpp" "src/fossy/CMakeFiles/fossy.dir/vhdl.cpp.o" "gcc" "src/fossy/CMakeFiles/fossy.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/osss/CMakeFiles/osss.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fossy.dir/estimate.cpp.o"
+  "CMakeFiles/fossy.dir/estimate.cpp.o.d"
+  "CMakeFiles/fossy.dir/idwt_models.cpp.o"
+  "CMakeFiles/fossy.dir/idwt_models.cpp.o.d"
+  "CMakeFiles/fossy.dir/platform.cpp.o"
+  "CMakeFiles/fossy.dir/platform.cpp.o.d"
+  "CMakeFiles/fossy.dir/transform.cpp.o"
+  "CMakeFiles/fossy.dir/transform.cpp.o.d"
+  "CMakeFiles/fossy.dir/vhdl.cpp.o"
+  "CMakeFiles/fossy.dir/vhdl.cpp.o.d"
+  "libfossy.a"
+  "libfossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/j2k/codec.cpp" "src/j2k/CMakeFiles/j2k.dir/codec.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/codec.cpp.o.d"
+  "/root/repo/src/j2k/codestream.cpp" "src/j2k/CMakeFiles/j2k.dir/codestream.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/codestream.cpp.o.d"
+  "/root/repo/src/j2k/color.cpp" "src/j2k/CMakeFiles/j2k.dir/color.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/color.cpp.o.d"
+  "/root/repo/src/j2k/dwt.cpp" "src/j2k/CMakeFiles/j2k.dir/dwt.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/dwt.cpp.o.d"
+  "/root/repo/src/j2k/image.cpp" "src/j2k/CMakeFiles/j2k.dir/image.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/image.cpp.o.d"
+  "/root/repo/src/j2k/mq_coder.cpp" "src/j2k/CMakeFiles/j2k.dir/mq_coder.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/mq_coder.cpp.o.d"
+  "/root/repo/src/j2k/pnm.cpp" "src/j2k/CMakeFiles/j2k.dir/pnm.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/pnm.cpp.o.d"
+  "/root/repo/src/j2k/quant.cpp" "src/j2k/CMakeFiles/j2k.dir/quant.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/quant.cpp.o.d"
+  "/root/repo/src/j2k/tier1.cpp" "src/j2k/CMakeFiles/j2k.dir/tier1.cpp.o" "gcc" "src/j2k/CMakeFiles/j2k.dir/tier1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/j2k.dir/codec.cpp.o"
+  "CMakeFiles/j2k.dir/codec.cpp.o.d"
+  "CMakeFiles/j2k.dir/codestream.cpp.o"
+  "CMakeFiles/j2k.dir/codestream.cpp.o.d"
+  "CMakeFiles/j2k.dir/color.cpp.o"
+  "CMakeFiles/j2k.dir/color.cpp.o.d"
+  "CMakeFiles/j2k.dir/dwt.cpp.o"
+  "CMakeFiles/j2k.dir/dwt.cpp.o.d"
+  "CMakeFiles/j2k.dir/image.cpp.o"
+  "CMakeFiles/j2k.dir/image.cpp.o.d"
+  "CMakeFiles/j2k.dir/mq_coder.cpp.o"
+  "CMakeFiles/j2k.dir/mq_coder.cpp.o.d"
+  "CMakeFiles/j2k.dir/pnm.cpp.o"
+  "CMakeFiles/j2k.dir/pnm.cpp.o.d"
+  "CMakeFiles/j2k.dir/quant.cpp.o"
+  "CMakeFiles/j2k.dir/quant.cpp.o.d"
+  "CMakeFiles/j2k.dir/tier1.cpp.o"
+  "CMakeFiles/j2k.dir/tier1.cpp.o.d"
+  "libj2k.a"
+  "libj2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/j2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osss.dir/design.cpp.o"
+  "CMakeFiles/osss.dir/design.cpp.o.d"
+  "libosss.a"
+  "libosss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime.dir/service.cpp.o"
+  "CMakeFiles/runtime.dir/service.cpp.o.d"
+  "libruntime.a"
+  "libruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_core.dir/metrics.cpp.o"
+  "CMakeFiles/runtime_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/runtime_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/runtime_core.dir/thread_pool.cpp.o.d"
+  "libruntime_core.a"
+  "libruntime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/kernel.cpp.o"
+  "CMakeFiles/sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/sim.dir/time.cpp.o"
+  "CMakeFiles/sim.dir/time.cpp.o.d"
+  "CMakeFiles/sim.dir/trace.cpp.o"
+  "CMakeFiles/sim.dir/trace.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

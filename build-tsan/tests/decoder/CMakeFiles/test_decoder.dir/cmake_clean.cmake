@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoder.dir/test_models.cpp.o"
+  "CMakeFiles/test_decoder.dir/test_models.cpp.o.d"
+  "CMakeFiles/test_decoder.dir/test_serial.cpp.o"
+  "CMakeFiles/test_decoder.dir/test_serial.cpp.o.d"
+  "CMakeFiles/test_decoder.dir/test_workload.cpp.o"
+  "CMakeFiles/test_decoder.dir/test_workload.cpp.o.d"
+  "test_decoder"
+  "test_decoder.pdb"
+  "test_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/decoder
+# Build directory: /root/repo/build-tsan/tests/decoder
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/decoder/test_decoder[1]_include.cmake")

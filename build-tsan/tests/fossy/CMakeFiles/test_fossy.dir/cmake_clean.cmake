@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fossy.dir/test_transform.cpp.o"
+  "CMakeFiles/test_fossy.dir/test_transform.cpp.o.d"
+  "CMakeFiles/test_fossy.dir/test_vhdl.cpp.o"
+  "CMakeFiles/test_fossy.dir/test_vhdl.cpp.o.d"
+  "test_fossy"
+  "test_fossy.pdb"
+  "test_fossy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fossy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fossy
+# Build directory: /root/repo/build-tsan/tests/fossy
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/fossy/test_fossy[1]_include.cmake")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/j2k/test_codec.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_codec.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/j2k/test_codec_sweep.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_codec_sweep.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_codec_sweep.cpp.o.d"
+  "/root/repo/tests/j2k/test_dwt.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_dwt.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_dwt.cpp.o.d"
+  "/root/repo/tests/j2k/test_layers.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_layers.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/j2k/test_mq.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_mq.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_mq.cpp.o.d"
+  "/root/repo/tests/j2k/test_pnm.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_pnm.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_pnm.cpp.o.d"
+  "/root/repo/tests/j2k/test_scalability.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_scalability.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_scalability.cpp.o.d"
+  "/root/repo/tests/j2k/test_tier1.cpp" "tests/j2k/CMakeFiles/test_j2k.dir/test_tier1.cpp.o" "gcc" "tests/j2k/CMakeFiles/test_j2k.dir/test_tier1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/j2k/CMakeFiles/j2k.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_j2k.dir/test_codec.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_codec.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_codec_sweep.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_codec_sweep.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_dwt.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_dwt.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_layers.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_layers.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_mq.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_mq.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_pnm.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_pnm.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_scalability.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_scalability.cpp.o.d"
+  "CMakeFiles/test_j2k.dir/test_tier1.cpp.o"
+  "CMakeFiles/test_j2k.dir/test_tier1.cpp.o.d"
+  "test_j2k"
+  "test_j2k.pdb"
+  "test_j2k[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_j2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

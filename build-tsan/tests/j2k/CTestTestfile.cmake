@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/j2k
+# Build directory: /root/repo/build-tsan/tests/j2k
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/j2k/test_j2k[1]_include.cmake")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/osss/test_arbiter.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_arbiter.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_arbiter.cpp.o.d"
+  "/root/repo/tests/osss/test_channels.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_channels.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_channels.cpp.o.d"
+  "/root/repo/tests/osss/test_module.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_module.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_module.cpp.o.d"
+  "/root/repo/tests/osss/test_polymorphic.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_polymorphic.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_polymorphic.cpp.o.d"
+  "/root/repo/tests/osss/test_properties.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_properties.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/osss/test_ret_plb.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_ret_plb.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_ret_plb.cpp.o.d"
+  "/root/repo/tests/osss/test_shared_object.cpp" "tests/osss/CMakeFiles/test_osss.dir/test_shared_object.cpp.o" "gcc" "tests/osss/CMakeFiles/test_osss.dir/test_shared_object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/osss/CMakeFiles/osss.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osss.dir/test_arbiter.cpp.o"
+  "CMakeFiles/test_osss.dir/test_arbiter.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_channels.cpp.o"
+  "CMakeFiles/test_osss.dir/test_channels.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_module.cpp.o"
+  "CMakeFiles/test_osss.dir/test_module.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_polymorphic.cpp.o"
+  "CMakeFiles/test_osss.dir/test_polymorphic.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_properties.cpp.o"
+  "CMakeFiles/test_osss.dir/test_properties.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_ret_plb.cpp.o"
+  "CMakeFiles/test_osss.dir/test_ret_plb.cpp.o.d"
+  "CMakeFiles/test_osss.dir/test_shared_object.cpp.o"
+  "CMakeFiles/test_osss.dir/test_shared_object.cpp.o.d"
+  "test_osss"
+  "test_osss.pdb"
+  "test_osss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

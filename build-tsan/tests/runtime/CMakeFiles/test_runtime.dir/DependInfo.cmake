@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_pool.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_pool.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_pool.cpp.o.d"
+  "/root/repo/tests/runtime/test_queue.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_queue.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_queue.cpp.o.d"
+  "/root/repo/tests/runtime/test_service.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_service.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/j2k/CMakeFiles/j2k.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

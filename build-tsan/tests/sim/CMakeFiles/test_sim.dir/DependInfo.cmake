@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_kernel.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_kernel.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/sim/test_misc.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_misc.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/sim/test_sync.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_sync.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_time.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

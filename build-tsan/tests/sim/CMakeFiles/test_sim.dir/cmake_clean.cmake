@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_kernel.cpp.o"
+  "CMakeFiles/test_sim.dir/test_kernel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_misc.cpp.o"
+  "CMakeFiles/test_sim.dir/test_misc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_time.cpp.o"
+  "CMakeFiles/test_sim.dir/test_time.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
