@@ -6,13 +6,21 @@
 //   { "bench": "runtime_throughput", "hardware_concurrency": N,
 //     "results": [ {"workers":1, "jobs_per_sec":..., "p50_us":..., ...}, ... ],
 //     "speedup_max_vs_1": ... }
+//
+// The whole run is recorded by the obs span tracer (when compiled in) and
+// dumped to a Chrome trace-event file — argv[2], default
+// runtime_throughput.trace.json — pass "none" to benchmark with the tracer
+// disarmed (for overhead A/B against an OBS_TRACING=OFF build).
+#include <obs/trace.hpp>
 #include <runtime/service.hpp>
 
 #include <j2k/j2k.hpp>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -62,6 +70,11 @@ int main(int argc, char** argv)
     const int jobs = std::max(1, argc > 1 ? std::atoi(argv[1]) : 32);
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
+    const char* trace_path = argc > 2 ? argv[2] : "runtime_throughput.trace.json";
+    const bool tracing = obs::tracing_compiled() && std::strcmp(trace_path, "none") != 0;
+    obs::tracer::instance().set_enabled(tracing);
+    obs::tracer::instance().set_thread_name("bench-main");
+
     std::printf("{\"bench\":\"runtime_throughput\",\"image\":\"256x256x3\","
                 "\"tiles\":16,\"jobs\":%d,\"hardware_concurrency\":%u,"
                 "\"results\":[",
@@ -85,6 +98,15 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(m.tiles_decoded));
         first = false;
     }
-    std::printf("],\"speedup_max_vs_1\":%.2f}\n", base_jps > 0 ? best_jps / base_jps : 0.0);
+    std::printf("],\"speedup_max_vs_1\":%.2f", base_jps > 0 ? best_jps / base_jps : 0.0);
+    if (tracing) {
+        const std::size_t evs = obs::tracer::instance().write_json_file(trace_path);
+        const auto st = obs::tracer::instance().get_stats();
+        std::printf(",\"trace_file\":\"%s\",\"trace_events\":%zu,"
+                    "\"trace_threads\":%zu,\"trace_overwritten\":%llu",
+                    trace_path, evs, st.threads,
+                    static_cast<unsigned long long>(st.overwritten));
+    }
+    std::printf("}\n");
     return 0;
 }

@@ -8,7 +8,11 @@
 //                      drop_oldest policy: old previews are evicted, the
 //                      service stays responsive, nothing OOMs;
 //   3. drain         — shutdown() completes every admitted job.
-// Metrics are dumped after each phase.
+// Metrics are dumped after each phase, and the whole run is recorded by the
+// obs tracer: decode_server.trace.json shows each job's span tree (admission,
+// queue wait, per-tile stage spans) and the queue-depth counter track.  Open
+// it in https://ui.perfetto.dev or chrome://tracing.
+#include <obs/trace.hpp>
 #include <runtime/service.hpp>
 
 #include <j2k/j2k.hpp>
@@ -50,6 +54,9 @@ int run_mix(runtime::decode_service& svc, const std::vector<workload>& mix, int 
 
 int main()
 {
+    obs::tracer::instance().set_enabled(true);
+    obs::tracer::instance().set_thread_name("submitter");
+
     // One layered stream (for quality-capped jobs) and one plain stream.
     const j2k::image img = j2k::make_test_image(256, 256, 3);
     j2k::codec_params p;
@@ -95,5 +102,11 @@ int main()
         std::printf("  after shutdown(): %d/12 futures ready\n", ready);
         std::printf("\n%s\n", svc.metrics().dump().c_str());
     }
+
+    const std::size_t evs =
+        obs::tracer::instance().write_json_file("decode_server.trace.json");
+    std::printf("trace: %zu events written to decode_server.trace.json "
+                "(open in https://ui.perfetto.dev)\n",
+                evs);
     return 0;
 }

@@ -1,9 +1,14 @@
-// trace_vta — observe a Virtual Target Architecture model with a VCD trace.
+// trace_vta — observe a Virtual Target Architecture model with a VCD trace
+// and a Chrome trace-event JSON side by side.
 //
 // Builds a small VTA scene (four masters sharing an OPB bus + a guarded
 // Shared Object) and runs a monitor process that samples bus occupancy, the
 // number of queued masters and the object's queue into a VCD file, viewable
-// with any waveform viewer (gtkwave etc.).
+// with any waveform viewer (gtkwave etc.).  With the obs tracer armed, the
+// same run also emits vta_trace.trace.json (open in https://ui.perfetto.dev):
+// one wall-clock span per process activation plus simulated-time counter
+// tracks — the host-profiling view the VCD cannot give.
+#include <obs/trace.hpp>
 #include <osss/osss.hpp>
 #include <sim/sim.hpp>
 
@@ -19,6 +24,9 @@ struct job_queue {
 
 int main()
 {
+    obs::tracer::instance().set_enabled(true);
+    obs::tracer::instance().set_thread_name("sim-main");
+
     sim::kernel k;
     const sim::time clk = sim::time::ns(10);
 
@@ -77,6 +85,9 @@ int main()
                 bus.stats().busy_time.str().c_str(), bus.stats().wait_time.str().c_str());
     std::printf("  shared object: %llu calls\n",
                 static_cast<unsigned long long>(so.total_calls()));
-    std::printf("  trace written to vta_trace.vcd\n");
+    vcd.flush();
+    std::printf("  waveform written to vta_trace.vcd\n");
+    const std::size_t evs = obs::tracer::instance().write_json_file("vta_trace.trace.json");
+    std::printf("  %zu span/counter events written to vta_trace.trace.json\n", evs);
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "codec.hpp"
 
+#include <obs/trace.hpp>
 #include <runtime/thread_pool.hpp>
 
 #include <cmath>
@@ -203,6 +204,7 @@ std::vector<tile_rect> decoder::tiles() const
 
 tile_coeffs decoder::entropy_decode(int tile_index, tier1_stats* stats) const
 {
+    OBS_TRACE_SCOPE("j2k", "tier1");
     const auto grid = tiles();
     if (tile_index < 0 || tile_index >= static_cast<int>(grid.size()))
         throw std::out_of_range{"entropy_decode: tile index"};
@@ -300,6 +302,7 @@ tile_coeffs decoder::entropy_decode_layered(int tile_index, tier1_stats* stats) 
 
 tile_wavelet decoder::dequantize(const tile_coeffs& tc) const
 {
+    OBS_TRACE_SCOPE("j2k", "iq");
     tile_wavelet tw;
     tw.rect = tc.rect;
     tw.lossy = info_.mode == wavelet::w9_7;
@@ -325,6 +328,7 @@ tile_wavelet decoder::dequantize(const tile_coeffs& tc) const
 
 tile_pixels decoder::idwt(const tile_wavelet& tw) const
 {
+    OBS_TRACE_SCOPE("j2k", "idwt");
     tile_pixels tp;
     tp.rect = tw.rect;
     if (!tw.lossy) {
@@ -348,11 +352,13 @@ tile_pixels decoder::idwt(const tile_wavelet& tw) const
 void decoder::finish(image& img) const
 {
     if (img.components() == 3) {
+        OBS_TRACE_SCOPE("j2k", "ict");
         if (info_.mode == wavelet::w5_3)
             rct_inverse(img);
         else
             ict_inverse(img);
     }
+    OBS_TRACE_SCOPE("j2k", "dc_shift");
     dc_shift_inverse(img);
 }
 
@@ -401,6 +407,7 @@ image decoder::decode_all_parallel(int threads) const
     runtime::thread_pool::shared().parallel_for(
         static_cast<int>(grid.size()),
         [&](int t) {
+            OBS_TRACE_SCOPE("j2k", "tile");
             const tile_pixels tp = idwt(dequantize(entropy_decode(t)));
             // Tiles are disjoint, so concurrent insert_tile calls write
             // disjoint rows/columns of the shared image.

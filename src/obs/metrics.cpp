@@ -1,0 +1,172 @@
+#include "metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace obs {
+
+namespace {
+
+int bucket_of(std::uint64_t v) noexcept
+{
+    const int b = static_cast<int>(std::bit_width(v));  // 0 for v == 0
+    return b >= log2_histogram::k_buckets ? log2_histogram::k_buckets - 1 : b;
+}
+
+void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < v && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                                  std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+void log2_histogram::observe(std::uint64_t v) noexcept
+{
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    fetch_max(max_, v);
+}
+
+log2_histogram::data log2_histogram::snapshot() const noexcept
+{
+    data d;
+    for (int b = 0; b < k_buckets; ++b)
+        d.buckets[static_cast<std::size_t>(b)] =
+            buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    d.count = count_.load(std::memory_order_relaxed);
+    d.sum = sum_.load(std::memory_order_relaxed);
+    d.max = max_.load(std::memory_order_relaxed);
+    return d;
+}
+
+double log2_histogram::data::quantile(double q) const noexcept
+{
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < k_buckets; ++b) {
+        const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (static_cast<double>(cum + n) >= target) {
+            // Bucket b holds values in [lo, hi); interpolate linearly.  The
+            // interpolated point can overshoot the real extremum (a single
+            // sample lands mid-bucket, q=1 lands at the open upper bound), so
+            // clamp to the observed maximum.
+            const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+            const double hi = static_cast<double>(1ull << b);
+            const double frac = (target - static_cast<double>(cum)) / static_cast<double>(n);
+            const double est = lo + (hi - lo) * frac;
+            const double cap = static_cast<double>(max);
+            return est < cap ? est : cap;
+        }
+        cum += n;
+    }
+    return static_cast<double>(max);
+}
+
+counter& registry::get_counter(const std::string& name)
+{
+    std::lock_guard lk{m_};
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<counter>();
+    return *slot;
+}
+
+gauge& registry::get_gauge(const std::string& name)
+{
+    std::lock_guard lk{m_};
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<gauge>();
+    return *slot;
+}
+
+log2_histogram& registry::get_histogram(const std::string& name)
+{
+    std::lock_guard lk{m_};
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<log2_histogram>();
+    return *slot;
+}
+
+std::string registry::expose_text() const
+{
+    std::lock_guard lk{m_};
+    std::string out;
+    char buf[256];
+    for (const auto& [name, c] : counters_) {
+        std::snprintf(buf, sizeof buf, "%s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(c->value()));
+        out += buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+        std::snprintf(buf, sizeof buf, "%s %lld\n%s_max %lld\n", name.c_str(),
+                      static_cast<long long>(g->value()), name.c_str(),
+                      static_cast<long long>(g->max()));
+        out += buf;
+    }
+    for (const auto& [name, h] : histograms_) {
+        const auto d = h->snapshot();
+        std::snprintf(buf, sizeof buf,
+                      "%s_count %llu\n%s_mean %.1f\n%s_p50 %.1f\n%s_p95 %.1f\n"
+                      "%s_p99 %.1f\n%s_max %llu\n",
+                      name.c_str(), static_cast<unsigned long long>(d.count),
+                      name.c_str(), d.mean(), name.c_str(), d.quantile(0.50),
+                      name.c_str(), d.quantile(0.95), name.c_str(), d.quantile(0.99),
+                      name.c_str(), static_cast<unsigned long long>(d.max));
+        out += buf;
+    }
+    return out;
+}
+
+std::string registry::expose_json() const
+{
+    std::lock_guard lk{m_};
+    std::string out = "{\"counters\":{";
+    char buf[256];
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(c->value()));
+        out += buf;
+        first = false;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":{\"value\":%lld,\"max\":%lld}",
+                      first ? "" : ",", name.c_str(), static_cast<long long>(g->value()),
+                      static_cast<long long>(g->max()));
+        out += buf;
+        first = false;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        const auto d = h->snapshot();
+        std::snprintf(buf, sizeof buf,
+                      "%s\"%s\":{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,"
+                      "\"p95\":%.1f,\"p99\":%.1f,\"max\":%llu}",
+                      first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(d.count), d.mean(),
+                      d.quantile(0.50), d.quantile(0.95), d.quantile(0.99),
+                      static_cast<unsigned long long>(d.max));
+        out += buf;
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+registry& registry::global()
+{
+    static registry r;
+    return r;
+}
+
+}  // namespace obs

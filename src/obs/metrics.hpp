@@ -1,0 +1,134 @@
+// obs/metrics.hpp — generic metrics: counters, gauges, log2 histograms, and
+// a named registry with text / JSON exposition.
+//
+// Everything on the update path is a relaxed atomic — recording is a handful
+// of uncontended RMWs, cheap enough to leave enabled in production.  The
+// registry hands out stable references (instruments are never deallocated
+// while the registry lives), so hot paths bind a reference once and never
+// touch the name map again.
+//
+// `log2_histogram` is the service's latency histogram promoted to a general
+// facility: bucket b counts values with bit_width b, quantiles interpolate
+// linearly inside the hit bucket, bounding the error at ~half a bucket width.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace obs {
+
+/// Monotonically increasing event count.
+class counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, in-flight jobs, ...) with a high-water
+/// mark maintained across every set/add.
+class gauge {
+public:
+    void set(std::int64_t v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+        raise_max(v);
+    }
+    void add(std::int64_t d) noexcept
+    {
+        raise_max(v_.fetch_add(d, std::memory_order_relaxed) + d);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t max() const noexcept
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void raise_max(std::int64_t v) noexcept
+    {
+        std::int64_t cur = max_.load(std::memory_order_relaxed);
+        while (cur < v && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                                      std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::int64_t> v_{0};
+    std::atomic<std::int64_t> max_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples.
+class log2_histogram {
+public:
+    static constexpr int k_buckets = 64;  ///< bucket b counts values with bit_width b
+
+    void observe(std::uint64_t v) noexcept;
+
+    struct data {
+        std::array<std::uint64_t, k_buckets> buckets{};
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+
+        /// Approximate quantile, q clamped to [0, 1].  Returns 0 for an empty
+        /// histogram; never exceeds the largest observed sample.
+        [[nodiscard]] double quantile(double q) const noexcept;
+        [[nodiscard]] double mean() const noexcept
+        {
+            return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+        }
+    };
+
+    [[nodiscard]] data snapshot() const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, k_buckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named instrument registry.  get_* creates on first use and returns a
+/// reference that stays valid for the registry's lifetime; exposition walks
+/// the maps in name order.  Each subsystem that wants isolated metrics (one
+/// decode_service, one benchmark run) owns its own registry; `global()` is
+/// the process-wide default.
+class registry {
+public:
+    registry() = default;
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    counter& get_counter(const std::string& name);
+    gauge& get_gauge(const std::string& name);
+    log2_histogram& get_histogram(const std::string& name);
+
+    /// One `name value` line per instrument (gauges add `name_max`,
+    /// histograms expose count/mean/p50/p95/p99/max).
+    [[nodiscard]] std::string expose_text() const;
+    /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+    [[nodiscard]] std::string expose_json() const;
+
+    static registry& global();
+
+private:
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<counter>> counters_;
+    std::map<std::string, std::unique_ptr<gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<log2_histogram>> histograms_;
+};
+
+}  // namespace obs

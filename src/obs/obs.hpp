@@ -1,0 +1,40 @@
+// obs/obs.hpp — umbrella header for the observability layer: span tracing
+// (trace.hpp), metrics (metrics.hpp), and the helper that couples the two.
+#pragma once
+
+#include "metrics.hpp"
+#include "trace.hpp"
+
+#include <chrono>
+
+namespace obs {
+
+/// RAII stage timer: accumulates the scope's wall time (nanoseconds) into a
+/// counter, and — when tracing is armed — brackets it with a span.  This is
+/// the one abstraction behind both Figure-1-style cumulative stage profiles
+/// and per-tile flame charts; callers stop hand-rolling clock_gettime pairs.
+/// Pass nullptr cat/name to accumulate without emitting a span (used when an
+/// inner layer already traces the same region).
+class stage_timer {
+public:
+    stage_timer(const char* cat, const char* name, counter& ns) noexcept
+        : span_{cat, name}, ns_{ns}, start_{std::chrono::steady_clock::now()}
+    {
+    }
+    ~stage_timer()
+    {
+        ns_.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count()));
+    }
+    stage_timer(const stage_timer&) = delete;
+    stage_timer& operator=(const stage_timer&) = delete;
+
+private:
+    scoped_span span_;
+    counter& ns_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs

@@ -1,94 +1,43 @@
 #include "metrics.hpp"
 
-#include <bit>
 #include <cstdio>
 
 namespace runtime {
 
-namespace {
-
-int bucket_of(std::uint64_t us) noexcept
+service_metrics::service_metrics()
+    : submitted_{reg_.get_counter("jobs_submitted")},
+      completed_{reg_.get_counter("jobs_completed")},
+      failed_{reg_.get_counter("jobs_failed")},
+      rejected_{reg_.get_counter("jobs_rejected")},
+      dropped_{reg_.get_counter("jobs_dropped")},
+      tiles_{reg_.get_counter("tiles_decoded")},
+      entropy_ns_{reg_.get_counter("stage_entropy_ns")},
+      iq_ns_{reg_.get_counter("stage_iq_ns")},
+      idwt_ns_{reg_.get_counter("stage_idwt_ns")},
+      finish_ns_{reg_.get_counter("stage_finish_ns")},
+      queue_depth_{reg_.get_gauge("queue_depth")},
+      latency_{reg_.get_histogram("latency_us")}
 {
-    const int b = static_cast<int>(std::bit_width(us));  // 0 for us == 0
-    return b >= latency_histogram::k_buckets ? latency_histogram::k_buckets - 1 : b;
-}
-
-void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept
-{
-    std::uint64_t cur = slot.load(std::memory_order_relaxed);
-    while (cur < v &&
-           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed,
-                                       std::memory_order_relaxed)) {
-    }
-}
-
-}  // namespace
-
-void latency_histogram::observe(std::uint64_t us) noexcept
-{
-    buckets_[static_cast<std::size_t>(bucket_of(us))].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(us, std::memory_order_relaxed);
-    fetch_max(max_us_, us);
-}
-
-latency_histogram::data latency_histogram::snapshot() const noexcept
-{
-    data d;
-    for (int b = 0; b < k_buckets; ++b)
-        d.buckets[static_cast<std::size_t>(b)] =
-            buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
-    d.count = count_.load(std::memory_order_relaxed);
-    d.sum_us = sum_us_.load(std::memory_order_relaxed);
-    d.max_us = max_us_.load(std::memory_order_relaxed);
-    return d;
-}
-
-double latency_histogram::data::quantile(double q) const noexcept
-{
-    if (count == 0) return 0.0;
-    if (q < 0.0) q = 0.0;
-    if (q > 1.0) q = 1.0;
-    const double target = q * static_cast<double>(count);
-    std::uint64_t cum = 0;
-    for (int b = 0; b < k_buckets; ++b) {
-        const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
-        if (n == 0) continue;
-        if (static_cast<double>(cum + n) >= target) {
-            // Bucket b holds values in [lo, hi); interpolate linearly.
-            const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
-            const double hi = static_cast<double>(1ull << b);
-            const double frac = (target - static_cast<double>(cum)) / static_cast<double>(n);
-            return lo + (hi - lo) * frac;
-        }
-        cum += n;
-    }
-    return static_cast<double>(max_us);
-}
-
-void service_metrics::record_queue_depth(std::size_t depth) noexcept
-{
-    fetch_max(queue_high_water_, static_cast<std::uint64_t>(depth));
 }
 
 metrics_snapshot service_metrics::snapshot() const
 {
     metrics_snapshot s;
-    s.jobs_submitted = submitted_.load(std::memory_order_relaxed);
-    s.jobs_completed = completed_.load(std::memory_order_relaxed);
-    s.jobs_failed = failed_.load(std::memory_order_relaxed);
-    s.jobs_rejected = rejected_.load(std::memory_order_relaxed);
-    s.jobs_dropped = dropped_.load(std::memory_order_relaxed);
-    s.queue_depth_high_water = queue_high_water_.load(std::memory_order_relaxed);
-    s.tiles_decoded = tiles_.load(std::memory_order_relaxed);
-    s.entropy_ms = static_cast<double>(entropy_ns_.load(std::memory_order_relaxed)) / 1e6;
-    s.iq_ms = static_cast<double>(iq_ns_.load(std::memory_order_relaxed)) / 1e6;
-    s.idwt_ms = static_cast<double>(idwt_ns_.load(std::memory_order_relaxed)) / 1e6;
-    s.finish_ms = static_cast<double>(finish_ns_.load(std::memory_order_relaxed)) / 1e6;
+    s.jobs_submitted = submitted_.value();
+    s.jobs_completed = completed_.value();
+    s.jobs_failed = failed_.value();
+    s.jobs_rejected = rejected_.value();
+    s.jobs_dropped = dropped_.value();
+    s.queue_depth_high_water = static_cast<std::uint64_t>(queue_depth_.max());
+    s.tiles_decoded = tiles_.value();
+    s.entropy_ms = static_cast<double>(entropy_ns_.value()) / 1e6;
+    s.iq_ms = static_cast<double>(iq_ns_.value()) / 1e6;
+    s.idwt_ms = static_cast<double>(idwt_ns_.value()) / 1e6;
+    s.finish_ms = static_cast<double>(finish_ns_.value()) / 1e6;
     const auto lat = latency_.snapshot();
     s.latency_count = lat.count;
-    s.latency_mean_us = lat.mean_us();
-    s.latency_max_us = lat.max_us;
+    s.latency_mean_us = lat.mean();
+    s.latency_max_us = lat.max;
     s.latency_p50_us = lat.quantile(0.50);
     s.latency_p95_us = lat.quantile(0.95);
     s.latency_p99_us = lat.quantile(0.99);

@@ -1,50 +1,23 @@
-// runtime/metrics.hpp — counters and latency histograms for the decode
-// service.
+// runtime/metrics.hpp — decode-service metrics, as a thin client of the
+// generic obs:: layer (see src/obs/metrics.hpp and docs/OBSERVABILITY.md).
 //
-// Everything on the update path is a relaxed atomic: recording a sample is a
-// handful of uncontended RMWs, cheap enough to leave enabled in production.
-// `snapshot()` copies the live values into a plain struct; percentiles are
-// derived from a log2-bucketed histogram (exact bucket, linear interpolation
-// within it), which bounds the error at ~½ bucket width — plenty for p50/p95/
-// p99 dashboards.
+// Each decode_service owns one obs::registry; the named instruments below are
+// references bound once at construction, so the hot path is exactly what it
+// was when these were hand-rolled atomics: a handful of relaxed RMWs.
+// `snapshot()` keeps the historical flat struct (and its dump()/to_json())
+// for benches and dashboards; `instruments()` exposes the registry itself for
+// generic text/JSON exposition.
 #pragma once
 
-#include <array>
-#include <atomic>
+#include <obs/obs.hpp>
+
 #include <cstdint>
 #include <string>
 
 namespace runtime {
 
-/// Log2-bucketed histogram of microsecond latencies.
-class latency_histogram {
-public:
-    static constexpr int k_buckets = 40;  ///< bucket b counts values with bit_width b
-
-    void observe(std::uint64_t us) noexcept;
-
-    struct data {
-        std::array<std::uint64_t, k_buckets> buckets{};
-        std::uint64_t count = 0;
-        std::uint64_t sum_us = 0;
-        std::uint64_t max_us = 0;
-
-        /// Approximate quantile in microseconds, q in [0, 1].
-        [[nodiscard]] double quantile(double q) const noexcept;
-        [[nodiscard]] double mean_us() const noexcept
-        {
-            return count == 0 ? 0.0 : static_cast<double>(sum_us) / static_cast<double>(count);
-        }
-    };
-
-    [[nodiscard]] data snapshot() const noexcept;
-
-private:
-    std::array<std::atomic<std::uint64_t>, k_buckets> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sum_us_{0};
-    std::atomic<std::uint64_t> max_us_{0};
-};
+/// Log2-bucketed histogram (promoted to obs::; alias kept for existing users).
+using latency_histogram = obs::log2_histogram;
 
 /// Point-in-time copy of every service metric.
 struct metrics_snapshot {
@@ -83,40 +56,48 @@ struct metrics_snapshot {
 /// Live metric registers, shared by every worker of one decode_service.
 class service_metrics {
 public:
-    void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
-    void on_completed() noexcept { completed_.fetch_add(1, std::memory_order_relaxed); }
-    void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
-    void on_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
-    void on_dropped() noexcept { dropped_.fetch_add(1, std::memory_order_relaxed); }
-    void on_tile_decoded() noexcept { tiles_.fetch_add(1, std::memory_order_relaxed); }
+    service_metrics();
 
-    void record_queue_depth(std::size_t depth) noexcept;
+    void on_submitted() noexcept { submitted_.add(); }
+    void on_completed() noexcept { completed_.add(); }
+    void on_failed() noexcept { failed_.add(); }
+    void on_rejected() noexcept { rejected_.add(); }
+    void on_dropped() noexcept { dropped_.add(); }
+    void on_tile_decoded() noexcept { tiles_.add(); }
+
+    void record_queue_depth(std::size_t depth) noexcept
+    {
+        queue_depth_.set(static_cast<std::int64_t>(depth));
+    }
     void record_latency_us(std::uint64_t us) noexcept { latency_.observe(us); }
 
-    void add_stage_ns(std::uint64_t entropy, std::uint64_t iq, std::uint64_t idwt,
-                      std::uint64_t finish) noexcept
-    {
-        entropy_ns_.fetch_add(entropy, std::memory_order_relaxed);
-        iq_ns_.fetch_add(iq, std::memory_order_relaxed);
-        idwt_ns_.fetch_add(idwt, std::memory_order_relaxed);
-        finish_ns_.fetch_add(finish, std::memory_order_relaxed);
-    }
+    // Per-stage wall-time accumulators; pair with obs::stage_timer on the
+    // decode path (replaces the old add_stage_ns plumbing).
+    [[nodiscard]] obs::counter& stage_entropy_ns() noexcept { return entropy_ns_; }
+    [[nodiscard]] obs::counter& stage_iq_ns() noexcept { return iq_ns_; }
+    [[nodiscard]] obs::counter& stage_idwt_ns() noexcept { return idwt_ns_; }
+    [[nodiscard]] obs::counter& stage_finish_ns() noexcept { return finish_ns_; }
 
     [[nodiscard]] metrics_snapshot snapshot() const;
 
+    /// The underlying registry (generic exposition, tests).
+    [[nodiscard]] obs::registry& instruments() noexcept { return reg_; }
+    [[nodiscard]] const obs::registry& instruments() const noexcept { return reg_; }
+
 private:
-    std::atomic<std::uint64_t> submitted_{0};
-    std::atomic<std::uint64_t> completed_{0};
-    std::atomic<std::uint64_t> failed_{0};
-    std::atomic<std::uint64_t> rejected_{0};
-    std::atomic<std::uint64_t> dropped_{0};
-    std::atomic<std::uint64_t> tiles_{0};
-    std::atomic<std::uint64_t> queue_high_water_{0};
-    std::atomic<std::uint64_t> entropy_ns_{0};
-    std::atomic<std::uint64_t> iq_ns_{0};
-    std::atomic<std::uint64_t> idwt_ns_{0};
-    std::atomic<std::uint64_t> finish_ns_{0};
-    latency_histogram latency_;
+    obs::registry reg_;
+    obs::counter& submitted_;
+    obs::counter& completed_;
+    obs::counter& failed_;
+    obs::counter& rejected_;
+    obs::counter& dropped_;
+    obs::counter& tiles_;
+    obs::counter& entropy_ns_;
+    obs::counter& iq_ns_;
+    obs::counter& idwt_ns_;
+    obs::counter& finish_ns_;
+    obs::gauge& queue_depth_;
+    obs::log2_histogram& latency_;
 };
 
 }  // namespace runtime

@@ -1,6 +1,7 @@
 #include "service.hpp"
 
 #include <j2k/image.hpp>
+#include <obs/obs.hpp>
 
 #include <utility>
 
@@ -32,6 +33,7 @@ decode_service::~decode_service()
 std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
                                                const decode_options& opt)
 {
+    OBS_TRACE_SCOPE("runtime", "submit");
     auto j = std::make_unique<job>();
     j->opt = opt;
     j->submitted_at = std::chrono::steady_clock::now();
@@ -54,12 +56,24 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         ++in_flight_;  // admitted (tentatively); undone on rejection
     }
 
+    // The job span tree: an async "job" span over the whole lifetime
+    // (admission → future ready) with a nested async "queue_wait" span, both
+    // correlated by trace_id so they survive the submit→worker thread hop.
+    j->trace_id = obs::tracer::instance().next_id();
+    OBS_TRACE_ASYNC_BEGIN("job", "job", j->trace_id);
+    OBS_TRACE_ASYNC_BEGIN("job", "queue_wait", j->trace_id);
+    [[maybe_unused]] const std::uint64_t id = j->trace_id;
+
     job_ptr evicted;
     const push_result r = queue_.push(std::move(j), &evicted);
-    metrics_.record_queue_depth(queue_.high_water());
+    metrics_.record_queue_depth(queue_.size());
+    OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
     switch (r) {
     case push_result::dropped:
         metrics_.on_dropped();
+        OBS_TRACE_INSTANT("runtime", "job_dropped");
+        OBS_TRACE_ASYNC_END("job", "queue_wait", evicted->trace_id);
+        OBS_TRACE_ASYNC_END("job", "job", evicted->trace_id);
         evicted->promise.set_exception(std::make_exception_ptr(job_dropped{}));
         finish_one();  // the evicted job leaves the in-flight set
         [[fallthrough]];
@@ -69,6 +83,8 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         // an empty queue and return — the invariant is pumps >= queued jobs.
         pool_->submit([this] {
             if (auto popped = queue_.try_pop()) {
+                OBS_TRACE_ASYNC_END("job", "queue_wait", (*popped)->trace_id);
+                OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
                 run_job(**popped);
                 finish_one();
             }
@@ -76,11 +92,16 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         break;
     case push_result::rejected:
         metrics_.on_rejected();
+        OBS_TRACE_INSTANT("runtime", "job_rejected");
+        OBS_TRACE_ASYNC_END("job", "queue_wait", id);
+        OBS_TRACE_ASYNC_END("job", "job", id);
         j->promise.set_exception(std::make_exception_ptr(admission_rejected{}));
         finish_one();
         break;
     case push_result::closed:
         metrics_.on_rejected();
+        OBS_TRACE_ASYNC_END("job", "queue_wait", id);
+        OBS_TRACE_ASYNC_END("job", "job", id);
         j->promise.set_exception(std::make_exception_ptr(service_stopped{}));
         finish_one();
         break;
@@ -99,6 +120,7 @@ void decode_service::finish_one()
 
 void decode_service::run_job(job& j)
 {
+    OBS_TRACE_SCOPE("runtime", "decode_job");
     try {
         j2k::decoder dec{j.bytes};
         dec.set_max_passes(j.opt.max_passes);
@@ -111,36 +133,50 @@ void decode_service::run_job(job& j)
         j.promise.set_value(std::move(img));
     } catch (...) {
         metrics_.on_failed();
+        OBS_TRACE_INSTANT("runtime", "job_failed");
         j.promise.set_exception(std::current_exception());
     }
+    OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
 j2k::image decode_service::decode_tiled(const j2k::decoder& dec)
 {
-    using clock = std::chrono::steady_clock;
     const auto& info = dec.info();
     const auto grid = dec.tiles();
     j2k::image img{info.width, info.height, info.components, info.bit_depth};
     // Per-tile fan-out: subtasks land on the submitting worker's deque and
     // are stolen by idle workers, so a single big job still uses the whole
     // pool.  Tiles are disjoint, so insert_tile writes never overlap.
+    //
+    // Stage wall time flows into the metrics through obs::stage_timer; the
+    // spans for the individual stages (tier-1 / IQ / IDWT) are emitted one
+    // layer down, inside the j2k decoder itself, and nest under "tile".
     pool_->parallel_for(static_cast<int>(grid.size()), [&](int t) {
-        const auto t0 = clock::now();
-        const j2k::tile_coeffs tc = dec.entropy_decode(t);
-        const auto t1 = clock::now();
-        const j2k::tile_wavelet tw = dec.dequantize(tc);
-        const auto t2 = clock::now();
-        const j2k::tile_pixels tp = dec.idwt(tw);
-        const auto t3 = clock::now();
+        OBS_TRACE_SCOPE("runtime", "tile");
+        j2k::tile_coeffs tc;
+        {
+            obs::stage_timer st{nullptr, nullptr, metrics_.stage_entropy_ns()};
+            tc = dec.entropy_decode(t);
+        }
+        j2k::tile_wavelet tw;
+        {
+            obs::stage_timer st{nullptr, nullptr, metrics_.stage_iq_ns()};
+            tw = dec.dequantize(tc);
+        }
+        j2k::tile_pixels tp;
+        {
+            obs::stage_timer st{nullptr, nullptr, metrics_.stage_idwt_ns()};
+            tp = dec.idwt(tw);
+        }
         for (int c = 0; c < info.components; ++c)
             j2k::insert_tile(img.comp(c), tp.comps[static_cast<std::size_t>(c)],
                              grid[static_cast<std::size_t>(t)]);
-        metrics_.add_stage_ns(ns_between(t0, t1), ns_between(t1, t2), ns_between(t2, t3), 0);
         metrics_.on_tile_decoded();
     });
-    const auto f0 = clock::now();
-    dec.finish(img);
-    metrics_.add_stage_ns(0, 0, 0, ns_between(f0, clock::now()));
+    {
+        obs::stage_timer st{nullptr, nullptr, metrics_.stage_finish_ns()};
+        dec.finish(img);
+    }
     return img;
 }
 

@@ -110,6 +110,7 @@ private:
         std::span<const std::uint8_t> bytes;  ///< what the decoder reads
         decode_options opt;
         std::chrono::steady_clock::time_point submitted_at;
+        std::uint64_t trace_id = 0;  ///< correlates the async job span tree
     };
     using job_ptr = std::unique_ptr<job>;
 

@@ -1,8 +1,11 @@
 #include "thread_pool.hpp"
 
+#include <obs/trace.hpp>
+
 #include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <string>
 
 namespace runtime {
 
@@ -105,6 +108,9 @@ void thread_pool::worker_loop(int index)
 {
     tl_pool = this;
     tl_worker = index;
+#if OBS_TRACING_ENABLED
+    obs::tracer::instance().set_thread_name("pool-worker-" + std::to_string(index));
+#endif
     task t;
     for (;;) {
         if (pop_or_steal(index, t)) {

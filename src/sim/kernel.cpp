@@ -24,7 +24,18 @@ void kernel::spawn(process p, std::string name)
     auto& rec = processes_.back();
     h.promise().owner = this;
     h.promise().finished_flag = &rec.finished;  // deque ⇒ address stays valid
+#if OBS_TRACING_ENABLED
+    // Spawn is cold: intern eagerly so later activations can label their
+    // spans even when tracing is armed mid-run.
+    trace_names_[h.address()] = obs::tracer::instance().intern(rec.name);
+#endif
     schedule_delta(rec.h);
+}
+
+const char* kernel::trace_name_of(std::coroutine_handle<> h) const noexcept
+{
+    const auto it = trace_names_.find(h.address());
+    return it != trace_names_.end() ? it->second : "coroutine";
 }
 
 void kernel::schedule_at(time t, std::coroutine_handle<> h)
@@ -46,10 +57,23 @@ void kernel::resume(std::coroutine_handle<> h)
 {
     if (!h || h.done()) return;  // process may have been destroyed/finished
     ++activations_;
+#if OBS_TRACING_ENABLED
+    // One span per process activation: wall-clock time spent inside this
+    // resume, labelled with the process name.  This is the host-profiling
+    // view — where a VTA simulation actually burns CPU.
+    const char* span_name = nullptr;
+    if (obs::tracing_enabled()) {
+        span_name = trace_name_of(h);
+        obs::tracer::instance().begin("sim", span_name);
+    }
+#endif
     kernel* prev = current_;
     current_ = this;
     h.resume();
     current_ = prev;
+#if OBS_TRACING_ENABLED
+    if (span_name) obs::tracer::instance().end("sim", span_name);
+#endif
 }
 
 void kernel::reap_finished()
@@ -102,6 +126,16 @@ time kernel::run(time until)
 
         const time next = timed_.top().t;
         if (next > until) break;
+#if OBS_TRACING_ENABLED
+        // Counter tracks at each time advance: how many delta cycles the
+        // finished time point took, and simulated time itself — plotting
+        // sim-time against the wall-clock x-axis shows simulation speed.
+        if (obs::tracing_enabled()) {
+            auto& tr = obs::tracer::instance();
+            tr.counter("sim", "sim_delta_cycles", static_cast<std::int64_t>(delta_));
+            tr.counter("sim", "sim_time_ps", next.to_ps());
+        }
+#endif
         now_ = next;
         delta_ = 0;
         while (!timed_.empty() && timed_.top().t == now_) {

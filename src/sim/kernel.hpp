@@ -17,6 +17,8 @@
 #include "task.hpp"
 #include "time.hpp"
 
+#include <obs/trace.hpp>
+
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -24,6 +26,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace sim {
@@ -137,6 +140,8 @@ private:
 
     void resume(std::coroutine_handle<> h);
     void reap_finished();
+    /// Interned process name for a handle; "coroutine" for unnamed ones.
+    [[nodiscard]] const char* trace_name_of(std::coroutine_handle<> h) const noexcept;
 
     time now_{};
     std::uint64_t delta_ = 0;
@@ -154,6 +159,9 @@ private:
         bool finished = false;
     };
     std::deque<process_record> processes_;  // deque: stable addresses for finished_flag
+    /// Interned span names per process handle (filled at spawn); lets the
+    /// tracer label each activation without touching the std::string name.
+    std::unordered_map<void*, const char*> trace_names_;
 
     static thread_local kernel* current_;
 };
@@ -221,6 +229,7 @@ public:
     /// Wake all waiters in the next delta cycle.
     void notify()
     {
+        trace_notify();
         auto* k = kernel::current();
         for (auto h : waiters_) k->schedule_delta(h);
         waiters_.clear();
@@ -229,6 +238,7 @@ public:
     /// Wake all waiters at now + d.
     void notify(time d)
     {
+        trace_notify();
         auto* k = kernel::current();
         for (auto h : waiters_) k->schedule_at(k->now() + d, h);
         waiters_.clear();
@@ -237,7 +247,20 @@ public:
     [[nodiscard]] std::size_t waiter_count() const noexcept { return waiters_.size(); }
 
 private:
+    /// Instant trace event per notification, labelled with the event's name
+    /// (interned once, on the first traced notify).
+    void trace_notify()
+    {
+#if OBS_TRACING_ENABLED
+        if (obs::tracing_enabled()) {
+            if (!trace_name_) trace_name_ = obs::tracer::instance().intern(name_);
+            obs::tracer::instance().instant("sim.event", trace_name_);
+        }
+#endif
+    }
+
     std::string name_;
+    const char* trace_name_ = nullptr;
     std::vector<std::coroutine_handle<>> waiters_;
 };
 

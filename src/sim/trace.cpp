@@ -1,5 +1,6 @@
 #include "trace.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace sim {
@@ -29,12 +30,34 @@ std::string to_binary(std::uint64_t v, int width)
 }  // namespace
 
 vcd_writer::vcd_writer(const std::string& path, const std::string& top)
-    : out_{path}, top_{top}
+    : out_{path}, path_{path}, top_{top}
 {
     if (!out_) throw std::runtime_error{"vcd_writer: cannot open " + path};
+    // Surface I/O errors (disk full, closed pipe) at the write that hit them
+    // rather than silently truncating the dump.
+    out_.exceptions(std::ios::badbit);
 }
 
-vcd_writer::~vcd_writer() = default;
+vcd_writer::~vcd_writer()
+{
+    // A destructor must not throw: disarm the stream exceptions, then flush
+    // and at least report a truncated dump where flush() would have thrown.
+    out_.exceptions(std::ios::goodbit);
+    out_.flush();
+    if (!out_)
+        std::fprintf(stderr, "vcd_writer: WARNING: %s is truncated (write failure)\n",
+                     path_.c_str());
+}
+
+void vcd_writer::flush()
+{
+    try {
+        out_.flush();
+    } catch (const std::ios_base::failure&) {
+        throw std::runtime_error{"vcd_writer: write failure flushing " + path_};
+    }
+    if (!out_) throw std::runtime_error{"vcd_writer: write failure flushing " + path_};
+}
 
 int vcd_writer::add_variable(const std::string& name, int width)
 {

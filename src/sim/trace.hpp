@@ -18,7 +18,13 @@ namespace sim {
 class vcd_writer {
 public:
     /// Opens `path` for writing; throws std::runtime_error on failure.
+    /// Stream errors are armed as exceptions: a write failure (disk full,
+    /// closed pipe, ...) surfaces as std::ios_base::failure from the record()
+    /// / start() / flush() call that hit it, instead of silently truncating
+    /// the trace.
     explicit vcd_writer(const std::string& path, const std::string& top = "top");
+    /// Flushes; if the dump could not be fully written, warns on stderr
+    /// (destructors must not throw — call flush() to get the exception).
     ~vcd_writer();
 
     vcd_writer(const vcd_writer&) = delete;
@@ -37,6 +43,10 @@ public:
 
     [[nodiscard]] bool started() const noexcept { return started_; }
 
+    /// Push everything to disk and verify the stream; throws
+    /// std::runtime_error if any write failed.
+    void flush();
+
 private:
     void emit_timestamp(time t);
 
@@ -49,6 +59,7 @@ private:
     };
 
     std::ofstream out_;
+    std::string path_;
     std::string top_;
     std::vector<var_info> vars_;
     bool started_ = false;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <vector>
 
 namespace {
@@ -147,6 +148,37 @@ TEST(VcdWriter, RejectsDecreasingTimestamps)
     // value-dedup would have silently accepted it.
     EXPECT_THROW(w.record(v, 3, time::ns(5)), std::logic_error);
     w.record(v, 5, time::ns(12));  // non-decreasing again: recovers
+}
+
+TEST(VcdWriter, FlushSucceedsOnHealthyStream)
+{
+    const std::string path = testing::TempDir() + "vcd_flush_test.vcd";
+    sim::vcd_writer w{path};
+    const int v = w.add_variable("level", 8);
+    w.start();
+    w.record(v, 1, time::ns(10));
+    EXPECT_NO_THROW(w.flush());
+}
+
+TEST(VcdWriter, SurfacesWriteFailuresInsteadOfTruncating)
+{
+    // /dev/full accepts the open but fails every flushed write with ENOSPC —
+    // exactly the silent-truncation scenario the writer must now report.
+    if (!std::ofstream{"/dev/full"}.is_open())
+        GTEST_SKIP() << "/dev/full not available";
+    sim::vcd_writer w{"/dev/full"};
+    const int v = w.add_variable("level", 32);
+    w.start();
+    // Enough records to overflow the stream buffer so the ENOSPC surfaces
+    // either from a record() (badbit exception) or, at the latest, flush().
+    try {
+        for (int i = 0; i < 100000; ++i)
+            w.record(v, static_cast<std::uint64_t>(i), time::ns(10 + i));
+        w.flush();
+        FAIL() << "expected a write-failure exception";
+    } catch (const std::exception&) {
+        SUCCEED();
+    }
 }
 
 TEST(KernelMisc, SignalOfStructType)
