@@ -1,11 +1,19 @@
 // bench_runtime_throughput — batch-decode service throughput and latency vs
-// worker count, on the paper's 16-tile workload scaled up.
+// worker count, on the paper's 16-tile workload scaled up, plus a
+// mixed-priority phase exercising the two-level admission queue.
 //
 // Emits a single JSON object so the harness (and CI) can track jobs/sec and
 // latency percentiles over time:
 //   { "bench": "runtime_throughput", "hardware_concurrency": N,
-//     "results": [ {"workers":1, "jobs_per_sec":..., "p50_us":..., ...}, ... ],
-//     "speedup_max_vs_1": ... }
+//     "results": [ {"workers":1, "jobs_per_sec":..., "p50_us":...,
+//                   "steals":...}, ... ],
+//     "speedup_max_vs_1": ...,
+//     "mixed_priority": { "interactive": {"count":..,"p50_us":..,"p99_us":..},
+//                         "batch": {...}, "promotions":.., "steals":.. } }
+//
+// The mixed-priority phase floods one small worker pool with batch jobs and a
+// trickle of interactive arrivals; the acceptance signal is interactive p99
+// below batch p99 with zero starvation (every future completes).
 //
 // The whole run is recorded by the obs span tracer (when compiled in) and
 // dumped to a Chrome trace-event file — argv[2], default
@@ -55,6 +63,28 @@ run_result run_with_workers(const std::vector<std::uint8_t>& cs, int workers, in
     return r;
 }
 
+/// Batch flood + interactive trickle through one pool: the per-priority
+/// percentiles are the point, so the queue must actually fill (1 worker).
+runtime::metrics_snapshot run_mixed_priority(const std::vector<std::uint8_t>& cs,
+                                             int jobs)
+{
+    runtime::decode_service svc{{.workers = 1,
+                                 .queue_capacity = 256,
+                                 .policy = runtime::backpressure::block,
+                                 .promote_after = 8,
+                                 .copy_input = false}};
+    svc.submit(cs).get();  // warm-up
+    std::vector<std::future<j2k::image>> futs;
+    futs.reserve(static_cast<std::size_t>(jobs));
+    // 3:1 batch:interactive, batch first so interactive arrivals always find
+    // a backlog to jump.
+    for (int i = 0; i < jobs; ++i)
+        futs.push_back(svc.submit(cs, (i % 4 == 3) ? runtime::priority::interactive
+                                                   : runtime::priority::batch));
+    for (auto& f : futs) (void)f.get();  // no starvation: every future completes
+    return svc.metrics();
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -90,15 +120,35 @@ int main(int argc, char** argv)
         std::printf("%s{\"workers\":%d,\"seconds\":%.4f,\"jobs_per_sec\":%.2f,"
                     "\"speedup_vs_1\":%.2f,\"p50_us\":%.1f,\"p95_us\":%.1f,"
                     "\"p99_us\":%.1f,\"mean_us\":%.1f,\"queue_high_water\":%llu,"
-                    "\"tiles_decoded\":%llu}",
+                    "\"tiles_decoded\":%llu,\"steals\":%llu}",
                     first ? "" : ",", workers, r.seconds, jps,
                     base_jps > 0 ? jps / base_jps : 0.0, m.latency_p50_us,
                     m.latency_p95_us, m.latency_p99_us, m.latency_mean_us,
                     static_cast<unsigned long long>(m.queue_depth_high_water),
-                    static_cast<unsigned long long>(m.tiles_decoded));
+                    static_cast<unsigned long long>(m.tiles_decoded),
+                    static_cast<unsigned long long>(m.tasks_stolen));
         first = false;
     }
     std::printf("],\"speedup_max_vs_1\":%.2f", base_jps > 0 ? best_jps / base_jps : 0.0);
+
+    {
+        const auto m = run_mixed_priority(cs, jobs);
+        const auto& li = m.latency_by_priority[0];
+        const auto& lb = m.latency_by_priority[1];
+        std::printf(",\"mixed_priority\":{\"jobs\":%llu,\"completed\":%llu,"
+                    "\"interactive\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f},"
+                    "\"batch\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f},"
+                    "\"interactive_p99_below_batch_p99\":%s,"
+                    "\"promotions\":%llu,\"steals\":%llu}",
+                    static_cast<unsigned long long>(m.jobs_submitted),
+                    static_cast<unsigned long long>(m.jobs_completed),
+                    static_cast<unsigned long long>(li.count), li.p50_us, li.p99_us,
+                    static_cast<unsigned long long>(lb.count), lb.p50_us, lb.p99_us,
+                    li.p99_us < lb.p99_us ? "true" : "false",
+                    static_cast<unsigned long long>(m.jobs_promoted),
+                    static_cast<unsigned long long>(m.tasks_stolen));
+    }
+
     if (tracing) {
         const std::size_t evs = obs::tracer::instance().write_json_file(trace_path);
         const auto st = obs::tracer::instance().get_stats();

@@ -4,7 +4,9 @@ namespace j2k {
 
 void byte_writer::patch_u32(std::size_t pos, std::uint32_t v)
 {
-    if (pos + 4 > buf_.size()) throw std::out_of_range{"byte_writer::patch_u32"};
+    // Subtraction form: `pos + 4` wraps for hostile positions near SIZE_MAX.
+    if (buf_.size() < 4 || pos > buf_.size() - 4)
+        throw std::out_of_range{"byte_writer::patch_u32"};
     buf_[pos] = static_cast<std::uint8_t>(v >> 24);
     buf_[pos + 1] = static_cast<std::uint8_t>(v >> 16);
     buf_[pos + 2] = static_cast<std::uint8_t>(v >> 8);
@@ -37,7 +39,9 @@ std::uint64_t byte_reader::u64()
 
 std::span<const std::uint8_t> byte_reader::bytes(std::size_t n)
 {
-    if (pos_ + n > data_.size()) throw codestream_error{"codestream truncated"};
+    // Subtraction form: `pos_ + n` wraps for hostile lengths near SIZE_MAX
+    // (pos_ <= size is an invariant, so the subtraction cannot underflow).
+    if (n > data_.size() - pos_) throw codestream_error{"codestream truncated"};
     auto s = data_.subspan(pos_, n);
     pos_ += n;
     return s;
@@ -112,14 +116,17 @@ stream_info read_header(std::span<const std::uint8_t> cs)
             static_cast<std::size_t>(info.quality_layers) * tiles.size();
         std::vector<std::uint32_t> lens(n);
         for (auto& l : lens) l = r.u32();
+        // Validate each chunk against the bytes left *before* accumulating:
+        // summing first and comparing after can wrap `off` past the stream
+        // end on hostile (e.g. UINT32_MAX) directory entries.
+        const std::size_t end = r.pos() + r.remaining();  // == stream size
         std::size_t off = r.pos();
         for (std::uint32_t len : lens) {
+            if (len > end - off) throw codestream_error{"layered payload truncated"};
             info.chunk_offsets.push_back(off);
             info.chunk_lengths.push_back(len);
             off += len;
         }
-        if (off > r.pos() + r.remaining())
-            throw codestream_error{"layered payload truncated"};
     }
     return info;
 }

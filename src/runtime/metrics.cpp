@@ -10,6 +10,7 @@ service_metrics::service_metrics()
       failed_{reg_.get_counter("jobs_failed")},
       rejected_{reg_.get_counter("jobs_rejected")},
       dropped_{reg_.get_counter("jobs_dropped")},
+      promoted_{reg_.get_counter("jobs_promoted")},
       tiles_{reg_.get_counter("tiles_decoded")},
       entropy_ns_{reg_.get_counter("stage_entropy_ns")},
       iq_ns_{reg_.get_counter("stage_iq_ns")},
@@ -18,6 +19,11 @@ service_metrics::service_metrics()
       queue_depth_{reg_.get_gauge("queue_depth")},
       latency_{reg_.get_histogram("latency_us")}
 {
+    for (std::size_t p = 0; p < priority_count; ++p) {
+        const auto* name = priority_name(static_cast<priority>(p));
+        prio_depth_[p] = &reg_.get_gauge(std::string{"queue_depth_"} + name);
+        prio_latency_[p] = &reg_.get_histogram(std::string{"latency_"} + name + "_us");
+    }
 }
 
 metrics_snapshot service_metrics::snapshot() const
@@ -28,6 +34,7 @@ metrics_snapshot service_metrics::snapshot() const
     s.jobs_failed = failed_.value();
     s.jobs_rejected = rejected_.value();
     s.jobs_dropped = dropped_.value();
+    s.jobs_promoted = promoted_.value();
     s.queue_depth_high_water = static_cast<std::uint64_t>(queue_depth_.max());
     s.tiles_decoded = tiles_.value();
     s.entropy_ms = static_cast<double>(entropy_ns_.value()) / 1e6;
@@ -41,53 +48,78 @@ metrics_snapshot service_metrics::snapshot() const
     s.latency_p50_us = lat.quantile(0.50);
     s.latency_p95_us = lat.quantile(0.95);
     s.latency_p99_us = lat.quantile(0.99);
+    for (std::size_t p = 0; p < priority_count; ++p) {
+        const auto pl = prio_latency_[p]->snapshot();
+        s.latency_by_priority[p].count = pl.count;
+        s.latency_by_priority[p].p50_us = pl.quantile(0.50);
+        s.latency_by_priority[p].p99_us = pl.quantile(0.99);
+    }
     return s;
 }
 
 std::string metrics_snapshot::dump() const
 {
-    char buf[1024];
+    char buf[2048];
     std::snprintf(
         buf, sizeof buf,
-        "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu\n"
+        "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu "
+        "promoted=%llu\n"
         "queue: high_water=%llu\n"
-        "work: tiles_decoded=%llu\n"
+        "work: tiles_decoded=%llu tasks_stolen=%llu\n"
         "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
-        "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n",
+        "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
+        "latency interactive [us]: n=%llu p50=%.0f p99=%.0f\n"
+        "latency batch [us]: n=%llu p50=%.0f p99=%.0f\n",
         static_cast<unsigned long long>(jobs_submitted),
         static_cast<unsigned long long>(jobs_completed),
         static_cast<unsigned long long>(jobs_failed),
         static_cast<unsigned long long>(jobs_rejected),
         static_cast<unsigned long long>(jobs_dropped),
+        static_cast<unsigned long long>(jobs_promoted),
         static_cast<unsigned long long>(queue_depth_high_water),
-        static_cast<unsigned long long>(tiles_decoded), entropy_ms, iq_ms, idwt_ms,
+        static_cast<unsigned long long>(tiles_decoded),
+        static_cast<unsigned long long>(tasks_stolen), entropy_ms, iq_ms, idwt_ms,
         finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
         latency_p50_us, latency_p95_us, latency_p99_us,
-        static_cast<unsigned long long>(latency_max_us));
+        static_cast<unsigned long long>(latency_max_us),
+        static_cast<unsigned long long>(latency_by_priority[0].count),
+        latency_by_priority[0].p50_us, latency_by_priority[0].p99_us,
+        static_cast<unsigned long long>(latency_by_priority[1].count),
+        latency_by_priority[1].p50_us, latency_by_priority[1].p99_us);
     return buf;
 }
 
 std::string metrics_snapshot::to_json() const
 {
-    char buf[1024];
+    char buf[2048];
     std::snprintf(
         buf, sizeof buf,
         "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
-        "\"jobs_rejected\":%llu,\"jobs_dropped\":%llu,\"queue_depth_high_water\":%llu,"
-        "\"tiles_decoded\":%llu,\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
+        "\"jobs_rejected\":%llu,\"jobs_dropped\":%llu,\"jobs_promoted\":%llu,"
+        "\"queue_depth_high_water\":%llu,"
+        "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,"
+        "\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
         "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
         "\"latency_p50_us\":%.1f,\"latency_p95_us\":%.1f,\"latency_p99_us\":%.1f,"
-        "\"latency_max_us\":%llu}",
+        "\"latency_max_us\":%llu,"
+        "\"latency_interactive\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f},"
+        "\"latency_batch\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f}}",
         static_cast<unsigned long long>(jobs_submitted),
         static_cast<unsigned long long>(jobs_completed),
         static_cast<unsigned long long>(jobs_failed),
         static_cast<unsigned long long>(jobs_rejected),
         static_cast<unsigned long long>(jobs_dropped),
+        static_cast<unsigned long long>(jobs_promoted),
         static_cast<unsigned long long>(queue_depth_high_water),
-        static_cast<unsigned long long>(tiles_decoded), entropy_ms, iq_ms, idwt_ms,
+        static_cast<unsigned long long>(tiles_decoded),
+        static_cast<unsigned long long>(tasks_stolen), entropy_ms, iq_ms, idwt_ms,
         finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
         latency_p50_us, latency_p95_us, latency_p99_us,
-        static_cast<unsigned long long>(latency_max_us));
+        static_cast<unsigned long long>(latency_max_us),
+        static_cast<unsigned long long>(latency_by_priority[0].count),
+        latency_by_priority[0].p50_us, latency_by_priority[0].p99_us,
+        static_cast<unsigned long long>(latency_by_priority[1].count),
+        latency_by_priority[1].p50_us, latency_by_priority[1].p99_us);
     return buf;
 }
 

@@ -9,6 +9,8 @@
 // generic text/JSON exposition.
 #pragma once
 
+#include "queue.hpp"
+
 #include <obs/obs.hpp>
 
 #include <cstdint>
@@ -27,10 +29,12 @@ struct metrics_snapshot {
     std::uint64_t jobs_failed = 0;    ///< decode threw (malformed stream, ...)
     std::uint64_t jobs_rejected = 0;  ///< refused at admission (reject policy)
     std::uint64_t jobs_dropped = 0;   ///< evicted while queued (drop_oldest)
+    std::uint64_t jobs_promoted = 0;  ///< batch jobs popped past waiting interactive
     std::uint64_t queue_depth_high_water = 0;
 
     // Work.
     std::uint64_t tiles_decoded = 0;
+    std::uint64_t tasks_stolen = 0;  ///< pool subtasks run by a non-owning worker
 
     // Cumulative per-stage wall time across all workers (Figure 1's stage
     // split, measured on the host).
@@ -46,6 +50,14 @@ struct metrics_snapshot {
     double latency_p50_us = 0.0;
     double latency_p95_us = 0.0;
     double latency_p99_us = 0.0;
+
+    // Per-priority split of the same latency (indexed by runtime::priority).
+    struct priority_latency {
+        std::uint64_t count = 0;
+        double p50_us = 0.0;
+        double p99_us = 0.0;
+    };
+    priority_latency latency_by_priority[priority_count];
 
     /// Multi-line human-readable dump.
     [[nodiscard]] std::string dump() const;
@@ -63,13 +75,22 @@ public:
     void on_failed() noexcept { failed_.add(); }
     void on_rejected() noexcept { rejected_.add(); }
     void on_dropped() noexcept { dropped_.add(); }
+    void on_promoted() noexcept { promoted_.add(); }
     void on_tile_decoded() noexcept { tiles_.add(); }
 
     void record_queue_depth(std::size_t depth) noexcept
     {
         queue_depth_.set(static_cast<std::int64_t>(depth));
     }
-    void record_latency_us(std::uint64_t us) noexcept { latency_.observe(us); }
+    void record_queue_depth(priority p, std::size_t depth) noexcept
+    {
+        prio_depth_[static_cast<std::size_t>(p)]->set(static_cast<std::int64_t>(depth));
+    }
+    void record_latency_us(priority p, std::uint64_t us) noexcept
+    {
+        latency_.observe(us);
+        prio_latency_[static_cast<std::size_t>(p)]->observe(us);
+    }
 
     // Per-stage wall-time accumulators; pair with obs::stage_timer on the
     // decode path (replaces the old add_stage_ns plumbing).
@@ -91,13 +112,16 @@ private:
     obs::counter& failed_;
     obs::counter& rejected_;
     obs::counter& dropped_;
+    obs::counter& promoted_;
     obs::counter& tiles_;
     obs::counter& entropy_ns_;
     obs::counter& iq_ns_;
     obs::counter& idwt_ns_;
     obs::counter& finish_ns_;
     obs::gauge& queue_depth_;
+    obs::gauge* prio_depth_[priority_count];
     obs::log2_histogram& latency_;
+    obs::log2_histogram* prio_latency_[priority_count];
 };
 
 }  // namespace runtime

@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -155,6 +156,212 @@ private:
     std::condition_variable not_full_;
     std::deque<T> q_;
     std::size_t high_water_ = 0;
+    bool closed_ = false;
+};
+
+/// Admission class of a request.  `interactive` jumps ahead of `batch` at the
+/// queue (strict priority with a starvation escape valve); within a class the
+/// order stays FIFO.
+enum class priority : int {
+    interactive = 0,  ///< latency-sensitive (previews, on-screen decodes)
+    batch = 1,        ///< throughput work (bulk transcodes, prefetch)
+};
+
+inline constexpr std::size_t priority_count = 2;
+
+[[nodiscard]] constexpr const char* priority_name(priority p) noexcept
+{
+    return p == priority::interactive ? "interactive" : "batch";
+}
+
+/// Two-level strict-priority bounded MPMC queue.
+///
+/// Same backpressure contract as `bounded_queue` (one shared capacity across
+/// both levels), plus an admission class per item:
+///
+///   pop      — interactive first; after `promote_after` *consecutive*
+///              interactive pops with batch work waiting, one batch item is
+///              promoted past the interactive backlog (starvation escape
+///              valve), and the counter resets.
+///   drop_oldest — the eviction victim is the oldest *batch* item when one
+///              exists; interactive items are only evicted when no batch work
+///              is queued (shed throughput work before latency work).
+template <typename T>
+class two_level_queue {
+public:
+    /// What a consumer receives: the item, its class, and whether strict
+    /// priority was overridden to deliver it (batch promoted past waiting
+    /// interactive work).
+    struct popped {
+        T item;
+        priority prio = priority::batch;
+        bool promoted = false;
+    };
+
+    explicit two_level_queue(std::size_t capacity,
+                             backpressure policy = backpressure::block,
+                             std::size_t promote_after = 8)
+        : cap_{capacity == 0 ? 1 : capacity},
+          policy_{policy},
+          promote_after_{promote_after == 0 ? 1 : promote_after}
+    {
+    }
+
+    two_level_queue(const two_level_queue&) = delete;
+    two_level_queue& operator=(const two_level_queue&) = delete;
+
+    /// Enqueue `v` at level `p`; same consumption contract as
+    /// `bounded_queue::push` (the caller keeps `v` on `rejected`/`closed`).
+    /// On `dropped` the victim's class is written to `*evicted_prio`.
+    push_result push(T&& v, priority p, T* evicted = nullptr,
+                     priority* evicted_prio = nullptr)
+    {
+        std::unique_lock lk{m_};
+        if (closed_) return push_result::closed;
+        if (total_locked() >= cap_) {
+            switch (policy_) {
+            case backpressure::reject:
+                return push_result::rejected;
+            case backpressure::drop_oldest: {
+                // Shed the oldest batch item first; only a fully interactive
+                // queue sacrifices interactive work.
+                const priority victim_level =
+                    !level(priority::batch).empty() ? priority::batch
+                                                    : priority::interactive;
+                auto& vq = level(victim_level);
+                if (evicted) *evicted = std::move(vq.front());
+                if (evicted_prio) *evicted_prio = victim_level;
+                vq.pop_front();
+                level(p).push_back(std::move(v));
+                high_water_ = std::max(high_water_, total_locked());
+                lk.unlock();
+                not_empty_.notify_one();
+                return push_result::dropped;
+            }
+            case backpressure::block:
+                not_full_.wait(lk, [&] { return closed_ || total_locked() < cap_; });
+                if (closed_) return push_result::closed;
+                break;
+            }
+        }
+        level(p).push_back(std::move(v));
+        high_water_ = std::max(high_water_, total_locked());
+        lk.unlock();
+        not_empty_.notify_one();
+        return push_result::ok;
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue is closed *and*
+    /// drained.  Returns nullopt only on closed-and-empty.
+    std::optional<popped> pop()
+    {
+        std::unique_lock lk{m_};
+        not_empty_.wait(lk, [&] { return closed_ || total_locked() > 0; });
+        if (total_locked() == 0) return std::nullopt;
+        return take_locked(lk);
+    }
+
+    /// Non-blocking dequeue.
+    std::optional<popped> try_pop()
+    {
+        std::unique_lock lk{m_};
+        if (total_locked() == 0) return std::nullopt;
+        return take_locked(lk);
+    }
+
+    /// Stop accepting pushes and wake every waiter.  Items already queued
+    /// remain poppable (drain semantics).
+    void close()
+    {
+        {
+            std::lock_guard lk{m_};
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const
+    {
+        std::lock_guard lk{m_};
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const
+    {
+        std::lock_guard lk{m_};
+        return total_locked();
+    }
+
+    [[nodiscard]] std::size_t size(priority p) const
+    {
+        std::lock_guard lk{m_};
+        return levels_[static_cast<std::size_t>(p)].size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+    [[nodiscard]] backpressure policy() const noexcept { return policy_; }
+    [[nodiscard]] std::size_t promote_after() const noexcept { return promote_after_; }
+
+    /// Highest total occupancy ever observed.
+    [[nodiscard]] std::size_t high_water() const
+    {
+        std::lock_guard lk{m_};
+        return high_water_;
+    }
+
+    /// Batch items delivered past waiting interactive work (escape valve).
+    [[nodiscard]] std::uint64_t promoted() const
+    {
+        std::lock_guard lk{m_};
+        return promoted_;
+    }
+
+private:
+    std::deque<T>& level(priority p) { return levels_[static_cast<std::size_t>(p)]; }
+
+    [[nodiscard]] std::size_t total_locked() const
+    {
+        return levels_[0].size() + levels_[1].size();
+    }
+
+    popped take_locked(std::unique_lock<std::mutex>& lk)
+    {
+        const bool has_interactive = !level(priority::interactive).empty();
+        const bool has_batch = !level(priority::batch).empty();
+        popped out;
+        if (has_batch &&
+            (!has_interactive || consecutive_interactive_ >= promote_after_)) {
+            out.prio = priority::batch;
+            out.promoted = has_interactive;  // jumped the interactive backlog
+            if (out.promoted) ++promoted_;
+            consecutive_interactive_ = 0;
+        } else {
+            out.prio = priority::interactive;
+            // Count only pops that actually bypass waiting batch work; an
+            // empty batch level accrues no starvation grievance.
+            if (has_batch) ++consecutive_interactive_;
+        }
+        auto& q = level(out.prio);
+        out.item = std::move(q.front());
+        q.pop_front();
+        lk.unlock();
+        not_full_.notify_one();
+        return out;
+    }
+
+    const std::size_t cap_;
+    const backpressure policy_;
+    const std::size_t promote_after_;
+    mutable std::mutex m_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> levels_[priority_count];
+    std::size_t high_water_ = 0;
+    /// Consecutive interactive pops that bypassed waiting batch work; resets
+    /// on every batch pop.
+    std::size_t consecutive_interactive_ = 0;
+    std::uint64_t promoted_ = 0;
     bool closed_ = false;
 };
 

@@ -20,7 +20,7 @@ std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
 
 decode_service::decode_service(service_config cfg)
     : cfg_{cfg},
-      queue_{cfg.queue_capacity, cfg.policy},
+      queue_{cfg.queue_capacity, cfg.policy, cfg.promote_after},
       pool_{std::make_unique<thread_pool>(cfg.workers)}
 {
 }
@@ -28,6 +28,28 @@ decode_service::decode_service(service_config cfg)
 decode_service::~decode_service()
 {
     shutdown();
+}
+
+void decode_service::settle(job& j, j2k::image&& img)
+{
+    if (j.settled.exchange(true, std::memory_order_acq_rel)) return;
+    j.promise.set_value(std::move(img));
+}
+
+void decode_service::settle(job& j, std::exception_ptr err)
+{
+    if (j.settled.exchange(true, std::memory_order_acq_rel)) return;
+    j.promise.set_exception(std::move(err));
+}
+
+void decode_service::record_priority_depths()
+{
+    const std::size_t di = queue_.size(priority::interactive);
+    const std::size_t db = queue_.size(priority::batch);
+    metrics_.record_queue_depth(priority::interactive, di);
+    metrics_.record_queue_depth(priority::batch, db);
+    OBS_TRACE_COUNTER("runtime", "queue_depth_interactive", di);
+    OBS_TRACE_COUNTER("runtime", "queue_depth_batch", db);
 }
 
 std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
@@ -50,7 +72,7 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         std::lock_guard lk{drain_m_};
         if (stopped_) {
             metrics_.on_rejected();
-            j->promise.set_exception(std::make_exception_ptr(service_stopped{}));
+            settle(*j, std::make_exception_ptr(service_stopped{}));
             return fut;
         }
         ++in_flight_;  // admitted (tentatively); undone on rejection
@@ -65,27 +87,35 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
     [[maybe_unused]] const std::uint64_t id = j->trace_id;
 
     job_ptr evicted;
-    const push_result r = queue_.push(std::move(j), &evicted);
+    const push_result r = queue_.push(std::move(j), opt.prio, &evicted);
     metrics_.record_queue_depth(queue_.size());
     OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
+    record_priority_depths();
     switch (r) {
     case push_result::dropped:
         metrics_.on_dropped();
         OBS_TRACE_INSTANT("runtime", "job_dropped");
         OBS_TRACE_ASYNC_END("job", "queue_wait", evicted->trace_id);
         OBS_TRACE_ASYNC_END("job", "job", evicted->trace_id);
-        evicted->promise.set_exception(std::make_exception_ptr(job_dropped{}));
+        settle(*evicted, std::make_exception_ptr(job_dropped{}));
         finish_one();  // the evicted job leaves the in-flight set
         [[fallthrough]];
     case push_result::ok:
-        // One pump per admitted job: a worker pops the oldest queued job and
-        // runs it to completion.  Extra pumps left behind by evictions find
-        // an empty queue and return — the invariant is pumps >= queued jobs.
+        // One pump per admitted job: a worker pops the highest-priority
+        // queued job and runs it to completion.  Extra pumps left behind by
+        // evictions find an empty queue and return — the invariant is
+        // pumps >= queued jobs.
         pool_->submit([this] {
             if (auto popped = queue_.try_pop()) {
-                OBS_TRACE_ASYNC_END("job", "queue_wait", (*popped)->trace_id);
+                job_ptr& p = popped->item;
+                if (popped->promoted) {
+                    metrics_.on_promoted();
+                    OBS_TRACE_INSTANT("runtime", "job_promoted");
+                }
+                OBS_TRACE_ASYNC_END("job", "queue_wait", p->trace_id);
                 OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
-                run_job(**popped);
+                record_priority_depths();
+                run_job(*p);
                 finish_one();
             }
         });
@@ -95,14 +125,14 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         OBS_TRACE_INSTANT("runtime", "job_rejected");
         OBS_TRACE_ASYNC_END("job", "queue_wait", id);
         OBS_TRACE_ASYNC_END("job", "job", id);
-        j->promise.set_exception(std::make_exception_ptr(admission_rejected{}));
+        settle(*j, std::make_exception_ptr(admission_rejected{}));
         finish_one();
         break;
     case push_result::closed:
         metrics_.on_rejected();
         OBS_TRACE_ASYNC_END("job", "queue_wait", id);
         OBS_TRACE_ASYNC_END("job", "job", id);
-        j->promise.set_exception(std::make_exception_ptr(service_stopped{}));
+        settle(*j, std::make_exception_ptr(service_stopped{}));
         finish_one();
         break;
     }
@@ -121,21 +151,24 @@ void decode_service::finish_one()
 void decode_service::run_job(job& j)
 {
     OBS_TRACE_SCOPE("runtime", "decode_job");
+    j2k::image img;
     try {
         j2k::decoder dec{j.bytes};
         dec.set_max_passes(j.opt.max_passes);
         dec.set_max_quality_layers(j.opt.max_quality_layers);
-        j2k::image img = j.opt.discard_levels > 0 ? dec.decode_reduced(j.opt.discard_levels)
-                                                  : decode_tiled(dec);
-        metrics_.record_latency_us(
-            ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
-        metrics_.on_completed();
-        j.promise.set_value(std::move(img));
+        img = j.opt.discard_levels > 0 ? dec.decode_reduced(j.opt.discard_levels)
+                                       : decode_tiled(dec);
     } catch (...) {
         metrics_.on_failed();
         OBS_TRACE_INSTANT("runtime", "job_failed");
-        j.promise.set_exception(std::current_exception());
+        settle(j, std::current_exception());
+        OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+        return;
     }
+    metrics_.record_latency_us(
+        j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+    metrics_.on_completed();
+    settle(j, std::move(img));
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
@@ -196,6 +229,8 @@ metrics_snapshot decode_service::metrics() const
     metrics_snapshot s = metrics_.snapshot();
     s.queue_depth_high_water =
         std::max<std::uint64_t>(s.queue_depth_high_water, queue_.high_water());
+    s.jobs_promoted = std::max(s.jobs_promoted, queue_.promoted());
+    s.tasks_stolen = pool_->tasks_stolen();
     return s;
 }
 

@@ -5,15 +5,18 @@
 // this service maps many whole decode jobs onto a fixed worker pool behind a
 // bounded admission queue.
 //
-//   submit(bytes) ──► [bounded_queue, backpressure policy] ──► thread_pool
-//        │                                                        │
-//        └── std::future<j2k::image> ◄── promise fulfilled ◄──────┘
+//   submit(bytes[, priority]) ─► [two_level_queue, backpressure] ─► thread_pool
+//        │                                                             │
+//        └── std::future<j2k::image> ◄── promise fulfilled ◄───────────┘
 //
-// Each job fans out per tile on the pool (tiles are independent, so the
-// result is byte-identical to a serial decode); idle workers steal tile
-// subtasks from busy ones, so one large image parallelises even when it is
-// the only job in flight.  `shutdown()` drains: queued and running jobs
-// complete, new submissions fail fast.
+// Admission is a two-level strict-priority queue: `interactive` jobs jump the
+// `batch` backlog, with a starvation escape valve that promotes a batch job
+// after `promote_after` consecutive bypassing interactive pops.  Each job
+// fans out per tile on the pool (tiles are independent, so the result is
+// byte-identical to a serial decode); idle workers steal tile subtasks from
+// busy ones via lock-free Chase–Lev deques, so one large image parallelises
+// even when it is the only job in flight.  `shutdown()` drains: queued and
+// running jobs complete, new submissions fail fast.
 #pragma once
 
 #include "metrics.hpp"
@@ -22,6 +25,7 @@
 
 #include <j2k/codec.hpp>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -63,12 +67,17 @@ struct decode_options {
     int discard_levels = 0;      ///< resolution: decode at 1/2^n size
     int max_quality_layers = 0;  ///< layered streams: first n layers (0 = all)
     int max_passes = 0;          ///< SNR: cap tier-1 passes per block (0 = all)
+    /// Admission class: `interactive` jumps the batch backlog at the queue.
+    priority prio = priority::batch;
 };
 
 struct service_config {
     int workers = 0;                  ///< pool size; <= 0 = hardware concurrency
-    std::size_t queue_capacity = 64;  ///< pending-job bound
+    std::size_t queue_capacity = 64;  ///< pending-job bound (both priorities)
     backpressure policy = backpressure::block;
+    /// Starvation escape valve: after this many consecutive interactive pops
+    /// that bypassed waiting batch work, one batch job is promoted.
+    std::size_t promote_after = 8;
     /// Copy the codestream into the job (safe default).  With false the
     /// caller guarantees the bytes outlive the returned future.
     bool copy_input = true;
@@ -90,6 +99,11 @@ public:
     {
         return submit(cs, decode_options{});
     }
+    /// Submit at an explicit admission class with default decode knobs.
+    std::future<j2k::image> submit(std::span<const std::uint8_t> cs, priority p)
+    {
+        return submit(cs, decode_options{.prio = p});
+    }
     std::future<j2k::image> submit(std::span<const std::uint8_t> cs,
                                    const decode_options& opt);
 
@@ -99,6 +113,7 @@ public:
 
     [[nodiscard]] int workers() const noexcept { return pool_->size(); }
     [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+    [[nodiscard]] std::size_t queue_depth(priority p) const { return queue_.size(p); }
 
     /// Point-in-time metrics (queue high-water merged in).
     [[nodiscard]] metrics_snapshot metrics() const;
@@ -106,6 +121,10 @@ public:
 private:
     struct job {
         std::promise<j2k::image> promise;
+        /// Exactly-once guard for the promise: the settle paths (worker
+        /// success/failure, eviction, rejection, close during admission) can
+        /// race, and std::promise throws on a second set.
+        std::atomic<bool> settled{false};
         std::vector<std::uint8_t> owned;      ///< storage when copy_input
         std::span<const std::uint8_t> bytes;  ///< what the decoder reads
         decode_options opt;
@@ -114,8 +133,11 @@ private:
     };
     using job_ptr = std::unique_ptr<job>;
 
+    static void settle(job& j, j2k::image&& img);
+    static void settle(job& j, std::exception_ptr err);
     void run_job(job& j);
     void finish_one();
+    void record_priority_depths();
     j2k::image decode_tiled(const j2k::decoder& dec);
 
     service_config cfg_;
@@ -126,7 +148,7 @@ private:
     std::size_t in_flight_ = 0;  ///< admitted but not yet completed/failed
     bool stopped_ = false;
 
-    bounded_queue<job_ptr> queue_;
+    two_level_queue<job_ptr> queue_;
     std::unique_ptr<thread_pool> pool_;  ///< last member: destroyed (joined) first
 };
 

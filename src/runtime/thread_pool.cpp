@@ -22,9 +22,9 @@ thread_pool::thread_pool(int workers)
 {
     if (workers <= 0)
         workers = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-    queues_.reserve(static_cast<std::size_t>(workers));
+    deques_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i)
-        queues_.push_back(std::make_unique<worker_state>());
+        deques_.push_back(std::make_unique<work_deque<task>>());
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i)
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -42,14 +42,12 @@ thread_pool::~thread_pool()
 
 void thread_pool::submit(task t)
 {
-    std::size_t target;
-    if (tl_pool == this && tl_worker >= 0)
-        target = static_cast<std::size_t>(tl_worker);
-    else
-        target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-    {
-        std::lock_guard lk{queues_[target]->m};
-        queues_[target]->deque.push_back(std::move(t));
+    if (tl_pool == this && tl_worker >= 0) {
+        // Worker-local: owner push onto the Chase–Lev deque, no lock.
+        deques_[static_cast<std::size_t>(tl_worker)]->push(new task{std::move(t)});
+    } else {
+        std::lock_guard lk{inject_m_};
+        injected_.push_back(std::move(t));
     }
     pending_.fetch_add(1, std::memory_order_release);
     {
@@ -62,32 +60,39 @@ void thread_pool::submit(task t)
 
 bool thread_pool::pop_or_steal(int self, task& out)
 {
-    // Own deque first, from the back: the most recently spawned subtask has
+    // Own deque first, from the bottom: the most recently spawned subtask has
     // the hottest working set.
     if (self >= 0) {
-        auto& ws = *queues_[static_cast<std::size_t>(self)];
-        std::lock_guard lk{ws.m};
-        if (!ws.deque.empty()) {
-            out = std::move(ws.deque.back());
-            ws.deque.pop_back();
+        if (task* p = deques_[static_cast<std::size_t>(self)]->pop()) {
+            out = std::move(*p);
+            delete p;
             pending_.fetch_sub(1, std::memory_order_relaxed);
             return true;
         }
     }
-    // Steal from the front of a victim, scanning from a rotating start so
+    // Then the injection queue: the oldest externally submitted job.
+    {
+        std::lock_guard lk{inject_m_};
+        if (!injected_.empty()) {
+            out = std::move(injected_.front());
+            injected_.pop_front();
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // Steal from the top of a victim, scanning from a rotating start so
     // thieves spread over victims instead of all hammering worker 0.
-    const std::size_t n = queues_.size();
-    const std::size_t start = next_queue_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = deques_.size();
+    const std::size_t start = steal_seed_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t k = 0; k < n; ++k) {
         const std::size_t v = (start + k) % n;
         if (static_cast<int>(v) == self) continue;
-        auto& ws = *queues_[v];
-        std::lock_guard lk{ws.m};
-        if (!ws.deque.empty()) {
-            out = std::move(ws.deque.front());
-            ws.deque.pop_front();
+        if (task* p = deques_[v]->steal()) {
+            out = std::move(*p);
+            delete p;
             pending_.fetch_sub(1, std::memory_order_relaxed);
-            stolen_.fetch_add(1, std::memory_order_relaxed);
+            const auto steals = stolen_.fetch_add(1, std::memory_order_relaxed) + 1;
+            OBS_TRACE_COUNTER("runtime", "steals", steals);
             return true;
         }
     }

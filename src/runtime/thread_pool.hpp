@@ -1,12 +1,18 @@
-// runtime/thread_pool.hpp — fixed worker pool with per-worker work-stealing
-// deques.
+// runtime/thread_pool.hpp — fixed worker pool with per-worker lock-free
+// work-stealing deques.
 //
-// Workers own a deque each: the owner pushes and pops at the back (LIFO, good
-// locality for subtasks it just spawned), idle workers steal from the front
-// (FIFO, takes the oldest — typically largest — piece of a competing job).
-// Tasks submitted from outside the pool are distributed round-robin.  The
-// deques are mutex-guarded (the Chase–Lev lock-free variant is a drop-in
-// upgrade later; the locking protocol here is already steal-shaped).
+// Workers own a Chase–Lev deque each (see work_deque.hpp): the owner pushes
+// and pops at the bottom with plain atomics (LIFO, good locality for subtasks
+// it just spawned), idle workers steal from the top with a single CAS (FIFO,
+// takes the oldest — typically largest — piece of a competing job).  The
+// per-task hot path (a worker fanning tiles out to its siblings) therefore
+// crosses no mutex at all.
+//
+// Tasks submitted from *outside* the pool cannot use an owner end, so they
+// land on a shared mutex-guarded injection queue instead; workers drain it
+// FIFO between their own deque and stealing.  That queue sees one push per
+// externally submitted job (the admission path), not per subtask, so the
+// mutex is off the hot path by construction.
 //
 // `parallel_for` is the fork/join primitive the decode service fans tiles out
 // with.  The calling thread *helps* — it executes pending tasks while it
@@ -14,11 +20,14 @@
 // deadlock, and a pool of one worker degrades to clean inline execution.
 #pragma once
 
+#include "work_deque.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,7 +50,8 @@ public:
     [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
 
     /// Enqueue a task.  From a worker thread the task lands on that worker's
-    /// own deque (stealable by the others); from outside, round-robin.
+    /// own deque (stealable by the others); from outside, on the shared
+    /// injection queue.
     void submit(task t);
 
     /// Run `fn(0) .. fn(n-1)`, returning when all have finished.  Subtasks
@@ -75,22 +85,20 @@ public:
     [[nodiscard]] static thread_pool& shared();
 
 private:
-    struct worker_state {
-        std::mutex m;
-        std::deque<task> deque;
-    };
-
     void worker_loop(int index);
     bool pop_or_steal(int self, task& out);
 
-    std::vector<std::unique_ptr<worker_state>> queues_;
+    std::vector<std::unique_ptr<work_deque<task>>> deques_;
     std::vector<std::thread> workers_;
+
+    std::mutex inject_m_;
+    std::deque<task> injected_;  ///< external submissions (admission path)
 
     std::mutex wake_m_;
     std::condition_variable wake_cv_;
     std::atomic<int> pending_{0};
     std::atomic<bool> stop_{false};
-    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<std::size_t> steal_seed_{0};
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<std::uint64_t> stolen_{0};
 };

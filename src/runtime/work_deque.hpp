@@ -1,0 +1,150 @@
+// runtime/work_deque.hpp — Chase–Lev lock-free work-stealing deque.
+//
+// The classic single-owner / multi-thief deque (Chase & Lev, SPAA '05) with
+// the C11 memory-order recipe of Lê, Pop, Cohen & Zappa Nardelli (PPoPP '13):
+//
+//   owner:   push() / pop() at the *bottom* — plain loads/stores plus one
+//            seq_cst fence in pop(), and a seq_cst CAS only for the
+//            last-element race against thieves;
+//   thieves: steal() from the *top* — an acquire read of bottom after a
+//            seq_cst fence, then a seq_cst CAS on top to claim the element.
+//
+// Elements are raw pointers: cells are read speculatively (a thief may load a
+// cell and then lose the CAS), so the stored value must be trivially
+// copyable — the pool stores heap-allocated task objects and frees them after
+// execution.  Cell stores are release / cell loads acquire, one notch
+// stronger than the paper's relaxed accesses: the fence-based proof still
+// holds, and the pairing gives ThreadSanitizer (which does not model
+// standalone fences) a visible happens-before edge from the owner's write of
+// *p to the thief's read through p.
+//
+// The ring grows when full; retired rings are kept alive until destruction
+// because a straggling thief may still be reading through an old ring
+// pointer.  For a fixed-size pool this bounds garbage at O(largest burst).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace runtime {
+
+template <typename T>
+class work_deque {
+public:
+    explicit work_deque(std::size_t capacity = 64)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity) cap <<= 1;
+        buf_.store(new ring{cap}, std::memory_order_relaxed);
+    }
+
+    ~work_deque()
+    {
+        // The pool drains every deque before tearing workers down, so any
+        // elements still here are leaked deliberately by the caller's choice.
+        ring* a = buf_.load(std::memory_order_relaxed);
+        delete a;
+        for (ring* r : retired_) delete r;
+    }
+
+    work_deque(const work_deque&) = delete;
+    work_deque& operator=(const work_deque&) = delete;
+
+    /// Owner only: push at the bottom.
+    void push(T* x)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        ring* a = buf_.load(std::memory_order_relaxed);
+        if (b - t > static_cast<std::int64_t>(a->capacity) - 1) a = grow(a, t, b);
+        a->at(b).store(x, std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only: pop at the bottom (LIFO).  nullptr when empty.
+    T* pop()
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring* a = buf_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        T* x = nullptr;
+        if (t <= b) {
+            x = a->at(b).load(std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: race the thieves for it via top.
+                if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed))
+                    x = nullptr;  // a thief won
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+        }
+        return x;
+    }
+
+    /// Any thread: steal from the top (FIFO — the oldest, typically largest,
+    /// piece of work).  nullptr when empty or when the claiming CAS is lost.
+    T* steal()
+    {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b) return nullptr;
+        ring* a = buf_.load(std::memory_order_acquire);
+        T* x = a->at(t).load(std::memory_order_acquire);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return nullptr;  // lost the race to another thief (or the owner)
+        return x;
+    }
+
+    /// Racy size estimate (monitoring only).
+    [[nodiscard]] std::size_t size_approx() const
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+private:
+    struct ring {
+        explicit ring(std::size_t cap)
+            : capacity{cap}, mask{cap - 1},
+              cells{std::make_unique<std::atomic<T*>[]>(cap)}
+        {
+        }
+        std::atomic<T*>& at(std::int64_t i) const
+        {
+            return cells[static_cast<std::size_t>(i) & mask];
+        }
+        const std::size_t capacity;
+        const std::size_t mask;
+        std::unique_ptr<std::atomic<T*>[]> cells;
+    };
+
+    /// Owner only (from push): double the ring, copying the live [t, b) span.
+    ring* grow(ring* old, std::int64_t t, std::int64_t b)
+    {
+        ring* bigger = new ring{old->capacity * 2};
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+        buf_.store(bigger, std::memory_order_release);
+        retired_.push_back(old);  // thieves may still hold the old pointer
+        return bigger;
+    }
+
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    alignas(64) std::atomic<ring*> buf_{nullptr};
+    std::vector<ring*> retired_;  ///< owner-only (push/grow); freed in dtor
+};
+
+}  // namespace runtime

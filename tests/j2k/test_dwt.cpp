@@ -47,6 +47,47 @@ INSTANTIATE_TEST_SUITE_P(Geometries, Dwt53Reconstruction,
                                          Geometry{5, 7, 3}, Geometry{128, 96, 4},
                                          Geometry{33, 65, 6}, Geometry{1, 1, 3}));
 
+// Degenerate extents: single-row/column tiles hit the 1-D kernels with
+// n == 1 (pure passthrough) and n == 2 (every neighbour access mirrors).
+INSTANTIATE_TEST_SUITE_P(DegenerateExtents, Dwt53Reconstruction,
+                         testing::Values(Geometry{2, 1, 1}, Geometry{1, 2, 1},
+                                         Geometry{2, 1, 3}, Geometry{1, 2, 3},
+                                         Geometry{2, 16, 2}, Geometry{16, 2, 2},
+                                         Geometry{2, 2, 4}));
+
+TEST(Dwt53OneD, RoundTripsDegenerateExtents)
+{
+    std::mt19937 rng{7};
+    for (int n = 1; n <= 8; ++n) {
+        std::vector<std::int32_t> orig(static_cast<std::size_t>(n));
+        for (auto& v : orig) v = static_cast<std::int32_t>(rng() % 256) - 128;
+        std::vector<std::int32_t> x = orig;
+        j2k::dwt53_analyze_1d(x.data(), n);
+        j2k::dwt53_synthesize_1d(x.data(), n);
+        EXPECT_EQ(x, orig) << "n=" << n;
+    }
+}
+
+TEST(Dwt53OneD, TwoSampleConstantSignalHasZeroHighBand)
+{
+    // n == 2: the predict step mirrors both neighbours onto the low sample,
+    // so a constant signal must produce a zero detail coefficient.
+    std::vector<std::int32_t> x{42, 42};
+    j2k::dwt53_analyze_1d(x.data(), 2);
+    EXPECT_EQ(x[1], 0);
+    j2k::dwt53_synthesize_1d(x.data(), 2);
+    EXPECT_EQ(x, (std::vector<std::int32_t>{42, 42}));
+}
+
+TEST(Dwt53OneD, SingleSampleIsPassthrough)
+{
+    std::vector<std::int32_t> x{-37};
+    j2k::dwt53_analyze_1d(x.data(), 1);
+    EXPECT_EQ(x[0], -37);
+    j2k::dwt53_synthesize_1d(x.data(), 1);
+    EXPECT_EQ(x[0], -37);
+}
+
 TEST(Dwt53, ConstantSignalHasZeroHighBands)
 {
     plane p{16, 16};
@@ -109,6 +150,39 @@ INSTANTIATE_TEST_SUITE_P(Geometries, Dwt97Reconstruction,
                                          Geometry{17, 9, 2}, Geometry{1, 16, 2},
                                          Geometry{5, 7, 3}, Geometry{128, 96, 4},
                                          Geometry{2, 2, 1}, Geometry{3, 3, 2}));
+
+INSTANTIATE_TEST_SUITE_P(DegenerateExtents, Dwt97Reconstruction,
+                         testing::Values(Geometry{2, 1, 1}, Geometry{1, 2, 1},
+                                         Geometry{2, 1, 3}, Geometry{1, 2, 3},
+                                         Geometry{2, 16, 2}, Geometry{16, 2, 2},
+                                         Geometry{1, 1, 2}, Geometry{2, 2, 4}));
+
+TEST(Dwt97OneD, RoundTripsDegenerateExtents)
+{
+    std::mt19937 rng{11};
+    for (int n = 1; n <= 8; ++n) {
+        std::vector<double> orig(static_cast<std::size_t>(n));
+        for (auto& v : orig) v = static_cast<double>(rng() % 256) - 128.0;
+        std::vector<double> x = orig;
+        j2k::dwt97_analyze_1d(x.data(), n);
+        j2k::dwt97_synthesize_1d(x.data(), n);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                        orig[static_cast<std::size_t>(i)], 1e-9)
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(Dwt97OneD, SingleSampleIsPassthroughWithoutScaling)
+{
+    // n == 1 short-circuits before the K scaling: the lone sample is pure LL
+    // and must come through untouched in both directions.
+    std::vector<double> x{13.5};
+    j2k::dwt97_analyze_1d(x.data(), 1);
+    EXPECT_DOUBLE_EQ(x[0], 13.5);
+    j2k::dwt97_synthesize_1d(x.data(), 1);
+    EXPECT_DOUBLE_EQ(x[0], 13.5);
+}
 
 TEST(Dwt97, ConstantSignalPreservedInLLWithUnitGain)
 {

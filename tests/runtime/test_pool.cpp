@@ -151,6 +151,48 @@ TEST(ThreadPool, TryRunOneFromExternalThreadHelps)
     gate.store(true);
 }
 
+TEST(ThreadPool, ExternalHelperStealsFromWorkerDeque)
+{
+    // Deterministic steal: the only worker pushes a subtask onto its own
+    // Chase–Lev deque and then parks, so the helper's try_run_one can only
+    // obtain that task by stealing.
+    thread_pool pool{1};
+    std::atomic<bool> gate{false};
+    std::atomic<int> inner_ran{0};
+    std::promise<void> spawned;
+    pool.submit([&] {
+        pool.submit([&] { inner_ran.fetch_add(1); });  // worker-local push
+        spawned.set_value();
+        while (!gate.load()) std::this_thread::yield();
+    });
+    spawned.get_future().wait();
+    EXPECT_EQ(pool.tasks_stolen(), 0u);
+    while (!pool.try_run_one()) std::this_thread::yield();
+    EXPECT_EQ(inner_ran.load(), 1);
+    EXPECT_EQ(pool.tasks_stolen(), 1u);
+    gate.store(true);
+}
+
+TEST(ThreadPool, FanOutFromWorkerIsBalancedByStealing)
+{
+    // A single submitted job fanning out across the pool: with more work
+    // than one worker can hold, siblings must steal a share of it.
+    thread_pool pool{4};
+    std::atomic<int> ran{0};
+    std::promise<void> done;
+    pool.submit([&] {
+        pool.parallel_for(512, [&](int) {
+            ran.fetch_add(1);
+            std::this_thread::yield();
+        });
+        done.set_value();
+    });
+    done.get_future().wait();
+    EXPECT_EQ(ran.load(), 512);
+    if (std::thread::hardware_concurrency() > 1)
+        EXPECT_GT(pool.tasks_stolen(), 0u);
+}
+
 TEST(ThreadPool, SharedPoolIsProcessWideSingleton)
 {
     EXPECT_EQ(&thread_pool::shared(), &thread_pool::shared());

@@ -1,4 +1,5 @@
-// bounded_queue — backpressure policies, close/drain semantics, MPMC safety.
+// bounded_queue / two_level_queue — backpressure policies, close/drain
+// semantics, strict-priority pop with promotion, MPMC safety.
 #include <runtime/queue.hpp>
 
 #include <gtest/gtest.h>
@@ -12,7 +13,9 @@ namespace {
 
 using runtime::backpressure;
 using runtime::bounded_queue;
+using runtime::priority;
 using runtime::push_result;
+using runtime::two_level_queue;
 
 TEST(BoundedQueue, FifoOrderAndSize)
 {
@@ -111,6 +114,131 @@ TEST(BoundedQueue, HighWaterTracksPeakOccupancy)
     (void)q.pop();
     (void)q.push(4);
     EXPECT_EQ(q.high_water(), 3u);
+}
+
+TEST(TwoLevelQueue, InteractiveJumpsTheBatchBacklog)
+{
+    two_level_queue<int> q{8};
+    (void)q.push(100, priority::batch);
+    (void)q.push(101, priority::batch);
+    (void)q.push(1, priority::interactive);
+    auto p = q.pop();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->item, 1);
+    EXPECT_EQ(p->prio, priority::interactive);
+    EXPECT_FALSE(p->promoted);
+    EXPECT_EQ(q.pop()->item, 100);  // then batch, FIFO within the level
+    EXPECT_EQ(q.pop()->item, 101);
+}
+
+TEST(TwoLevelQueue, FifoWithinEachLevel)
+{
+    two_level_queue<int> q{8};
+    for (int i = 0; i < 3; ++i) (void)q.push(int{i}, priority::interactive);
+    for (int i = 10; i < 13; ++i) (void)q.push(int{i}, priority::batch);
+    for (int want : {0, 1, 2, 10, 11, 12}) EXPECT_EQ(q.pop()->item, want);
+}
+
+TEST(TwoLevelQueue, PromotesBatchAfterConsecutiveBypassingPops)
+{
+    // promote_after = 2: every third pop under sustained interactive load
+    // must deliver a (promoted) batch item.
+    two_level_queue<int> q{16, backpressure::block, 2};
+    for (int i = 0; i < 6; ++i) (void)q.push(int{i}, priority::interactive);
+    (void)q.push(100, priority::batch);
+    (void)q.push(101, priority::batch);
+
+    std::vector<int> order;
+    std::vector<bool> promoted;
+    while (auto p = q.try_pop()) {
+        order.push_back(p->item);
+        promoted.push_back(p->promoted);
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 100, 2, 3, 101, 4, 5}));
+    EXPECT_EQ(promoted, (std::vector<bool>{false, false, true, false, false, true,
+                                           false, false}));
+    EXPECT_EQ(q.promoted(), 2u);
+}
+
+TEST(TwoLevelQueue, EmptyBatchLevelAccruesNoStarvationGrievance)
+{
+    // Interactive pops with nothing to bypass must not bank promotion credit:
+    // batch work arriving later still waits out the full threshold.
+    two_level_queue<int> q{16, backpressure::block, 2};
+    for (int i = 0; i < 4; ++i) (void)q.push(int{i}, priority::interactive);
+    EXPECT_EQ(q.pop()->item, 0);
+    EXPECT_EQ(q.pop()->item, 1);  // two pops, no batch waiting
+    (void)q.push(100, priority::batch);
+    EXPECT_EQ(q.pop()->item, 2);  // bypass #1
+    EXPECT_EQ(q.pop()->item, 3);  // bypass #2
+    (void)q.push(4, priority::interactive);
+    auto p = q.pop();  // threshold reached: batch promoted past item 4
+    EXPECT_EQ(p->item, 100);
+    EXPECT_TRUE(p->promoted);
+    EXPECT_EQ(q.pop()->item, 4);
+}
+
+TEST(TwoLevelQueue, BatchPopWithoutBypassIsNotAPromotion)
+{
+    two_level_queue<int> q{8};
+    (void)q.push(100, priority::batch);
+    auto p = q.pop();  // no interactive waiting: plain pop, no promotion
+    EXPECT_EQ(p->prio, priority::batch);
+    EXPECT_FALSE(p->promoted);
+    EXPECT_EQ(q.promoted(), 0u);
+}
+
+TEST(TwoLevelQueue, DropOldestEvictsOldestBatchBeforeAnyInteractive)
+{
+    two_level_queue<int> q{3, backpressure::drop_oldest};
+    (void)q.push(100, priority::batch);
+    (void)q.push(1, priority::interactive);
+    (void)q.push(101, priority::batch);
+    int victim = -1;
+    priority victim_prio = priority::interactive;
+    // Full queue: the victim is the oldest *batch* item even though the
+    // oldest item overall is batch 100 < interactive 1 < batch 101 — and even
+    // when the incoming item is interactive.
+    EXPECT_EQ(q.push(2, priority::interactive, &victim, &victim_prio),
+              push_result::dropped);
+    EXPECT_EQ(victim, 100);
+    EXPECT_EQ(victim_prio, priority::batch);
+    // Still full, one batch left: batch evicted again.
+    EXPECT_EQ(q.push(3, priority::interactive, &victim, &victim_prio),
+              push_result::dropped);
+    EXPECT_EQ(victim, 101);
+    EXPECT_EQ(victim_prio, priority::batch);
+    // No batch left: only now does an interactive item get sacrificed.
+    EXPECT_EQ(q.push(4, priority::interactive, &victim, &victim_prio),
+              push_result::dropped);
+    EXPECT_EQ(victim, 1);
+    EXPECT_EQ(victim_prio, priority::interactive);
+}
+
+TEST(TwoLevelQueue, SharedCapacityAndRejectAcrossLevels)
+{
+    two_level_queue<int> q{2, backpressure::reject};
+    EXPECT_EQ(q.push(1, priority::interactive), push_result::ok);
+    EXPECT_EQ(q.push(100, priority::batch), push_result::ok);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.size(priority::interactive), 1u);
+    EXPECT_EQ(q.size(priority::batch), 1u);
+    // The bound spans both levels: either class is refused when full.
+    EXPECT_EQ(q.push(2, priority::interactive), push_result::rejected);
+    EXPECT_EQ(q.push(101, priority::batch), push_result::rejected);
+    EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(TwoLevelQueue, CloseDrainsBothLevelsThenSignalsEmpty)
+{
+    two_level_queue<int> q{4};
+    (void)q.push(100, priority::batch);
+    (void)q.push(1, priority::interactive);
+    q.close();
+    EXPECT_EQ(q.push(2, priority::interactive), push_result::closed);
+    EXPECT_EQ(q.pop()->item, 1);
+    EXPECT_EQ(q.pop()->item, 100);
+    EXPECT_EQ(q.pop(), std::nullopt);  // closed + empty, no blocking
 }
 
 TEST(BoundedQueue, MpmcStressConservesAllItems)

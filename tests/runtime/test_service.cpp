@@ -1,12 +1,14 @@
 // decode_service — determinism vs the serial decoder, decode options,
-// backpressure accounting, shutdown drain, metrics.
+// priority admission, backpressure accounting, shutdown drain, metrics.
 #include <runtime/service.hpp>
 
 #include <j2k/j2k.hpp>
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -14,6 +16,7 @@ namespace {
 using runtime::backpressure;
 using runtime::decode_options;
 using runtime::decode_service;
+using runtime::priority;
 using runtime::service_config;
 
 std::vector<std::uint8_t> make_stream(int w, int h, int comps, int tile,
@@ -222,6 +225,131 @@ TEST(DecodeService, ZeroCopySubmitWorksWhenBytesOutliveFuture)
     const auto cs = make_stream(128, 128, 1, 64);
     decode_service svc{{.workers = 2, .copy_input = false}};
     EXPECT_EQ(svc.submit(cs).get(), j2k::decoder{cs}.decode_all());
+}
+
+TEST(DecodeService, InteractiveJobsSeeLowerLatencyThanBatchBacklog)
+{
+    // One worker, a backlog of batch jobs, then interactive arrivals: the
+    // interactive jobs jump the queue, so their latency distribution must sit
+    // below the batch one even though they were submitted last.
+    const auto cs = make_stream(128, 128, 3, 32);  // 16 tiles
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{{.workers = 1, .queue_capacity = 64}};
+    std::vector<std::future<j2k::image>> batch, interactive;
+    for (int i = 0; i < 12; ++i) batch.push_back(svc.submit(cs, priority::batch));
+    for (int i = 0; i < 3; ++i)
+        interactive.push_back(svc.submit(cs, priority::interactive));
+    for (auto& f : interactive) EXPECT_EQ(f.get(), serial);
+    for (auto& f : batch) EXPECT_EQ(f.get(), serial);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.latency_by_priority[0].count, 3u);
+    EXPECT_EQ(m.latency_by_priority[1].count, 12u);
+    EXPECT_LT(m.latency_by_priority[0].p50_us, m.latency_by_priority[1].p50_us);
+    EXPECT_LT(m.latency_by_priority[0].p99_us, m.latency_by_priority[1].p99_us);
+}
+
+TEST(DecodeService, PromotionValveKeepsBatchFlowingUnderInteractiveLoad)
+{
+    // promote_after = 2 with a long interactive backlog and batch work
+    // waiting: the escape valve must deliver batch jobs before the
+    // interactive backlog is exhausted, and everything still completes.
+    const auto cs = make_stream(128, 128, 3, 32);
+    decode_service svc{{.workers = 1, .queue_capacity = 64, .promote_after = 2}};
+    std::vector<std::future<j2k::image>> futs;
+    futs.push_back(svc.submit(cs, priority::batch));  // occupies the worker
+    for (int i = 0; i < 4; ++i) futs.push_back(svc.submit(cs, priority::batch));
+    for (int i = 0; i < 10; ++i) futs.push_back(svc.submit(cs, priority::interactive));
+    for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_completed, 15u);
+    EXPECT_GE(m.jobs_promoted, 1u);
+}
+
+TEST(DecodeService, DropOldestShedsBatchWorkBeforeInteractive)
+{
+    // Backpressure × priority: with batch work queued, an overflowing push
+    // must evict the oldest *batch* job — interactive jobs never pay for the
+    // shedding while batch work remains.
+    const auto cs = make_stream(256, 256, 3, 32);  // 64 tiles: piles up
+    decode_service svc{{.workers = 1,
+                        .queue_capacity = 4,
+                        .policy = backpressure::drop_oldest}};
+    std::vector<std::future<j2k::image>> batch, interactive;
+    for (int i = 0; i < 10; ++i) batch.push_back(svc.submit(cs, priority::batch));
+    for (int i = 0; i < 2; ++i)
+        interactive.push_back(svc.submit(cs, priority::interactive));
+    // Every interactive future completes; only batch futures may be dropped.
+    for (auto& f : interactive) EXPECT_NO_THROW((void)f.get());
+    int completed = 0, dropped = 0;
+    for (auto& f : batch) {
+        try {
+            (void)f.get();
+            ++completed;
+        } catch (const runtime::job_dropped&) {
+            ++dropped;
+        }
+    }
+    EXPECT_EQ(completed + dropped, 10);
+    EXPECT_GE(dropped, 1);  // cap 4 with 12 rapid submits must shed
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_dropped, static_cast<std::uint64_t>(dropped));
+    EXPECT_EQ(m.jobs_submitted, 12u);
+    EXPECT_EQ(m.jobs_completed, static_cast<std::uint64_t>(completed) + 2u);
+}
+
+TEST(DecodeService, CloseWhileSubmittingSettlesEveryFutureExactlyOnce)
+{
+    // Regression for the close/submit race: a job admitted concurrently with
+    // shutdown must be settled exactly once — a double set_value/set_exception
+    // raises std::future_error, an unsettled promise raises broken_promise on
+    // get().  Hammer the window from several submitter threads.
+    const auto cs = make_stream(64, 64, 1, 32);
+    for (int round = 0; round < 4; ++round) {
+        auto svc = std::make_unique<decode_service>(
+            service_config{.workers = 2, .queue_capacity = 4});
+        constexpr int submitters = 4;
+        std::vector<std::vector<std::future<j2k::image>>> futs(submitters);
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < submitters; ++t)
+            threads.emplace_back([&, t] {
+                while (!stop.load(std::memory_order_acquire)) {
+                    const auto p = (t % 2 == 0) ? priority::interactive : priority::batch;
+                    futs[static_cast<std::size_t>(t)].push_back(svc->submit(cs, p));
+                }
+            });
+        std::this_thread::sleep_for(std::chrono::milliseconds(5 + 10 * round));
+        svc->shutdown();  // races the submit loops
+        stop.store(true, std::memory_order_release);
+        for (auto& t : threads) t.join();
+        svc.reset();  // destructor re-drains; no job may be left unsettled
+
+        int completed = 0, stopped = 0;
+        for (auto& per_thread : futs)
+            for (auto& f : per_thread) {
+                try {
+                    (void)f.get();
+                    ++completed;
+                } catch (const runtime::service_stopped&) {
+                    ++stopped;
+                } catch (const std::future_error& e) {
+                    FAIL() << "future settled " << e.what();
+                }
+            }
+        EXPECT_GT(completed + stopped, 0);
+    }
+}
+
+TEST(DecodeService, MetricsReportStealsForMultiTileJobs)
+{
+    // A single 16-tile job on a 4-worker pool: the fan-out is only parallel
+    // because idle workers steal tile subtasks, and the snapshot surfaces it.
+    const auto cs = make_stream(128, 128, 3, 32);
+    decode_service svc{{.workers = 4}};
+    for (int i = 0; i < 4; ++i) (void)svc.submit(cs).get();
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.tiles_decoded, 64u);
+    if (std::thread::hardware_concurrency() > 1) EXPECT_GT(m.tasks_stolen, 0u);
 }
 
 TEST(DecodeService, MetricsDumpAndJsonContainCounters)

@@ -1,0 +1,105 @@
+// work_deque — Chase–Lev semantics: owner LIFO pop, thief FIFO steal, ring
+// growth, and an owner-vs-thieves stress that TSan re-checks in CI.
+#include <runtime/work_deque.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using runtime::work_deque;
+
+TEST(WorkDeque, OwnerPopsLifo)
+{
+    work_deque<int> d;
+    int a = 1, b = 2, c = 3;
+    d.push(&a);
+    d.push(&b);
+    d.push(&c);
+    EXPECT_EQ(d.pop(), &c);
+    EXPECT_EQ(d.pop(), &b);
+    EXPECT_EQ(d.pop(), &a);
+    EXPECT_EQ(d.pop(), nullptr);
+    EXPECT_EQ(d.pop(), nullptr);  // stays empty after underflow bookkeeping
+}
+
+TEST(WorkDeque, ThiefStealsFifo)
+{
+    work_deque<int> d;
+    int a = 1, b = 2, c = 3;
+    d.push(&a);
+    d.push(&b);
+    d.push(&c);
+    EXPECT_EQ(d.steal(), &a);  // oldest first
+    EXPECT_EQ(d.steal(), &b);
+    EXPECT_EQ(d.pop(), &c);  // owner takes the newest
+    EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WorkDeque, LastElementGoesToExactlyOneSide)
+{
+    work_deque<int> d;
+    int a = 1;
+    d.push(&a);
+    EXPECT_EQ(d.pop(), &a);
+    EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WorkDeque, GrowthPreservesEveryElement)
+{
+    // Push far past the initial ring capacity; both ends must still see every
+    // element exactly once.
+    constexpr int n = 1000;
+    work_deque<int> d{4};
+    std::vector<int> vals(n);
+    for (int i = 0; i < n; ++i) {
+        vals[static_cast<std::size_t>(i)] = i;
+        d.push(&vals[static_cast<std::size_t>(i)]);
+    }
+    std::vector<int> seen(n, 0);
+    for (int i = 0; i < n / 2; ++i) ++seen[static_cast<std::size_t>(*d.steal())];
+    while (int* p = d.pop()) ++seen[static_cast<std::size_t>(*p)];
+    for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(WorkDeque, StressOwnerVsThievesConservesAllItems)
+{
+    // One owner pushing and popping against 3 thieves: every item must be
+    // claimed exactly once across both ends.  (Also the TSan workout for the
+    // Chase–Lev memory-order recipe.)
+    constexpr int n = 20000;
+    constexpr int thieves = 3;
+    work_deque<int> d{8};
+    std::vector<int> vals(n);
+    std::vector<std::atomic<int>> seen(n);
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < thieves; ++t)
+        ts.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire)) {
+                if (int* p = d.steal()) seen[static_cast<std::size_t>(*p)].fetch_add(1);
+            }
+            while (int* p = d.steal()) seen[static_cast<std::size_t>(*p)].fetch_add(1);
+        });
+
+    for (int i = 0; i < n; ++i) {
+        vals[static_cast<std::size_t>(i)] = i;
+        d.push(&vals[static_cast<std::size_t>(i)]);
+        if (i % 3 == 0) {
+            if (int* p = d.pop()) seen[static_cast<std::size_t>(*p)].fetch_add(1);
+        }
+    }
+    while (int* p = d.pop()) seen[static_cast<std::size_t>(*p)].fetch_add(1);
+    done.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+}
+
+}  // namespace
