@@ -1,0 +1,140 @@
+// bench_net_roundtrip — socket admission front-end: request/response
+// round-trip latency over loopback, and what small-job batching buys.
+//
+// Emits one JSON object:
+//   { "bench": "net_roundtrip",
+//     "roundtrip": [ {"payload":"small","bytes":...,"p50_us":...,"p99_us":...,
+//                     "mean_us":...}, {"payload":"16-tile", ...} ],
+//     "pipelined": {"requests":N,"seconds":...,"requests_per_sec":...},
+//     "batching": {"jobs":N,"pool_submissions":...,"saved":...,
+//                  "batches":...,"batched_jobs":...} }
+//
+// Round-trip phase: serial request→response pairs (client blocks on each),
+// measuring the full path — framing, event loop, queue, decode, response
+// serialisation, loopback both ways.  Pipelined phase: all requests written
+// in one burst, responses collected as they complete; the batching object
+// shows pool submissions < jobs, the admission coalescing the burst enables.
+#include <runtime/net/client.hpp>
+#include <runtime/net/server.hpp>
+
+#include <j2k/j2k.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+namespace net = runtime::net;
+using clk = std::chrono::steady_clock;
+
+std::vector<std::uint8_t> make_stream(int w, int h, int comps, int tile)
+{
+    j2k::codec_params p;
+    p.tile_width = tile;
+    p.tile_height = tile;
+    return j2k::encode(j2k::make_test_image(w, h, comps), p);
+}
+
+struct percentiles {
+    double p50 = 0, p99 = 0, mean = 0;
+};
+
+percentiles summarize(std::vector<double>& us)
+{
+    std::sort(us.begin(), us.end());
+    percentiles p;
+    if (us.empty()) return p;
+    p.p50 = us[us.size() / 2];
+    p.p99 = us[std::min(us.size() - 1, us.size() * 99 / 100)];
+    for (const double v : us) p.mean += v;
+    p.mean /= static_cast<double>(us.size());
+    return p;
+}
+
+/// Serial round trips: one in flight at a time, per-request latency.
+percentiles bench_roundtrip(net::client& cli, const std::vector<std::uint8_t>& cs,
+                            int iters, bool* all_ok)
+{
+    std::vector<double> us;
+    us.reserve(static_cast<std::size_t>(iters));
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = clk::now();
+        const auto r =
+            cli.decode({cs, 1, net::result_format::raw,
+                        static_cast<std::uint32_t>(i)});
+        const auto t1 = clk::now();
+        if (!r.ok()) *all_ok = false;
+        us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    return summarize(us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const int iters = std::max(1, argc > 1 ? std::atoi(argv[1]) : 32);
+
+    const auto small = make_stream(64, 64, 1, 64);     // one-tile job
+    const auto tiled = make_stream(256, 256, 3, 64);   // the paper's 16-tile job
+
+    net::server_config cfg;
+    cfg.service.workers = 0;  // hardware concurrency
+    cfg.service.queue_capacity = 256;
+    cfg.small_job_threshold = 1u << 20;
+    net::server srv{cfg};
+    srv.start();
+
+    bool ok = true;
+    std::printf("{\"bench\":\"net_roundtrip\",\"iters\":%d,\"roundtrip\":[", iters);
+    {
+        net::client cli{"127.0.0.1", srv.port()};
+        (void)cli.decode({small, 1, net::result_format::raw, 0});  // warm-up
+        const percentiles ps = bench_roundtrip(cli, small, iters, &ok);
+        std::printf("{\"payload\":\"small\",\"bytes\":%zu,\"p50_us\":%.1f,"
+                    "\"p99_us\":%.1f,\"mean_us\":%.1f}",
+                    small.size(), ps.p50, ps.p99, ps.mean);
+        const percentiles pt = bench_roundtrip(cli, tiled, iters, &ok);
+        std::printf(",{\"payload\":\"16-tile\",\"bytes\":%zu,\"p50_us\":%.1f,"
+                    "\"p99_us\":%.1f,\"mean_us\":%.1f}",
+                    tiled.size(), pt.p50, pt.p99, pt.mean);
+    }
+    std::printf("]");
+
+    // Pipelined burst: every request written up front in one send, then the
+    // responses drained — this is the path the batcher accelerates.
+    {
+        net::client cli{"127.0.0.1", srv.port()};
+        const auto before = srv.service().metrics();
+        std::vector<net::request> reqs;
+        for (int i = 0; i < iters; ++i)
+            reqs.push_back({small, 1, net::result_format::raw,
+                            static_cast<std::uint32_t>(i)});
+        const auto t0 = clk::now();
+        cli.send_burst(reqs);
+        for (int i = 0; i < iters; ++i)
+            if (!cli.recv().ok()) ok = false;
+        const auto t1 = clk::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        const auto after = srv.service().metrics();
+        const auto st = srv.stats();
+        const std::uint64_t jobs = after.jobs_submitted - before.jobs_submitted;
+        const std::uint64_t subs = after.pool_submissions - before.pool_submissions;
+        std::printf(",\"pipelined\":{\"requests\":%d,\"seconds\":%.4f,"
+                    "\"requests_per_sec\":%.1f}",
+                    iters, secs, static_cast<double>(iters) / secs);
+        std::printf(",\"batching\":{\"jobs\":%llu,\"pool_submissions\":%llu,"
+                    "\"saved\":%llu,\"batches\":%llu,\"batched_jobs\":%llu}",
+                    static_cast<unsigned long long>(jobs),
+                    static_cast<unsigned long long>(subs),
+                    static_cast<unsigned long long>(jobs - std::min(jobs, subs)),
+                    static_cast<unsigned long long>(st.batches),
+                    static_cast<unsigned long long>(st.batched_jobs));
+    }
+    std::printf(",\"all_ok\":%s}\n", ok ? "true" : "false");
+    srv.stop();
+    return ok ? 0 : 1;
+}

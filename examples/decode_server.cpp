@@ -1,106 +1,179 @@
-// decode_server — flood the batch-decode service with a mixed workload and
-// watch it degrade gracefully.
+// decode_server — the decode service behind a real socket, exercised by a
+// real client over loopback.
 //
-// Three phases:
-//   1. steady state  — mixed full / reduced-resolution / layer-capped jobs
-//                      through a comfortably sized queue (block policy);
-//   2. overload      — the same mix slammed into a tiny queue with the
-//                      drop_oldest policy: old previews are evicted, the
-//                      service stays responsive, nothing OOMs;
-//   3. drain         — shutdown() completes every admitted job.
-// Metrics are dumped after each phase, and the whole run is recorded by the
-// obs tracer: decode_server.trace.json shows each job's span tree (admission,
-// queue wait, per-tile stage spans) and the queue-depth counter track.  Open
-// it in https://ui.perfetto.dev or chrome://tracing.
+// Modes:
+//   decode_server                       demo: in-process server + client, 3 phases
+//   decode_server serve [port]          run a server until stdin closes
+//   decode_server client <port> <file>  decode one .ojk file, save out.pnm
+//
+// The demo drives the whole admission path end to end:
+//   1. pipelined burst — 16 small requests in one write: the event loop
+//      parses them together and admits them through submit_batch (watch
+//      pool_submissions stay far below jobs_submitted);
+//   2. overload — a batch flood against a per-priority bound of 1: typed
+//      `shed` responses come back while an interactive request sails through;
+//   3. drain — stop() completes every admitted job and flushes responses.
+// The run is recorded by the obs tracer: decode_server.trace.json shows
+// connection/frame spans next to the decode span tree (open in
+// https://ui.perfetto.dev).
 #include <obs/trace.hpp>
-#include <runtime/service.hpp>
+#include <runtime/net/client.hpp>
+#include <runtime/net/server.hpp>
 
 #include <j2k/j2k.hpp>
 
 #include <cstdio>
-#include <future>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace {
 
-struct workload {
-    const char* name;
-    const std::vector<std::uint8_t>* cs;
-    runtime::decode_options opt;
-};
+namespace net = runtime::net;
 
-int run_mix(runtime::decode_service& svc, const std::vector<workload>& mix, int rounds)
+std::vector<std::uint8_t> demo_stream(int w, int h, int comps, int tile)
 {
-    std::vector<std::pair<const char*, std::future<j2k::image>>> futs;
-    for (int r = 0; r < rounds; ++r)
-        for (const auto& w : mix) futs.emplace_back(w.name, svc.submit(*w.cs, w.opt));
-    int ok = 0, shed = 0;
-    for (auto& [name, f] : futs) {
-        try {
-            const j2k::image img = f.get();
-            std::printf("  done %-14s -> %dx%d, %d comp\n", name, img.width(),
-                        img.height(), img.components());
-            ++ok;
-        } catch (const runtime::service_error& e) {
-            std::printf("  shed %-14s -> %s\n", name, e.what());
-            ++shed;
-        }
-    }
-    std::printf("  phase total: %d decoded, %d shed\n", ok, shed);
-    return ok;
+    j2k::codec_params p;
+    p.tile_width = tile;
+    p.tile_height = tile;
+    return j2k::encode(j2k::make_test_image(w, h, comps), p);
 }
 
-}  // namespace
+int run_serve(std::uint16_t port)
+{
+    net::server_config cfg;
+    cfg.port = port;
+    cfg.service.workers = 0;  // hardware concurrency
+    cfg.service.queue_capacity = 64;
+    net::server srv{cfg};
+    srv.start();
+    std::printf("decode_server listening on 127.0.0.1:%u (^D to stop)\n",
+                srv.port());
+    // Serve until stdin closes.
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    }
+    srv.stop();
+    const auto st = srv.stats();
+    std::printf("served %llu frames on %llu connections (%llu bytes in, %llu out)\n",
+                static_cast<unsigned long long>(st.frames_in),
+                static_cast<unsigned long long>(st.connections_accepted),
+                static_cast<unsigned long long>(st.bytes_in),
+                static_cast<unsigned long long>(st.bytes_out));
+    return 0;
+}
 
-int main()
+int run_client(std::uint16_t port, const char* path)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    const std::vector<std::uint8_t> cs{std::istreambuf_iterator<char>{in},
+                                       std::istreambuf_iterator<char>{}};
+    net::client cli{"127.0.0.1", port};
+    const auto r = cli.decode({cs, 0, net::result_format::pnm, 1});
+    if (!r.ok()) {
+        std::fprintf(stderr, "decode failed: %s (%s)\n", net::status_name(r.st),
+                     r.message().c_str());
+        return 1;
+    }
+    std::ofstream out{"out.pnm", std::ios::binary};
+    out.write(reinterpret_cast<const char*>(r.payload.data()),
+              static_cast<std::streamsize>(r.payload.size()));
+    std::printf("decoded %s -> out.pnm (%zu bytes)\n", path, r.payload.size());
+    return 0;
+}
+
+int run_demo()
 {
     obs::tracer::instance().set_enabled(true);
-    obs::tracer::instance().set_thread_name("submitter");
+    obs::tracer::instance().set_thread_name("client");
 
-    // One layered stream (for quality-capped jobs) and one plain stream.
-    const j2k::image img = j2k::make_test_image(256, 256, 3);
-    j2k::codec_params p;
-    p.tile_width = 64;
-    p.tile_height = 64;
-    const auto plain = j2k::encode(img, p);
-    p.quality_layers = 4;
-    const auto layered = j2k::encode(img, p);
+    const auto small = demo_stream(64, 64, 1, 64);      // one tile, quick
+    const auto heavy = demo_stream(256, 256, 3, 32);    // 64 tiles, slow
 
-    const std::vector<workload> mix{
-        {"full", &plain, {}},
-        {"half-res", &plain, {.discard_levels = 1}},
-        {"thumbnail", &plain, {.discard_levels = 3}},
-        {"2-layer", &layered, {.max_quality_layers = 2}},
-        {"draft-passes", &plain, {.max_passes = 4}},
-    };
-
-    std::printf("=== phase 1: steady state (block policy, capacity 64) ===\n");
+    std::printf("=== phase 1: pipelined burst is batched ===\n");
     {
-        runtime::decode_service svc{{.workers = 4, .queue_capacity = 64}};
-        run_mix(svc, mix, 4);
-        std::printf("\n%s\n", svc.metrics().dump().c_str());
+        net::server_config cfg;
+        cfg.service.workers = 2;
+        cfg.service.queue_capacity = 64;
+        cfg.small_job_threshold = 1u << 20;  // everything below 1 MiB coalesces
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+        constexpr std::uint32_t n = 16;
+        std::vector<net::request> reqs;
+        for (std::uint32_t i = 0; i < n; ++i)
+            reqs.push_back({small, 1, net::result_format::raw, i});
+        cli.send_burst(reqs);
+        int ok = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (cli.recv().ok()) ++ok;
+        const auto m = srv.service().metrics();
+        const auto st = srv.stats();
+        std::printf("  %d/%u decoded; %llu jobs through %llu pool submissions "
+                    "(%llu batched in %llu batches)\n",
+                    ok, n, static_cast<unsigned long long>(m.jobs_submitted),
+                    static_cast<unsigned long long>(m.pool_submissions),
+                    static_cast<unsigned long long>(st.batched_jobs),
+                    static_cast<unsigned long long>(st.batches));
+        srv.stop();
     }
 
-    std::printf("=== phase 2: overload (drop_oldest policy, capacity 2) ===\n");
+    std::printf("=== phase 2: overload sheds batch, spares interactive ===\n");
     {
-        runtime::decode_service svc{{.workers = 2,
-                                     .queue_capacity = 2,
-                                     .policy = runtime::backpressure::drop_oldest}};
-        run_mix(svc, mix, 8);
-        std::printf("\n%s\n", svc.metrics().dump().c_str());
+        net::server_config cfg;
+        cfg.service.workers = 1;
+        cfg.service.queue_capacity = 32;
+        cfg.service.batch_capacity = 1;  // batch admission bound
+        cfg.small_job_threshold = 0;     // admit each frame on parse
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+        constexpr std::uint32_t n = 8;
+        std::vector<net::request> reqs;
+        for (std::uint32_t i = 0; i < n; ++i)
+            reqs.push_back({heavy, 1, net::result_format::raw, i});
+        cli.send_burst(reqs);
+        int ok = 0, shed = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const auto r = cli.recv();
+            r.ok() ? ++ok : ++shed;
+        }
+        const auto inter = cli.decode({heavy, 0, net::result_format::raw, 99});
+        const auto m = srv.service().metrics();
+        std::printf("  batch flood: %d decoded, %d shed "
+                    "(batch rejected=%llu, interactive rejected=%llu); "
+                    "interactive request -> %s\n",
+                    ok, shed,
+                    static_cast<unsigned long long>(m.shed_by_priority[1].rejected),
+                    static_cast<unsigned long long>(m.shed_by_priority[0].rejected),
+                    net::status_name(inter.st));
+        srv.stop();
     }
 
-    std::printf("=== phase 3: shutdown drains admitted work ===\n");
+    std::printf("=== phase 3: stop() drains admitted work ===\n");
     {
-        runtime::decode_service svc{{.workers = 4, .queue_capacity = 64}};
-        std::vector<std::future<j2k::image>> futs;
-        for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(plain));
-        svc.shutdown();
-        int ready = 0;
-        for (auto& f : futs)
-            if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) ++ready;
-        std::printf("  after shutdown(): %d/12 futures ready\n", ready);
-        std::printf("\n%s\n", svc.metrics().dump().c_str());
+        net::server_config cfg;
+        cfg.service.workers = 2;
+        cfg.service.queue_capacity = 64;
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+        constexpr std::uint32_t n = 12;
+        std::vector<net::request> reqs;
+        for (std::uint32_t i = 0; i < n; ++i)
+            reqs.push_back({small, 1, net::result_format::raw, i});
+        cli.send_burst(reqs);
+        int ok = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (cli.recv().ok()) ++ok;
+        srv.stop();  // idempotent; every admitted job already settled
+        std::printf("  %d/%u responses received before stop\n", ok, n);
+        std::printf("\n%s\n", srv.service().metrics().dump().c_str());
     }
 
     const std::size_t evs =
@@ -109,4 +182,16 @@ int main()
                 "(open in https://ui.perfetto.dev)\n",
                 evs);
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return run_serve(argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2]))
+                                  : 0);
+    if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
+        return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3]);
+    return run_demo();
 }

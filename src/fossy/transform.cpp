@@ -18,7 +18,7 @@ const subprogram* find_subprogram(const entity& e, const std::string& name)
 }
 
 /// Expand one call op into the callee body with site-unique temporaries.
-void expand_call(const entity& e, const operation& call_op, int site,
+void expand_call(const entity& e, const operation& call_op, unsigned site,
                  std::vector<operation>& out, std::set<std::string>& new_signals,
                  std::size_t& inlined, int depth)
 {
@@ -45,7 +45,9 @@ void expand_call(const entity& e, const operation& call_op, int site,
             nested.result = rename(op.result);
             for (std::size_t i = 1; i < nested.args.size(); ++i)
                 nested.args[i] = rename(nested.args[i]);
-            expand_call(e, nested, site * 131 + 7, out, new_signals, inlined, depth + 1);
+            // Unsigned: deep nesting wraps the site hash instead of
+            // overflowing (names only need to be distinct, not ordered).
+            expand_call(e, nested, site * 131u + 7u, out, new_signals, inlined, depth + 1);
             continue;
         }
         operation copy = op;
@@ -63,7 +65,7 @@ entity inline_subprograms(const entity& e, synthesis_report* rep)
     out.subprograms.clear();
     std::size_t inlined = 0;
     std::set<std::string> new_signals;
-    int site = 0;
+    unsigned site = 0;
     for (auto& f : out.fsms) {
         for (auto& st : f.states) {
             std::vector<operation> ops;

@@ -91,6 +91,8 @@ stream_info read_header(std::span<const std::uint8_t> cs)
         throw codestream_error{"bad image geometry"};
     if (info.components < 1 || info.components > 4)
         throw codestream_error{"bad component count"};
+    if (info.bit_depth < 1 || info.bit_depth > 16)
+        throw codestream_error{"bad bit depth"};
     if (info.tile_width <= 0 || info.tile_height <= 0)
         throw codestream_error{"bad tile geometry"};
     if (info.levels < 0 || info.levels > 12)
@@ -98,6 +100,22 @@ stream_info read_header(std::span<const std::uint8_t> cs)
     if (!(info.quant.base_step > 0.0) || info.quant.base_step > 1.0)
         throw codestream_error{"bad quantiser step"};
     if (info.quality_layers < 1) throw codestream_error{"bad layer count"};
+
+    // Resource limits: hostile headers must fail cleanly *before* any decode
+    // allocation is sized from them.
+    if (info.width > k_max_dimension || info.height > k_max_dimension)
+        throw codestream_error{"image dimensions above decode limit"};
+    if (static_cast<std::uint64_t>(info.width) * info.height * info.components >
+        k_max_total_samples)
+        throw codestream_error{"image sample count above decode limit"};
+    const std::uint64_t tiles_x =
+        (static_cast<std::uint64_t>(info.width) + info.tile_width - 1) /
+        info.tile_width;
+    const std::uint64_t tiles_y =
+        (static_cast<std::uint64_t>(info.height) + info.tile_height - 1) /
+        info.tile_height;
+    if (tiles_x * tiles_y > k_max_tiles)
+        throw codestream_error{"tile count above decode limit"};
 
     const auto tiles = tile_grid(info.width, info.height, info.tile_width, info.tile_height);
     if (info.quality_layers == 1) {
@@ -114,6 +132,10 @@ stream_info read_header(std::span<const std::uint8_t> cs)
         // in layer-major order (quality-progressive).
         const std::size_t n =
             static_cast<std::size_t>(info.quality_layers) * tiles.size();
+        // Directory must physically fit in the remaining bytes before the
+        // entry vector is allocated (n can be ~256M on hostile headers).
+        if (n > r.remaining() / 4)
+            throw codestream_error{"layer directory truncated"};
         std::vector<std::uint32_t> lens(n);
         for (auto& l : lens) l = r.u32();
         // Validate each chunk against the bytes left *before* accumulating:

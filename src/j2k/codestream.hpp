@@ -128,6 +128,14 @@ struct stream_info {
 inline constexpr std::uint32_t k_magic = 0x4F4A324Bu;  // "OJ2K"
 inline constexpr std::uint8_t k_version = 1;
 
+// Decode-side resource limits.  A header that passes structural validation
+// can still describe absurd allocations (4G×4G pixels, millions of tiles);
+// read_header rejects those with codestream_error before anything is sized
+// from the hostile values.
+inline constexpr int k_max_dimension = 1 << 20;
+inline constexpr std::uint64_t k_max_total_samples = std::uint64_t{1} << 28;
+inline constexpr std::uint64_t k_max_tiles = std::uint64_t{1} << 20;
+
 /// Serialise the main header.
 void write_header(byte_writer& w, const stream_info& info);
 

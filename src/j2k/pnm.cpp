@@ -35,27 +35,39 @@ int read_header_int(std::istream& in)
 
 }  // namespace
 
-void save_pnm(const image& img, const std::string& path)
+std::vector<std::uint8_t> pnm_bytes(const image& img)
 {
     if (img.components() != 1 && img.components() != 3)
-        throw std::runtime_error{"save_pnm: only 1 or 3 components"};
-    std::ofstream out{path, std::ios::binary};
-    if (!out) throw std::runtime_error{"save_pnm: cannot open " + path};
-
+        throw std::runtime_error{"pnm_bytes: only 1 or 3 components"};
     const int maxv = (1 << img.bit_depth()) - 1;
-    out << (img.components() == 1 ? "P5" : "P6") << '\n'
-        << img.width() << ' ' << img.height() << '\n'
-        << maxv << '\n';
+    const std::string header = std::string{img.components() == 1 ? "P5" : "P6"} +
+                               '\n' + std::to_string(img.width()) + ' ' +
+                               std::to_string(img.height()) + '\n' +
+                               std::to_string(maxv) + '\n';
     const bool wide = maxv > 255;
+    std::vector<std::uint8_t> out;
+    out.reserve(header.size() + static_cast<std::size_t>(img.width()) * img.height() *
+                                    img.components() * (wide ? 2 : 1));
+    out.insert(out.end(), header.begin(), header.end());
     for (int y = 0; y < img.height(); ++y) {
         for (int x = 0; x < img.width(); ++x) {
             for (int c = 0; c < img.components(); ++c) {
                 const int v = std::clamp(img.comp(c).at(x, y), 0, maxv);
-                if (wide) out.put(static_cast<char>(v >> 8));
-                out.put(static_cast<char>(v & 0xFF));
+                if (wide) out.push_back(static_cast<std::uint8_t>(v >> 8));
+                out.push_back(static_cast<std::uint8_t>(v & 0xFF));
             }
         }
     }
+    return out;
+}
+
+void save_pnm(const image& img, const std::string& path)
+{
+    const std::vector<std::uint8_t> bytes = pnm_bytes(img);
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw std::runtime_error{"save_pnm: cannot open " + path};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     if (!out) throw std::runtime_error{"save_pnm: write failed"};
 }
 

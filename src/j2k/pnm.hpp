@@ -8,9 +8,17 @@
 
 #include "image.hpp"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace j2k {
+
+/// Encode `img` as an in-memory PGM (1 component) / PPM (3 components) file.
+/// Throws std::runtime_error on unsupported component counts.  This is the
+/// same byte stream save_pnm writes; network front-ends send it as a framed
+/// response payload.
+[[nodiscard]] std::vector<std::uint8_t> pnm_bytes(const image& img);
 
 /// Write `img` as PGM (1 component) or PPM (3 components).
 /// Throws std::runtime_error on I/O failure or unsupported component count.

@@ -1,5 +1,7 @@
 #include "tier1.hpp"
 
+#include "codestream.hpp"
+
 #include <array>
 #include <algorithm>
 #include <cmath>
@@ -418,8 +420,10 @@ void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
 {
     if (cb.width <= 0 || cb.height <= 0)
         throw std::invalid_argument{"tier1_decode_layered: empty block"};
+    // num_planes is stream data, not an API argument — malformed values are a
+    // codestream error so hostile inputs stay inside the decode error contract.
     if (cb.num_planes < 0 || cb.num_planes > 31)
-        throw std::invalid_argument{"tier1_decode_layered: implausible plane count"};
+        throw codestream_error{"tier1_decode_layered: implausible plane count"};
     const auto n = static_cast<std::size_t>(cb.width) * static_cast<std::size_t>(cb.height);
     std::fill(out, out + n, 0);
     if (cb.num_planes == 0) return;
@@ -469,8 +473,9 @@ void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,
 {
     if (cb.width <= 0 || cb.height <= 0)
         throw std::invalid_argument{"tier1_decode: empty block"};
+    // Stream data, same contract as tier1_decode_layered above.
     if (cb.num_planes < 0 || cb.num_planes > 31)
-        throw std::invalid_argument{"tier1_decode: implausible bit-plane count"};
+        throw codestream_error{"tier1_decode: implausible bit-plane count"};
     const auto n = static_cast<std::size_t>(cb.width) * static_cast<std::size_t>(cb.height);
     if (cb.num_planes == 0) {
         std::fill(out, out + n, 0);

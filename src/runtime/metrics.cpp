@@ -11,6 +11,8 @@ service_metrics::service_metrics()
       rejected_{reg_.get_counter("jobs_rejected")},
       dropped_{reg_.get_counter("jobs_dropped")},
       promoted_{reg_.get_counter("jobs_promoted")},
+      batched_{reg_.get_counter("jobs_batched")},
+      pool_submissions_{reg_.get_counter("pool_submissions")},
       tiles_{reg_.get_counter("tiles_decoded")},
       entropy_ns_{reg_.get_counter("stage_entropy_ns")},
       iq_ns_{reg_.get_counter("stage_iq_ns")},
@@ -23,6 +25,8 @@ service_metrics::service_metrics()
         const auto* name = priority_name(static_cast<priority>(p));
         prio_depth_[p] = &reg_.get_gauge(std::string{"queue_depth_"} + name);
         prio_latency_[p] = &reg_.get_histogram(std::string{"latency_"} + name + "_us");
+        prio_rejected_[p] = &reg_.get_counter(std::string{"jobs_rejected_"} + name);
+        prio_dropped_[p] = &reg_.get_counter(std::string{"jobs_dropped_"} + name);
     }
 }
 
@@ -35,8 +39,14 @@ metrics_snapshot service_metrics::snapshot() const
     s.jobs_rejected = rejected_.value();
     s.jobs_dropped = dropped_.value();
     s.jobs_promoted = promoted_.value();
+    s.jobs_batched = batched_.value();
     s.queue_depth_high_water = static_cast<std::uint64_t>(queue_depth_.max());
     s.tiles_decoded = tiles_.value();
+    s.pool_submissions = pool_submissions_.value();
+    for (std::size_t p = 0; p < priority_count; ++p) {
+        s.shed_by_priority[p].rejected = prio_rejected_[p]->value();
+        s.shed_by_priority[p].dropped = prio_dropped_[p]->value();
+    }
     s.entropy_ms = static_cast<double>(entropy_ns_.value()) / 1e6;
     s.iq_ms = static_cast<double>(iq_ns_.value()) / 1e6;
     s.idwt_ms = static_cast<double>(idwt_ns_.value()) / 1e6;
@@ -63,9 +73,11 @@ std::string metrics_snapshot::dump() const
     std::snprintf(
         buf, sizeof buf,
         "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu "
-        "promoted=%llu\n"
+        "promoted=%llu batched=%llu\n"
+        "shed by priority: interactive rejected=%llu dropped=%llu | "
+        "batch rejected=%llu dropped=%llu\n"
         "queue: high_water=%llu\n"
-        "work: tiles_decoded=%llu tasks_stolen=%llu\n"
+        "work: tiles_decoded=%llu tasks_stolen=%llu pool_submissions=%llu\n"
         "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
         "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
         "latency interactive [us]: n=%llu p50=%.0f p99=%.0f\n"
@@ -76,9 +88,15 @@ std::string metrics_snapshot::dump() const
         static_cast<unsigned long long>(jobs_rejected),
         static_cast<unsigned long long>(jobs_dropped),
         static_cast<unsigned long long>(jobs_promoted),
+        static_cast<unsigned long long>(jobs_batched),
+        static_cast<unsigned long long>(shed_by_priority[0].rejected),
+        static_cast<unsigned long long>(shed_by_priority[0].dropped),
+        static_cast<unsigned long long>(shed_by_priority[1].rejected),
+        static_cast<unsigned long long>(shed_by_priority[1].dropped),
         static_cast<unsigned long long>(queue_depth_high_water),
         static_cast<unsigned long long>(tiles_decoded),
-        static_cast<unsigned long long>(tasks_stolen), entropy_ms, iq_ms, idwt_ms,
+        static_cast<unsigned long long>(tasks_stolen),
+        static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,
         finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
         latency_p50_us, latency_p95_us, latency_p99_us,
         static_cast<unsigned long long>(latency_max_us),
@@ -96,8 +114,11 @@ std::string metrics_snapshot::to_json() const
         buf, sizeof buf,
         "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
         "\"jobs_rejected\":%llu,\"jobs_dropped\":%llu,\"jobs_promoted\":%llu,"
+        "\"jobs_batched\":%llu,"
+        "\"shed_interactive\":{\"rejected\":%llu,\"dropped\":%llu},"
+        "\"shed_batch\":{\"rejected\":%llu,\"dropped\":%llu},"
         "\"queue_depth_high_water\":%llu,"
-        "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,"
+        "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,\"pool_submissions\":%llu,"
         "\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
         "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
         "\"latency_p50_us\":%.1f,\"latency_p95_us\":%.1f,\"latency_p99_us\":%.1f,"
@@ -110,9 +131,15 @@ std::string metrics_snapshot::to_json() const
         static_cast<unsigned long long>(jobs_rejected),
         static_cast<unsigned long long>(jobs_dropped),
         static_cast<unsigned long long>(jobs_promoted),
+        static_cast<unsigned long long>(jobs_batched),
+        static_cast<unsigned long long>(shed_by_priority[0].rejected),
+        static_cast<unsigned long long>(shed_by_priority[0].dropped),
+        static_cast<unsigned long long>(shed_by_priority[1].rejected),
+        static_cast<unsigned long long>(shed_by_priority[1].dropped),
         static_cast<unsigned long long>(queue_depth_high_water),
         static_cast<unsigned long long>(tiles_decoded),
-        static_cast<unsigned long long>(tasks_stolen), entropy_ms, iq_ms, idwt_ms,
+        static_cast<unsigned long long>(tasks_stolen),
+        static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,
         finish_ms, static_cast<unsigned long long>(latency_count), latency_mean_us,
         latency_p50_us, latency_p95_us, latency_p99_us,
         static_cast<unsigned long long>(latency_max_us),

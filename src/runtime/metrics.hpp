@@ -30,11 +30,24 @@ struct metrics_snapshot {
     std::uint64_t jobs_rejected = 0;  ///< refused at admission (reject policy)
     std::uint64_t jobs_dropped = 0;   ///< evicted while queued (drop_oldest)
     std::uint64_t jobs_promoted = 0;  ///< batch jobs popped past waiting interactive
+    std::uint64_t jobs_batched = 0;   ///< jobs admitted through submit_batch
     std::uint64_t queue_depth_high_water = 0;
+
+    /// Shed accounting split by admission class (indexed by runtime::priority).
+    /// `dropped` is charged to the priority of the *evicted* job, which with
+    /// per-priority capacities is not always the priority being pushed.
+    struct priority_shed {
+        std::uint64_t rejected = 0;
+        std::uint64_t dropped = 0;
+    };
+    priority_shed shed_by_priority[priority_count];
 
     // Work.
     std::uint64_t tiles_decoded = 0;
     std::uint64_t tasks_stolen = 0;  ///< pool subtasks run by a non-owning worker
+    /// Pump tasks handed to the pool; with small-job batching this is below
+    /// jobs_submitted (one pump drains a whole batch).
+    std::uint64_t pool_submissions = 0;
 
     // Cumulative per-stage wall time across all workers (Figure 1's stage
     // split, measured on the host).
@@ -73,9 +86,19 @@ public:
     void on_submitted() noexcept { submitted_.add(); }
     void on_completed() noexcept { completed_.add(); }
     void on_failed() noexcept { failed_.add(); }
-    void on_rejected() noexcept { rejected_.add(); }
-    void on_dropped() noexcept { dropped_.add(); }
+    void on_rejected(priority p) noexcept
+    {
+        rejected_.add();
+        prio_rejected_[static_cast<std::size_t>(p)]->add();
+    }
+    void on_dropped(priority p) noexcept
+    {
+        dropped_.add();
+        prio_dropped_[static_cast<std::size_t>(p)]->add();
+    }
     void on_promoted() noexcept { promoted_.add(); }
+    void on_batched() noexcept { batched_.add(); }
+    void on_pool_submission() noexcept { pool_submissions_.add(); }
     void on_tile_decoded() noexcept { tiles_.add(); }
 
     void record_queue_depth(std::size_t depth) noexcept
@@ -113,6 +136,8 @@ private:
     obs::counter& rejected_;
     obs::counter& dropped_;
     obs::counter& promoted_;
+    obs::counter& batched_;
+    obs::counter& pool_submissions_;
     obs::counter& tiles_;
     obs::counter& entropy_ns_;
     obs::counter& iq_ns_;
@@ -120,6 +145,8 @@ private:
     obs::counter& finish_ns_;
     obs::gauge& queue_depth_;
     obs::gauge* prio_depth_[priority_count];
+    obs::counter* prio_rejected_[priority_count];
+    obs::counter* prio_dropped_[priority_count];
     obs::log2_histogram& latency_;
     obs::log2_histogram* prio_latency_[priority_count];
 };

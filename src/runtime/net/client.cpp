@@ -1,0 +1,142 @@
+#include "client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace runtime::net {
+
+namespace {
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::system_error{errno, std::generic_category(), "send"};
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void recv_all(int fd, std::uint8_t* data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, data + off, len - off, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::system_error{errno, std::generic_category(), "recv"};
+        }
+        if (n == 0) throw std::runtime_error{"connection closed mid-frame"};
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const request& r)
+{
+    request_header h;
+    h.priority_raw = r.priority;
+    h.format_raw = static_cast<std::uint8_t>(r.format);
+    h.request_id = r.request_id;
+    h.payload_len = static_cast<std::uint32_t>(r.codestream.size());
+    const std::size_t base = out.size();
+    out.resize(base + k_header_size);
+    encode_request_header(h, out.data() + base);
+    out.insert(out.end(), r.codestream.begin(), r.codestream.end());
+}
+
+}  // namespace
+
+client::client(const std::string& host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::system_error{errno, std::generic_category(), "socket"};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error{"client: numeric IPv4 host expected: " + host};
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::system_error{err, std::generic_category(), "connect"};
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+client::~client()
+{
+    if (fd_ >= 0) ::close(fd_);
+}
+
+client::client(client&& other) noexcept : fd_{std::exchange(other.fd_, -1)} {}
+
+client& client::operator=(client&& other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void client::send(const request& r)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(k_header_size + r.codestream.size());
+    append_frame(frame, r);
+    send_all(fd_, frame.data(), frame.size());
+}
+
+void client::send_burst(const std::vector<request>& rs)
+{
+    std::vector<std::uint8_t> buf;
+    std::size_t total = 0;
+    for (const request& r : rs) total += k_header_size + r.codestream.size();
+    buf.reserve(total);
+    for (const request& r : rs) append_frame(buf, r);
+    send_all(fd_, buf.data(), buf.size());
+}
+
+response client::recv()
+{
+    std::uint8_t hdr[k_header_size];
+    recv_all(fd_, hdr, k_header_size);
+    const auto h = decode_response_header(hdr);
+    if (!h) throw std::runtime_error{"malformed response header"};
+    response r;
+    r.st = h->st;
+    r.request_id = h->request_id;
+    r.payload.resize(h->payload_len);
+    if (h->payload_len) recv_all(fd_, r.payload.data(), r.payload.size());
+    return r;
+}
+
+response client::decode(const request& r)
+{
+    send(r);
+    return recv();
+}
+
+void client::shutdown_write() noexcept
+{
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace runtime::net

@@ -1,0 +1,76 @@
+// runtime/net/client.hpp — minimal blocking client for the decode server.
+//
+// Covers the two usage shapes the tests and examples need: the one-shot
+// convenience (`decode()` = send + wait for the matching response) and
+// explicit pipelining (`send()` / `send_burst()` N frames, then `recv()` N
+// responses, correlating by request_id — the server answers in completion
+// order).
+#pragma once
+
+#include "protocol.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace runtime::net {
+
+/// One request to put on the wire.
+struct request {
+    std::span<const std::uint8_t> codestream;
+    std::uint8_t priority = 1;  ///< 0 interactive, 1 batch
+    result_format format = result_format::raw;
+    std::uint32_t request_id = 0;
+};
+
+/// One response off the wire.
+struct response {
+    status st = status::ok;
+    std::uint32_t request_id = 0;
+    std::vector<std::uint8_t> payload;  ///< image bytes (ok) or diagnostic text
+
+    [[nodiscard]] bool ok() const noexcept { return st == status::ok; }
+    /// Diagnostic payload as text (error responses).
+    [[nodiscard]] std::string message() const
+    {
+        return {payload.begin(), payload.end()};
+    }
+};
+
+class client {
+public:
+    /// Connect (blocking) to a decode server.  Numeric IPv4 host only.
+    client(const std::string& host, std::uint16_t port);
+    ~client();
+
+    client(const client&) = delete;
+    client& operator=(const client&) = delete;
+    client(client&& other) noexcept;
+    client& operator=(client&& other) noexcept;
+
+    /// Frame and send one request (blocking until fully written).
+    void send(const request& r);
+
+    /// Frame all requests into one buffer and write it with a single send
+    /// loop — lands as one readable burst at the server, which is what lets
+    /// its per-iteration batcher coalesce the jobs.
+    void send_burst(const std::vector<request>& rs);
+
+    /// Read one complete response frame (blocking).  Throws std::runtime_error
+    /// on EOF mid-frame or a malformed response header.
+    [[nodiscard]] response recv();
+
+    /// send() + recv() one frame.  Only valid when no responses are pending.
+    [[nodiscard]] response decode(const request& r);
+
+    /// Half-close the write side (server sees EOF after pending frames).
+    void shutdown_write() noexcept;
+
+    /// Raw socket fd — tests use it to inject torn/garbage bytes.
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace runtime::net

@@ -1,0 +1,142 @@
+#include "protocol.hpp"
+
+#include <stdexcept>
+
+namespace runtime::net {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+void encode_request_header(const request_header& h, std::uint8_t out[k_header_size])
+{
+    put_u32(out, k_magic);
+    out[4] = k_version;
+    out[5] = h.priority_raw;
+    out[6] = h.format_raw;
+    out[7] = 0;
+    put_u32(out + 8, h.request_id);
+    put_u32(out + 12, h.payload_len);
+}
+
+std::optional<request_header> decode_request_header(std::span<const std::uint8_t> in,
+                                                    const char** why)
+{
+    const auto fail = [&](const char* reason) -> std::optional<request_header> {
+        if (why) *why = reason;
+        return std::nullopt;
+    };
+    if (in.size() < k_header_size) return fail("short header");
+    if (get_u32(in.data()) != k_magic) return fail("bad magic");
+    if (in[4] != k_version) return fail("unsupported version");
+    request_header h;
+    h.priority_raw = in[5];
+    h.format_raw = in[6];
+    if (h.priority_raw > 1) return fail("bad priority byte");
+    if (h.format_raw > 1) return fail("bad format byte");
+    if (in[7] != 0) return fail("nonzero reserved byte");
+    h.request_id = get_u32(in.data() + 8);
+    h.payload_len = get_u32(in.data() + 12);
+    return h;
+}
+
+void encode_response_header(const response_header& h, std::uint8_t out[k_header_size])
+{
+    put_u32(out, k_magic);
+    out[4] = k_version;
+    out[5] = static_cast<std::uint8_t>(h.st);
+    out[6] = 0;
+    out[7] = 0;
+    put_u32(out + 8, h.request_id);
+    put_u32(out + 12, h.payload_len);
+}
+
+std::optional<response_header> decode_response_header(std::span<const std::uint8_t> in)
+{
+    if (in.size() < k_header_size) return std::nullopt;
+    if (get_u32(in.data()) != k_magic) return std::nullopt;
+    if (in[4] != k_version) return std::nullopt;
+    if (in[5] > static_cast<std::uint8_t>(status::internal_error)) return std::nullopt;
+    response_header h;
+    h.st = static_cast<status>(in[5]);
+    h.request_id = get_u32(in.data() + 8);
+    h.payload_len = get_u32(in.data() + 12);
+    return h;
+}
+
+std::vector<std::uint8_t> encode_image_raw(const j2k::image& img)
+{
+    const int maxv = (1 << img.bit_depth()) - 1;
+    const bool wide = img.bit_depth() > 8;
+    const std::size_t samples = static_cast<std::size_t>(img.width()) * img.height() *
+                                img.components();
+    std::vector<std::uint8_t> out;
+    out.reserve(12 + samples * (wide ? 2 : 1));
+    out.resize(12);
+    put_u32(out.data(), static_cast<std::uint32_t>(img.width()));
+    put_u32(out.data() + 4, static_cast<std::uint32_t>(img.height()));
+    out[8] = static_cast<std::uint8_t>(img.components());
+    out[9] = static_cast<std::uint8_t>(img.bit_depth());
+    out[10] = 0;
+    out[11] = 0;
+    for (int c = 0; c < img.components(); ++c) {
+        const j2k::plane& pl = img.comp(c);
+        for (int y = 0; y < pl.height(); ++y) {
+            const std::int32_t* row = pl.row(y);
+            for (int x = 0; x < pl.width(); ++x) {
+                int v = row[x];
+                v = v < 0 ? 0 : (v > maxv ? maxv : v);
+                if (wide) out.push_back(static_cast<std::uint8_t>(v >> 8));
+                out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+            }
+        }
+    }
+    return out;
+}
+
+j2k::image decode_image_raw(std::span<const std::uint8_t> in)
+{
+    if (in.size() < 12) throw std::runtime_error{"raw image: short header"};
+    const int w = static_cast<int>(get_u32(in.data()));
+    const int h = static_cast<int>(get_u32(in.data() + 4));
+    const int comps = in[8];
+    const int depth = in[9];
+    if (w <= 0 || h <= 0 || comps < 1 || comps > 4 || depth < 1 || depth > 16)
+        throw std::runtime_error{"raw image: bad geometry"};
+    const bool wide = depth > 8;
+    const std::size_t samples =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * comps;
+    if (in.size() != 12 + samples * (wide ? 2 : 1))
+        throw std::runtime_error{"raw image: size mismatch"};
+    j2k::image img{w, h, comps, depth};
+    const std::uint8_t* p = in.data() + 12;
+    for (int c = 0; c < comps; ++c) {
+        j2k::plane& pl = img.comp(c);
+        for (int y = 0; y < h; ++y) {
+            std::int32_t* row = pl.row(y);
+            for (int x = 0; x < w; ++x) {
+                int v = *p++;
+                if (wide) v = (v << 8) | *p++;
+                row[x] = v;
+            }
+        }
+    }
+    return img;
+}
+
+}  // namespace runtime::net

@@ -1,0 +1,112 @@
+// runtime/net/protocol.hpp — the minimal length-prefixed framing protocol the
+// decode server speaks.
+//
+// This is the software realisation of the paper's VTA boundary: requests are
+// serialised across a byte channel, unpacked by a transactor (the server's
+// event loop) and handed to the guarded shared resource (decode_service)
+// exactly as the OSSS RMI channel marshals method calls onto the shared
+// object.  All integers are big-endian, mirroring the codestream container.
+//
+// Request frame (16-byte header + payload):
+//
+//   u32 magic      'J2NE'
+//   u8  version    1
+//   u8  priority   0 = interactive, 1 = batch
+//   u8  format     0 = raw planar samples, 1 = PNM (PGM/PPM)
+//   u8  reserved   must be 0
+//   u32 request_id echoed verbatim in the response (pipelining correlation)
+//   u32 payload_len
+//   ... payload_len bytes of J2K codestream
+//
+// Response frame (16-byte header + payload):
+//
+//   u32 magic      'J2NE'
+//   u8  version    1
+//   u8  status     see `status` below
+//   u16 reserved   0
+//   u32 request_id
+//   u32 payload_len
+//   ... decoded image (ok) or an ASCII diagnostic message (errors)
+//
+// Responses are emitted in *completion* order, not request order — pipelined
+// clients must correlate by request_id.
+#pragma once
+
+#include <j2k/image.hpp>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace runtime::net {
+
+inline constexpr std::uint32_t k_magic = 0x4A324E45u;  // "J2NE"
+inline constexpr std::uint8_t k_version = 1;
+inline constexpr std::size_t k_header_size = 16;
+
+/// Requested result encoding.
+enum class result_format : std::uint8_t {
+    raw = 0,  ///< u32 w | u32 h | u8 comps | u8 depth | u16 0 | planar samples
+    pnm = 1,  ///< the exact bytes j2k::pnm_bytes would write (P5/P6)
+};
+
+/// Response status byte.
+enum class status : std::uint8_t {
+    ok = 0,
+    malformed_codestream = 1,  ///< decode threw j2k::codestream_error
+    shed = 2,                  ///< admission rejected or job evicted (overload)
+    too_large = 3,             ///< payload_len above the server's limit
+    bad_frame = 4,             ///< bad magic / version / priority / format
+    stopped = 5,               ///< server shutting down
+    internal_error = 6,        ///< anything else (message in payload)
+};
+
+[[nodiscard]] constexpr const char* status_name(status s) noexcept
+{
+    switch (s) {
+    case status::ok: return "ok";
+    case status::malformed_codestream: return "malformed_codestream";
+    case status::shed: return "shed";
+    case status::too_large: return "too_large";
+    case status::bad_frame: return "bad_frame";
+    case status::stopped: return "stopped";
+    case status::internal_error: return "internal_error";
+    }
+    return "?";
+}
+
+struct request_header {
+    std::uint8_t priority_raw = 1;  ///< runtime::priority as a byte
+    std::uint8_t format_raw = 0;    ///< result_format as a byte
+    std::uint32_t request_id = 0;
+    std::uint32_t payload_len = 0;
+};
+
+struct response_header {
+    status st = status::ok;
+    std::uint32_t request_id = 0;
+    std::uint32_t payload_len = 0;
+};
+
+/// Serialise a request header into exactly k_header_size bytes.
+void encode_request_header(const request_header& h, std::uint8_t out[k_header_size]);
+
+/// Parse a request header.  Returns nullopt (and sets *why) when the frame is
+/// structurally invalid — bad magic, version, priority or format byte.
+[[nodiscard]] std::optional<request_header> decode_request_header(
+    std::span<const std::uint8_t> in, const char** why = nullptr);
+
+void encode_response_header(const response_header& h, std::uint8_t out[k_header_size]);
+
+[[nodiscard]] std::optional<response_header> decode_response_header(
+    std::span<const std::uint8_t> in);
+
+/// Encode a decoded image as the `raw` result payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_image_raw(const j2k::image& img);
+
+/// Parse a `raw` result payload (client side).  Throws std::runtime_error on
+/// malformed payloads.
+[[nodiscard]] j2k::image decode_image_raw(std::span<const std::uint8_t> in);
+
+}  // namespace runtime::net

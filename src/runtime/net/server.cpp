@@ -1,0 +1,699 @@
+#include "server.hpp"
+
+#include <j2k/codestream.hpp>
+#include <j2k/pnm.hpp>
+#include <obs/obs.hpp>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define RUNTIME_NET_HAVE_EPOLL 1
+#else
+#define RUNTIME_NET_HAVE_EPOLL 0
+#endif
+
+namespace runtime::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what)
+{
+    throw std::system_error{errno, std::generic_category(), what};
+}
+
+void set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw_errno("fcntl(O_NONBLOCK)");
+}
+
+/// One readiness event delivered by a poller.
+struct ready_event {
+    std::uint64_t id = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+};
+
+/// Readiness-notification backend: epoll where available, poll(2) otherwise.
+/// Level-triggered in both cases, so a partially drained socket re-fires.
+class poller {
+public:
+    virtual ~poller() = default;
+    virtual void add(int fd, std::uint64_t id, bool want_write) = 0;
+    virtual void update(int fd, std::uint64_t id, bool want_write) = 0;
+    virtual void remove(int fd) = 0;
+    virtual void wait(std::vector<ready_event>& out, int timeout_ms) = 0;
+};
+
+#if RUNTIME_NET_HAVE_EPOLL
+class epoll_poller final : public poller {
+public:
+    epoll_poller()
+    {
+        fd_ = ::epoll_create1(0);
+        if (fd_ < 0) throw_errno("epoll_create1");
+    }
+    ~epoll_poller() override { ::close(fd_); }
+
+    void add(int fd, std::uint64_t id, bool want_write) override
+    {
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+        ev.data.u64 = id;
+        if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
+    }
+    void update(int fd, std::uint64_t id, bool want_write) override
+    {
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+        ev.data.u64 = id;
+        if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) throw_errno("epoll_ctl(MOD)");
+    }
+    void remove(int fd) override { ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+    void wait(std::vector<ready_event>& out, int timeout_ms) override
+    {
+        epoll_event evs[64];
+        const int n = ::epoll_wait(fd_, evs, 64, timeout_ms);
+        for (int i = 0; i < n; ++i) {
+            ready_event e;
+            e.id = evs[i].data.u64;
+            e.readable = (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+            e.writable = (evs[i].events & EPOLLOUT) != 0;
+            e.hangup = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+            out.push_back(e);
+        }
+    }
+
+private:
+    int fd_ = -1;
+};
+#endif
+
+/// Portable fallback: rebuilds the pollfd set per wait.  O(connections) per
+/// iteration, fine at the scales the fallback serves.
+class poll_poller final : public poller {
+public:
+    void add(int fd, std::uint64_t id, bool want_write) override
+    {
+        fds_[fd] = entry{id, want_write};
+    }
+    void update(int fd, std::uint64_t id, bool want_write) override
+    {
+        fds_[fd] = entry{id, want_write};
+    }
+    void remove(int fd) override { fds_.erase(fd); }
+
+    void wait(std::vector<ready_event>& out, int timeout_ms) override
+    {
+        std::vector<pollfd> pfds;
+        pfds.reserve(fds_.size());
+        for (const auto& [fd, e] : fds_)
+            pfds.push_back({fd, static_cast<short>(POLLIN | (e.want_write ? POLLOUT : 0)),
+                            0});
+        const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+        if (n <= 0) return;
+        for (const pollfd& p : pfds) {
+            if (p.revents == 0) continue;
+            ready_event e;
+            e.id = fds_[p.fd].id;
+            e.readable = (p.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+            e.writable = (p.revents & POLLOUT) != 0;
+            e.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+            out.push_back(e);
+        }
+    }
+
+private:
+    struct entry {
+        std::uint64_t id = 0;
+        bool want_write = false;
+    };
+    std::unordered_map<int, entry> fds_;
+};
+
+constexpr std::uint64_t k_listener_id = 0;
+constexpr std::uint64_t k_wake_id = 1;
+constexpr std::uint64_t k_first_conn_id = 2;
+
+}  // namespace
+
+struct server::impl {
+    explicit impl(server_config cfg)
+        : cfg_{std::move(cfg)},
+          service_{[&] {
+              service_config sc = cfg_.service;
+              // `block` at admission would stall the event loop; shed instead.
+              if (sc.policy == backpressure::block) sc.policy = backpressure::reject;
+              return sc;
+          }()}
+    {
+    }
+
+    ~impl() { stop(); }
+
+    // ---- connection state ------------------------------------------------
+
+    struct connection {
+        int fd = -1;
+        std::uint64_t id = 0;
+        // Frame parser state.
+        enum class reading { header, payload };
+        reading state = reading::header;
+        std::uint8_t hdr_buf[k_header_size] = {};
+        std::size_t hdr_filled = 0;
+        request_header hdr;
+        /// Arena buffer: recv() lands payload bytes directly here, and the
+        /// whole vector moves into the decode job on dispatch — the socket
+        /// path adds no intermediate copy.
+        std::vector<std::uint8_t> payload;
+        std::size_t payload_filled = 0;
+        // Outbound frames (fully framed responses), possibly partially sent.
+        std::deque<std::vector<std::uint8_t>> out;
+        std::size_t out_off = 0;
+        bool want_write = false;
+        bool closing = false;  ///< close once `out` drains (protocol error)
+    };
+
+    struct completion_record {
+        std::uint64_t conn_id = 0;
+        std::vector<std::uint8_t> frame;
+        std::uint64_t trace_id = 0;
+    };
+
+    struct small_job {
+        std::uint64_t conn_id = 0;
+        std::vector<std::uint8_t> bytes;
+        decode_options opt;
+        decode_service::completion done;
+    };
+
+    // ---- lifecycle -------------------------------------------------------
+
+    void start()
+    {
+        if (running_) return;
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) throw_errno("socket");
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg_.port);
+        if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw std::system_error{EINVAL, std::generic_category(),
+                                    "bad bind address (numeric IPv4 expected)"};
+        }
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+            ::listen(listen_fd_, cfg_.listen_backlog) < 0) {
+            const int err = errno;
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw std::system_error{err, std::generic_category(), "bind/listen"};
+        }
+        set_nonblocking(listen_fd_);
+        socklen_t alen = sizeof addr;
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+        port_ = ntohs(addr.sin_port);
+
+        int pipefd[2];
+        if (::pipe(pipefd) < 0) throw_errno("pipe");
+        wake_rd_ = pipefd[0];
+        wake_wr_ = pipefd[1];
+        set_nonblocking(wake_rd_);
+        set_nonblocking(wake_wr_);  // a full pipe must never block a worker
+
+#if RUNTIME_NET_HAVE_EPOLL
+        if (!cfg_.use_poll)
+            poller_ = std::make_unique<epoll_poller>();
+        else
+            poller_ = std::make_unique<poll_poller>();
+#else
+        poller_ = std::make_unique<poll_poller>();
+#endif
+        poller_->add(listen_fd_, k_listener_id, false);
+        poller_->add(wake_rd_, k_wake_id, false);
+
+        stop_requested_.store(false, std::memory_order_relaxed);
+        running_ = true;
+        loop_thread_ = std::thread{[this] { run_loop(); }};
+    }
+
+    void stop()
+    {
+        if (!running_) return;
+        stop_requested_.store(true, std::memory_order_release);
+        wake();
+        loop_thread_.join();
+        // Close the wake pipe only after the join: every writer — this
+        // thread above, and worker completions (all finished before the
+        // loop's service_.shutdown() returned) — now happens-before the
+        // close, so no write() can race it or hit a recycled fd.
+        ::close(wake_rd_);
+        ::close(wake_wr_);
+        wake_rd_ = wake_wr_ = -1;
+        running_ = false;
+    }
+
+    // ---- event loop ------------------------------------------------------
+
+    void run_loop()
+    {
+        obs::tracer::instance().set_thread_name("net-loop");
+        std::vector<ready_event> events;
+        std::vector<small_job> batch;
+        while (!stop_requested_.load(std::memory_order_acquire)) {
+            events.clear();
+            poller_->wait(events, -1);
+            for (const ready_event& ev : events) {
+                if (ev.id == k_listener_id) {
+                    accept_ready();
+                } else if (ev.id == k_wake_id) {
+                    drain_wake_pipe();
+                    deliver_completions();
+                } else {
+                    auto it = conns_.find(ev.id);
+                    if (it == conns_.end()) continue;
+                    connection& c = *it->second;
+                    if (ev.hangup && !ev.readable) {
+                        close_conn(c);
+                        continue;
+                    }
+                    if (ev.writable) on_writable(c);
+                    // on_writable may have closed the connection.
+                    if (conns_.count(ev.id) && ev.readable) on_readable(c, batch);
+                }
+            }
+            flush_small_jobs(batch);
+            OBS_TRACE_COUNTER("net", "net_bytes_in",
+                              bytes_in_.load(std::memory_order_relaxed));
+            OBS_TRACE_COUNTER("net", "net_bytes_out",
+                              bytes_out_.load(std::memory_order_relaxed));
+        }
+
+        // Shutdown: no new frames will be parsed (loop exited).  Drain every
+        // admitted decode job, hand the resulting frames to their
+        // connections, flush best-effort, then tear down.
+        if (listen_fd_ >= 0) {
+            poller_->remove(listen_fd_);
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        service_.shutdown();
+        deliver_completions();
+        for (auto& [id, c] : conns_) flush_blocking(*c);
+        for (auto& [id, c] : conns_) {
+            poller_->remove(c->fd);
+            ::close(c->fd);
+            OBS_TRACE_ASYNC_END("net", "connection", c->id);
+        }
+        conns_.clear();
+        connections_open_.store(0, std::memory_order_relaxed);
+        // The wake pipe stays open: stop() closes it after joining this
+        // thread, so a concurrent stop()'s wake() never writes to a dead fd.
+    }
+
+    void accept_ready()
+    {
+        for (;;) {
+            const int fd = ::accept(listen_fd_, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+                if (errno == EINTR) continue;
+                return;  // transient accept failure; keep serving
+            }
+            set_nonblocking(fd);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            auto c = std::make_unique<connection>();
+            c->fd = fd;
+            c->id = next_conn_id_++;
+            poller_->add(fd, c->id, false);
+            OBS_TRACE_ASYNC_BEGIN("net", "connection", c->id);
+            conns_.emplace(c->id, std::move(c));
+            connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+            connections_open_.fetch_add(1, std::memory_order_relaxed);
+            OBS_TRACE_COUNTER("net", "net_connections", conns_.size());
+        }
+    }
+
+    void on_readable(connection& c, std::vector<small_job>& batch)
+    {
+        if (c.closing) return;  // refuse further input after a protocol error
+        for (;;) {
+            if (c.state == connection::reading::header) {
+                const ssize_t n = ::recv(c.fd, c.hdr_buf + c.hdr_filled,
+                                         k_header_size - c.hdr_filled, 0);
+                if (!advance(c, n)) return;
+                c.hdr_filled += static_cast<std::size_t>(n);
+                if (c.hdr_filled < k_header_size) continue;
+                const char* why = nullptr;
+                const auto hdr = decode_request_header(c.hdr_buf, &why);
+                if (!hdr) {
+                    refuse_frame(c, status::bad_frame, 0, why);
+                    return;
+                }
+                if (hdr->payload_len > cfg_.max_payload) {
+                    refuse_frame(c, status::too_large, hdr->request_id,
+                                 "payload_len above server limit");
+                    return;
+                }
+                c.hdr = *hdr;
+                c.hdr_filled = 0;
+                if (hdr->payload_len == 0) {
+                    dispatch_frame(c, {}, batch);  // decode of 0 bytes → malformed
+                    continue;
+                }
+                c.state = connection::reading::payload;
+                c.payload.resize(hdr->payload_len);
+                c.payload_filled = 0;
+            } else {
+                const ssize_t n =
+                    ::recv(c.fd, c.payload.data() + c.payload_filled,
+                           c.payload.size() - c.payload_filled, 0);
+                if (!advance(c, n)) return;
+                c.payload_filled += static_cast<std::size_t>(n);
+                if (c.payload_filled < c.payload.size()) continue;
+                c.state = connection::reading::header;
+                dispatch_frame(c, std::move(c.payload), batch);
+                c.payload = {};
+                c.payload_filled = 0;
+            }
+        }
+    }
+
+    /// Common recv() outcome handling; returns false when reading must stop
+    /// (EAGAIN, disconnect, error).  Closes the connection on EOF/error.
+    bool advance(connection& c, ssize_t n)
+    {
+        if (n > 0) {
+            bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+            return true;
+        }
+        if (n < 0) {
+            // EINTR: readability persists, the level-triggered poller re-fires.
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+                return false;
+        }
+        // EOF (possibly mid-frame) or hard error: tear the connection down.
+        // In-flight decode jobs for it settle into a vanished conn id and are
+        // discarded at completion delivery.
+        close_conn(c);
+        return false;
+    }
+
+    void dispatch_frame(connection& c, std::vector<std::uint8_t>&& payload,
+                        std::vector<small_job>& batch)
+    {
+        frames_in_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t trace_id = obs::tracer::instance().next_id();
+        OBS_TRACE_ASYNC_BEGIN("net", "frame", trace_id);
+        decode_options opt;
+        opt.prio = c.hdr.priority_raw == 0 ? priority::interactive : priority::batch;
+        auto done = make_completion(c.id, c.hdr.request_id,
+                                    static_cast<result_format>(c.hdr.format_raw),
+                                    trace_id);
+        if (payload.size() < cfg_.small_job_threshold) {
+            batch.push_back({c.id, std::move(payload), opt, std::move(done)});
+        } else {
+            service_.submit_async(std::move(payload), opt, std::move(done));
+        }
+    }
+
+    /// Coalesce the small jobs gathered this poll iteration into one
+    /// submit_batch (single pool pump) — a lone small job takes the plain
+    /// path, which is the same cost.
+    void flush_small_jobs(std::vector<small_job>& batch)
+    {
+        if (batch.empty()) return;
+        if (batch.size() == 1) {
+            service_.submit_async(std::move(batch[0].bytes), batch[0].opt,
+                                  std::move(batch[0].done));
+        } else {
+            std::vector<decode_service::batch_item> items;
+            items.reserve(batch.size());
+            for (small_job& sj : batch)
+                items.push_back({std::move(sj.bytes), sj.opt, std::move(sj.done)});
+            batches_.fetch_add(1, std::memory_order_relaxed);
+            batched_jobs_.fetch_add(items.size(), std::memory_order_relaxed);
+            service_.submit_batch(std::move(items));
+        }
+        batch.clear();
+    }
+
+    /// Build the completion that runs on the decoding worker: serialise the
+    /// result (or map the error to a status), frame it, and hand it to the
+    /// loop via the completion queue + wake pipe.
+    decode_service::completion make_completion(std::uint64_t conn_id,
+                                               std::uint32_t request_id,
+                                               result_format fmt,
+                                               std::uint64_t trace_id)
+    {
+        return [this, conn_id, request_id, fmt, trace_id](j2k::image&& img,
+                                                          std::exception_ptr err) {
+            response_header rh;
+            rh.request_id = request_id;
+            std::vector<std::uint8_t> body;
+            if (!err) {
+                rh.st = status::ok;
+                try {
+                    body = fmt == result_format::raw ? encode_image_raw(img)
+                                                     : j2k::pnm_bytes(img);
+                } catch (const std::exception& e) {
+                    rh.st = status::internal_error;
+                    body.assign(e.what(), e.what() + std::strlen(e.what()));
+                }
+            } else {
+                try {
+                    std::rethrow_exception(err);
+                } catch (const j2k::codestream_error& e) {
+                    rh.st = status::malformed_codestream;
+                    body.assign(e.what(), e.what() + std::strlen(e.what()));
+                } catch (const admission_rejected&) {
+                    rh.st = status::shed;
+                } catch (const job_dropped&) {
+                    rh.st = status::shed;
+                } catch (const service_stopped&) {
+                    rh.st = status::stopped;
+                } catch (const std::exception& e) {
+                    rh.st = status::internal_error;
+                    body.assign(e.what(), e.what() + std::strlen(e.what()));
+                }
+            }
+            rh.payload_len = static_cast<std::uint32_t>(body.size());
+            std::vector<std::uint8_t> frame(k_header_size + body.size());
+            encode_response_header(rh, frame.data());
+            std::copy(body.begin(), body.end(), frame.begin() + k_header_size);
+            {
+                std::lock_guard lk{completions_m_};
+                completions_.push_back({conn_id, std::move(frame), trace_id});
+            }
+            wake();
+        };
+    }
+
+    /// Loop thread: move completed frames onto their connections and flush.
+    void deliver_completions()
+    {
+        std::vector<completion_record> ready;
+        {
+            std::lock_guard lk{completions_m_};
+            ready.swap(completions_);
+        }
+        for (completion_record& r : ready) {
+            OBS_TRACE_ASYNC_END("net", "frame", r.trace_id);
+            auto it = conns_.find(r.conn_id);
+            if (it == conns_.end()) continue;  // client went away mid-decode
+            connection& c = *it->second;
+            c.out.push_back(std::move(r.frame));
+            on_writable(c);
+        }
+    }
+
+    /// Refuse the in-progress frame: queue an error response, stop reading
+    /// from this connection, and close once the response drains.  (After a
+    /// framing error the byte stream cannot be resynchronised.)
+    void refuse_frame(connection& c, status st, std::uint32_t request_id,
+                      const char* message)
+    {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        response_header rh;
+        rh.st = st;
+        rh.request_id = request_id;
+        const std::size_t len = message ? std::strlen(message) : 0;
+        rh.payload_len = static_cast<std::uint32_t>(len);
+        std::vector<std::uint8_t> frame(k_header_size + len);
+        encode_response_header(rh, frame.data());
+        if (len) std::memcpy(frame.data() + k_header_size, message, len);
+        c.out.push_back(std::move(frame));
+        c.closing = true;
+        OBS_TRACE_INSTANT("net", "frame_refused");
+        on_writable(c);
+    }
+
+    void on_writable(connection& c)
+    {
+        while (!c.out.empty()) {
+            const std::vector<std::uint8_t>& front = c.out.front();
+            const ssize_t n = ::send(c.fd, front.data() + c.out_off,
+                                     front.size() - c.out_off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                if (errno == EINTR) continue;
+                close_conn(c);
+                return;
+            }
+            bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+            c.out_off += static_cast<std::size_t>(n);
+            if (c.out_off == front.size()) {
+                c.out.pop_front();
+                c.out_off = 0;
+                responses_out_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (c.out.empty() && c.closing) {
+            close_conn(c);
+            return;
+        }
+        const bool want_write = !c.out.empty();
+        if (want_write != c.want_write) {
+            c.want_write = want_write;
+            poller_->update(c.fd, c.id, want_write);
+        }
+    }
+
+    /// Best-effort synchronous flush during shutdown (sockets switched back
+    /// to blocking with a short send timeout; errors are ignored).
+    void flush_blocking(connection& c)
+    {
+        if (c.out.empty()) return;
+        const int flags = ::fcntl(c.fd, F_GETFL, 0);
+        if (flags >= 0) ::fcntl(c.fd, F_SETFL, flags & ~O_NONBLOCK);
+        timeval tv{1, 0};
+        ::setsockopt(c.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        while (!c.out.empty()) {
+            const std::vector<std::uint8_t>& front = c.out.front();
+            const ssize_t n = ::send(c.fd, front.data() + c.out_off,
+                                     front.size() - c.out_off, MSG_NOSIGNAL);
+            if (n <= 0) return;
+            bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+            c.out_off += static_cast<std::size_t>(n);
+            if (c.out_off == front.size()) {
+                c.out.pop_front();
+                c.out_off = 0;
+                responses_out_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void close_conn(connection& c)
+    {
+        poller_->remove(c.fd);
+        ::close(c.fd);
+        OBS_TRACE_ASYNC_END("net", "connection", c.id);
+        conns_.erase(c.id);  // destroys c — must be the last use
+        connections_open_.fetch_sub(1, std::memory_order_relaxed);
+        OBS_TRACE_COUNTER("net", "net_connections", conns_.size());
+    }
+
+    void wake()
+    {
+        const std::uint8_t b = 1;
+        // Non-blocking: a full pipe already guarantees a pending wakeup.
+        [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &b, 1);
+    }
+
+    void drain_wake_pipe()
+    {
+        std::uint8_t buf[256];
+        while (::read(wake_rd_, buf, sizeof buf) > 0) {
+        }
+    }
+
+    // ---- state -----------------------------------------------------------
+
+    server_config cfg_;
+    decode_service service_;
+
+    int listen_fd_ = -1;
+    int wake_rd_ = -1;
+    int wake_wr_ = -1;
+    std::uint16_t port_ = 0;
+    std::unique_ptr<poller> poller_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns_;
+    std::uint64_t next_conn_id_ = k_first_conn_id;
+
+    std::mutex completions_m_;
+    std::vector<completion_record> completions_;
+
+    std::thread loop_thread_;
+    std::atomic<bool> stop_requested_{false};
+    bool running_ = false;
+
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> connections_open_{0};
+    std::atomic<std::uint64_t> frames_in_{0};
+    std::atomic<std::uint64_t> responses_out_{0};
+    std::atomic<std::uint64_t> bytes_in_{0};
+    std::atomic<std::uint64_t> bytes_out_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batched_jobs_{0};
+    std::atomic<std::uint64_t> bad_frames_{0};
+};
+
+server::server(server_config cfg) : impl_{std::make_unique<impl>(std::move(cfg))} {}
+
+server::~server() = default;  // impl dtor stops the loop
+
+void server::start() { impl_->start(); }
+
+void server::stop() { impl_->stop(); }
+
+std::uint16_t server::port() const noexcept { return impl_->port_; }
+
+decode_service& server::service() noexcept { return impl_->service_; }
+
+const decode_service& server::service() const noexcept { return impl_->service_; }
+
+server::stats_snapshot server::stats() const noexcept
+{
+    stats_snapshot s;
+    s.connections_accepted =
+        impl_->connections_accepted_.load(std::memory_order_relaxed);
+    s.connections_open =
+        impl_->connections_open_.load(std::memory_order_relaxed);
+    s.frames_in = impl_->frames_in_.load(std::memory_order_relaxed);
+    s.responses_out = impl_->responses_out_.load(std::memory_order_relaxed);
+    s.bytes_in = impl_->bytes_in_.load(std::memory_order_relaxed);
+    s.bytes_out = impl_->bytes_out_.load(std::memory_order_relaxed);
+    s.batches = impl_->batches_.load(std::memory_order_relaxed);
+    s.batched_jobs = impl_->batched_jobs_.load(std::memory_order_relaxed);
+    s.bad_frames = impl_->bad_frames_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace runtime::net

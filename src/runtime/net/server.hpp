@@ -1,0 +1,96 @@
+// runtime/net/server.hpp — async socket admission front-end for the decode
+// service.
+//
+// A single-threaded non-blocking event loop (epoll on Linux, poll(2)
+// fallback) owns every connection; decode work never runs on the loop thread.
+// The data path is zero intermediate copy: payload bytes are recv()'d
+// directly into the arena buffer that becomes the job's owned storage
+// (`decode_service::submit_async` moves it, no memcpy), and result
+// serialisation happens on the pool worker that decoded the job, off the
+// loop.  Completions cross back via a mutex-guarded queue plus a self-pipe
+// wakeup, so responses interleave fairly with new reads.
+//
+//   socket ─► [event loop: frame parser, arena reads] ─► decode_service
+//      ▲                                                     │ worker:
+//      └── framed response ◄─ completion queue + wake ◄──────┘ serialise
+//
+// Small-job batching: requests whose payload is below
+// `small_job_threshold` are coalesced per poll iteration and admitted
+// through `submit_batch` — one pool pump for the whole burst instead of one
+// per request (visible as pool_submissions < jobs_submitted in the service
+// metrics).
+//
+// Overload never blocks the loop: configure the service with `reject` or
+// `drop_oldest` (the default here is reject) and shed requests come back as
+// framed `status::shed` responses; per-priority queue capacities reserve
+// headroom for interactive traffic while batch floods shed early.
+#pragma once
+
+#include "protocol.hpp"
+
+#include <runtime/service.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace runtime::net {
+
+struct server_config {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral (read the bound port via port())
+    /// Decode service behind the loop.  `block` would stall the event loop at
+    /// admission, so the server overrides it to `reject` unless the policy is
+    /// already a non-blocking one.
+    service_config service{.queue_capacity = 64, .policy = backpressure::reject};
+    std::size_t max_payload = 64u << 20;       ///< frames above this are refused
+    std::size_t small_job_threshold = 4096;    ///< coalesce payloads below this
+    bool use_poll = false;                     ///< force the poll(2) fallback
+    int listen_backlog = 64;
+};
+
+class server {
+public:
+    explicit server(server_config cfg = {});
+    ~server();  ///< implies stop()
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Bind, listen, and start the event loop thread.  Throws
+    /// std::system_error on socket failures.
+    void start();
+
+    /// Stop accepting, drain every admitted decode job, flush pending
+    /// responses best-effort, close all connections, join the loop thread.
+    /// Idempotent.
+    void stop();
+
+    /// Actual bound port (after start(); useful with port = 0).
+    [[nodiscard]] std::uint16_t port() const noexcept;
+
+    /// The decode service behind the loop (metrics, queue depths).
+    [[nodiscard]] decode_service& service() noexcept;
+    [[nodiscard]] const decode_service& service() const noexcept;
+
+    /// Loop-side counters (all monotonic except connections_open).
+    struct stats_snapshot {
+        std::uint64_t connections_accepted = 0;
+        std::uint64_t connections_open = 0;
+        std::uint64_t frames_in = 0;      ///< complete request frames parsed
+        std::uint64_t responses_out = 0;  ///< response frames fully written
+        std::uint64_t bytes_in = 0;
+        std::uint64_t bytes_out = 0;
+        std::uint64_t batches = 0;        ///< submit_batch calls (>= 2 jobs)
+        std::uint64_t batched_jobs = 0;   ///< jobs admitted through those
+        std::uint64_t bad_frames = 0;     ///< protocol errors (frame refused)
+    };
+    [[nodiscard]] stats_snapshot stats() const noexcept;
+
+private:
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
+}  // namespace runtime::net

@@ -174,18 +174,37 @@ inline constexpr std::size_t priority_count = 2;
     return p == priority::interactive ? "interactive" : "batch";
 }
 
+/// Optional per-level bounds for `two_level_queue` (0 = no per-level bound;
+/// the shared capacity still applies).  Independent bounds let an admission
+/// front-end shed batch work aggressively while keeping headroom reserved for
+/// interactive traffic (and vice versa).
+struct level_capacities {
+    std::size_t interactive = 0;
+    std::size_t batch = 0;
+
+    [[nodiscard]] constexpr std::size_t of(priority p) const noexcept
+    {
+        return p == priority::interactive ? interactive : batch;
+    }
+};
+
 /// Two-level strict-priority bounded MPMC queue.
 ///
 /// Same backpressure contract as `bounded_queue` (one shared capacity across
-/// both levels), plus an admission class per item:
+/// both levels, plus optional independent per-level bounds), and an admission
+/// class per item:
 ///
 ///   pop      — interactive first; after `promote_after` *consecutive*
 ///              interactive pops with batch work waiting, one batch item is
 ///              promoted past the interactive backlog (starvation escape
 ///              valve), and the counter resets.
-///   drop_oldest — the eviction victim is the oldest *batch* item when one
-///              exists; interactive items are only evicted when no batch work
-///              is queued (shed throughput work before latency work).
+///   drop_oldest — when the *pushing level* is at its own bound, the victim
+///              must come from that level (evicting elsewhere frees no room),
+///              and the eviction is charged to that level via *evicted_prio.
+///              When only the shared bound is hit, the victim is the oldest
+///              *batch* item when one exists; interactive items are only
+///              evicted when no batch work is queued (shed throughput work
+///              before latency work).
 template <typename T>
 class two_level_queue {
 public:
@@ -200,8 +219,10 @@ public:
 
     explicit two_level_queue(std::size_t capacity,
                              backpressure policy = backpressure::block,
-                             std::size_t promote_after = 8)
+                             std::size_t promote_after = 8,
+                             level_capacities level_caps = {})
         : cap_{capacity == 0 ? 1 : capacity},
+          level_caps_{level_caps},
           policy_{policy},
           promote_after_{promote_after == 0 ? 1 : promote_after}
     {
@@ -218,16 +239,21 @@ public:
     {
         std::unique_lock lk{m_};
         if (closed_) return push_result::closed;
-        if (total_locked() >= cap_) {
+        if (full_for_locked(p)) {
             switch (policy_) {
             case backpressure::reject:
                 return push_result::rejected;
             case backpressure::drop_oldest: {
-                // Shed the oldest batch item first; only a fully interactive
-                // queue sacrifices interactive work.
+                // When the pushing level itself is at its bound, only an
+                // eviction from that level makes room — and the drop must be
+                // charged to that level, not to whoever happens to be oldest
+                // overall.  Only a purely shared-capacity overflow sheds the
+                // oldest batch item first (a fully interactive queue then
+                // sacrifices interactive work).
                 const priority victim_level =
-                    !level(priority::batch).empty() ? priority::batch
-                                                    : priority::interactive;
+                    level_full_locked(p) ? p
+                    : !level(priority::batch).empty() ? priority::batch
+                                                      : priority::interactive;
                 auto& vq = level(victim_level);
                 if (evicted) *evicted = std::move(vq.front());
                 if (evicted_prio) *evicted_prio = victim_level;
@@ -239,7 +265,7 @@ public:
                 return push_result::dropped;
             }
             case backpressure::block:
-                not_full_.wait(lk, [&] { return closed_ || total_locked() < cap_; });
+                not_full_.wait(lk, [&] { return closed_ || !full_for_locked(p); });
                 if (closed_) return push_result::closed;
                 break;
             }
@@ -300,6 +326,11 @@ public:
     }
 
     [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+    /// Per-level bound (0 = bounded only by the shared capacity).
+    [[nodiscard]] std::size_t capacity(priority p) const noexcept
+    {
+        return level_caps_.of(p);
+    }
     [[nodiscard]] backpressure policy() const noexcept { return policy_; }
     [[nodiscard]] std::size_t promote_after() const noexcept { return promote_after_; }
 
@@ -323,6 +354,19 @@ private:
     [[nodiscard]] std::size_t total_locked() const
     {
         return levels_[0].size() + levels_[1].size();
+    }
+
+    /// Is level `p` at its own (optional) bound?
+    [[nodiscard]] bool level_full_locked(priority p) const
+    {
+        const std::size_t lcap = level_caps_.of(p);
+        return lcap != 0 && levels_[static_cast<std::size_t>(p)].size() >= lcap;
+    }
+
+    /// Can a push at level `p` not proceed right now?
+    [[nodiscard]] bool full_for_locked(priority p) const
+    {
+        return total_locked() >= cap_ || level_full_locked(p);
     }
 
     popped take_locked(std::unique_lock<std::mutex>& lk)
@@ -351,6 +395,7 @@ private:
     }
 
     const std::size_t cap_;
+    const level_capacities level_caps_;
     const backpressure policy_;
     const std::size_t promote_after_;
     mutable std::mutex m_;

@@ -20,7 +20,10 @@ std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
 
 decode_service::decode_service(service_config cfg)
     : cfg_{cfg},
-      queue_{cfg.queue_capacity, cfg.policy, cfg.promote_after},
+      queue_{cfg.queue_capacity,
+             cfg.policy,
+             cfg.promote_after,
+             level_capacities{cfg.interactive_capacity, cfg.batch_capacity}},
       pool_{std::make_unique<thread_pool>(cfg.workers)}
 {
 }
@@ -33,13 +36,19 @@ decode_service::~decode_service()
 void decode_service::settle(job& j, j2k::image&& img)
 {
     if (j.settled.exchange(true, std::memory_order_acq_rel)) return;
-    j.promise.set_value(std::move(img));
+    if (j.done)
+        j.done(std::move(img), nullptr);
+    else
+        j.promise.set_value(std::move(img));
 }
 
 void decode_service::settle(job& j, std::exception_ptr err)
 {
     if (j.settled.exchange(true, std::memory_order_acq_rel)) return;
-    j.promise.set_exception(std::move(err));
+    if (j.done)
+        j.done(j2k::image{}, std::move(err));
+    else
+        j.promise.set_exception(std::move(err));
 }
 
 void decode_service::record_priority_depths()
@@ -66,14 +75,65 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
         j->bytes = cs;
     }
     auto fut = j->promise.get_future();
+    if (admit(std::move(j))) pump(1);
+    return fut;
+}
+
+std::future<j2k::image> decode_service::submit(std::vector<std::uint8_t>&& bytes,
+                                               const decode_options& opt)
+{
+    OBS_TRACE_SCOPE("runtime", "submit");
+    auto j = make_job(std::move(bytes), opt);
+    auto fut = j->promise.get_future();
+    if (admit(std::move(j))) pump(1);
+    return fut;
+}
+
+void decode_service::submit_async(std::vector<std::uint8_t>&& bytes,
+                                  const decode_options& opt, completion done)
+{
+    OBS_TRACE_SCOPE("runtime", "submit");
+    auto j = make_job(std::move(bytes), opt);
+    j->done = std::move(done);
+    if (admit(std::move(j))) pump(1);
+}
+
+std::size_t decode_service::submit_batch(std::vector<batch_item> items)
+{
+    OBS_TRACE_SCOPE("runtime", "submit_batch");
+    std::size_t admitted = 0;
+    for (auto& it : items) {
+        auto j = make_job(std::move(it.bytes), it.opt);
+        j->done = std::move(it.done);
+        metrics_.on_batched();
+        if (admit(std::move(j))) ++admitted;
+    }
+    if (admitted > 0) pump(admitted);
+    return admitted;
+}
+
+decode_service::job_ptr decode_service::make_job(std::vector<std::uint8_t>&& bytes,
+                                                 const decode_options& opt)
+{
+    auto j = std::make_unique<job>();
+    j->opt = opt;
+    j->submitted_at = std::chrono::steady_clock::now();
+    j->owned = std::move(bytes);  // ownership transfer: no copy either way
+    j->bytes = j->owned;
+    return j;
+}
+
+bool decode_service::admit(job_ptr j)
+{
     metrics_.on_submitted();
+    const decode_options opt = j->opt;
 
     {
         std::lock_guard lk{drain_m_};
         if (stopped_) {
-            metrics_.on_rejected();
+            metrics_.on_rejected(opt.prio);
             settle(*j, std::make_exception_ptr(service_stopped{}));
-            return fut;
+            return false;
         }
         ++in_flight_;  // admitted (tentatively); undone on rejection
     }
@@ -87,56 +147,66 @@ std::future<j2k::image> decode_service::submit(std::span<const std::uint8_t> cs,
     [[maybe_unused]] const std::uint64_t id = j->trace_id;
 
     job_ptr evicted;
-    const push_result r = queue_.push(std::move(j), opt.prio, &evicted);
+    priority evicted_prio = opt.prio;
+    const push_result r = queue_.push(std::move(j), opt.prio, &evicted, &evicted_prio);
     metrics_.record_queue_depth(queue_.size());
     OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
     record_priority_depths();
     switch (r) {
     case push_result::dropped:
-        metrics_.on_dropped();
+        // Charge the drop to the priority actually evicted — with per-level
+        // capacities the victim's class can differ from the pusher's.
+        metrics_.on_dropped(evicted_prio);
         OBS_TRACE_INSTANT("runtime", "job_dropped");
         OBS_TRACE_ASYNC_END("job", "queue_wait", evicted->trace_id);
         OBS_TRACE_ASYNC_END("job", "job", evicted->trace_id);
         settle(*evicted, std::make_exception_ptr(job_dropped{}));
         finish_one();  // the evicted job leaves the in-flight set
-        [[fallthrough]];
+        return true;
     case push_result::ok:
-        // One pump per admitted job: a worker pops the highest-priority
-        // queued job and runs it to completion.  Extra pumps left behind by
-        // evictions find an empty queue and return — the invariant is
-        // pumps >= queued jobs.
-        pool_->submit([this] {
-            if (auto popped = queue_.try_pop()) {
-                job_ptr& p = popped->item;
-                if (popped->promoted) {
-                    metrics_.on_promoted();
-                    OBS_TRACE_INSTANT("runtime", "job_promoted");
-                }
-                OBS_TRACE_ASYNC_END("job", "queue_wait", p->trace_id);
-                OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
-                record_priority_depths();
-                run_job(*p);
-                finish_one();
-            }
-        });
-        break;
+        return true;
     case push_result::rejected:
-        metrics_.on_rejected();
+        metrics_.on_rejected(opt.prio);
         OBS_TRACE_INSTANT("runtime", "job_rejected");
         OBS_TRACE_ASYNC_END("job", "queue_wait", id);
         OBS_TRACE_ASYNC_END("job", "job", id);
         settle(*j, std::make_exception_ptr(admission_rejected{}));
         finish_one();
-        break;
+        return false;
     case push_result::closed:
-        metrics_.on_rejected();
+        metrics_.on_rejected(opt.prio);
         OBS_TRACE_ASYNC_END("job", "queue_wait", id);
         OBS_TRACE_ASYNC_END("job", "job", id);
         settle(*j, std::make_exception_ptr(service_stopped{}));
         finish_one();
-        break;
+        return false;
     }
-    return fut;
+    return false;  // unreachable
+}
+
+void decode_service::pump(std::size_t n)
+{
+    // One pump may pop-and-run up to `n` jobs; a plain submit passes n = 1, a
+    // coalesced batch passes its size, so a burst of small jobs costs one pool
+    // submission.  Extra pump capacity left behind by evictions finds an empty
+    // queue and returns — the invariant is pump capacity >= queued jobs.
+    metrics_.on_pool_submission();
+    pool_->submit([this, n] {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto popped = queue_.try_pop();
+            if (!popped) break;
+            job_ptr& p = popped->item;
+            if (popped->promoted) {
+                metrics_.on_promoted();
+                OBS_TRACE_INSTANT("runtime", "job_promoted");
+            }
+            OBS_TRACE_ASYNC_END("job", "queue_wait", p->trace_id);
+            OBS_TRACE_COUNTER("runtime", "queue_depth", queue_.size());
+            record_priority_depths();
+            run_job(*p);
+            finish_one();
+        }
+    });
 }
 
 void decode_service::finish_one()

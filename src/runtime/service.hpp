@@ -74,6 +74,11 @@ struct decode_options {
 struct service_config {
     int workers = 0;                  ///< pool size; <= 0 = hardware concurrency
     std::size_t queue_capacity = 64;  ///< pending-job bound (both priorities)
+    /// Optional independent per-priority bounds (0 = shared bound only).
+    /// Lets admission reserve headroom for interactive work while batch
+    /// traffic is shed early — sheds are charged to the evicted priority.
+    std::size_t interactive_capacity = 0;
+    std::size_t batch_capacity = 0;
     backpressure policy = backpressure::block;
     /// Starvation escape valve: after this many consecutive interactive pops
     /// that bypassed waiting batch work, one batch job is promoted.
@@ -107,6 +112,37 @@ public:
     std::future<j2k::image> submit(std::span<const std::uint8_t> cs,
                                    const decode_options& opt);
 
+    /// Ownership-transfer submit: `bytes` moves into the job, so an admission
+    /// front-end that already owns a buffer (e.g. a socket read) pays no copy
+    /// regardless of `copy_input`.
+    std::future<j2k::image> submit(std::vector<std::uint8_t>&& bytes,
+                                   const decode_options& opt = {});
+
+    /// Completion callback for the future-less submission paths.  Exactly one
+    /// of the two arguments is meaningful: `err` is null on success.  Runs on
+    /// a pool worker (or inline on the submitting thread for admission
+    /// failures) — it must not block on the service.
+    using completion = std::function<void(j2k::image&&, std::exception_ptr err)>;
+
+    /// Future-less submit for async front-ends: the outcome (including typed
+    /// admission failures) is delivered through `done` instead of a future.
+    void submit_async(std::vector<std::uint8_t>&& bytes, const decode_options& opt,
+                      completion done);
+
+    /// One element of a coalesced small-job batch.
+    struct batch_item {
+        std::vector<std::uint8_t> bytes;
+        decode_options opt;
+        completion done;  ///< may be empty (fire-and-forget)
+    };
+
+    /// Admit several (small) jobs with a *single* pool pump: the pump pops and
+    /// runs every admitted job sequentially, so a burst of tiny requests costs
+    /// one pool submission instead of one each.  Per-item admission failures
+    /// still settle individually through each item's `done`.  Returns the
+    /// number of jobs actually enqueued.
+    std::size_t submit_batch(std::vector<batch_item> items);
+
     /// Stop admitting and wait for every queued + running job to finish.
     /// Idempotent; also called by the destructor.
     void shutdown();
@@ -121,7 +157,8 @@ public:
 private:
     struct job {
         std::promise<j2k::image> promise;
-        /// Exactly-once guard for the promise: the settle paths (worker
+        completion done;  ///< when set, outcome goes here instead of promise
+        /// Exactly-once guard for the settle: the settle paths (worker
         /// success/failure, eviction, rejection, close during admission) can
         /// race, and std::promise throws on a second set.
         std::atomic<bool> settled{false};
@@ -135,6 +172,13 @@ private:
 
     static void settle(job& j, j2k::image&& img);
     static void settle(job& j, std::exception_ptr err);
+    job_ptr make_job(std::vector<std::uint8_t>&& bytes, const decode_options& opt);
+    /// Admission core shared by every submit flavour: queue push, eviction /
+    /// rejection settling, metrics and spans.  Returns true when the job was
+    /// enqueued and therefore needs pump capacity.
+    bool admit(job_ptr j);
+    /// Hand the pool one pump able to pop-and-run up to `n` queued jobs.
+    void pump(std::size_t n);
     void run_job(job& j);
     void finish_one();
     void record_priority_depths();

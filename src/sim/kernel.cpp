@@ -6,6 +6,8 @@ namespace sim {
 
 thread_local kernel* kernel::current_ = nullptr;
 
+kernel* kernel::current() noexcept { return current_; }
+
 kernel::~kernel()
 {
     // Destroy all coroutine frames still owned by the kernel.  Finished

@@ -89,7 +89,10 @@ public:
     [[nodiscard]] std::uint64_t activations() const noexcept { return activations_; }
 
     /// Kernel owning the coroutine currently being resumed; null outside run().
-    [[nodiscard]] static kernel* current() noexcept { return current_; }
+    /// Defined out of line: inlining the thread_local read into a coroutine
+    /// body lets GCC fold the TLS address computation into the coroutine
+    /// frame, which UBSan rejects as a null load.
+    [[nodiscard]] static kernel* current() noexcept;
 
     /// Request termination at the end of the current delta cycle.
     void stop() noexcept { stop_requested_ = true; }

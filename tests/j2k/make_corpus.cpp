@@ -1,0 +1,76 @@
+// Regenerates the golden corpus under tests/j2k/corpus/ and prints the
+// FNV-1a hash of each decoded image — paste those into test_golden.cpp when
+// the codestream format changes on purpose.
+//
+//   ./corpus_gen <output-dir>
+//
+// The streams are produced from make_test_image (deterministic by seed), so
+// the corpus is fully reproducible from this source file alone.
+#include <j2k/j2k.hpp>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::uint64_t fnv1a_image(const j2k::image& img)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(img.width()));
+    mix(static_cast<std::uint64_t>(img.height()));
+    mix(static_cast<std::uint64_t>(img.components()));
+    mix(static_cast<std::uint64_t>(img.bit_depth()));
+    for (int c = 0; c < img.components(); ++c)
+        for (const std::int32_t v : img.comp(c).samples())
+            mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+    return h;
+}
+
+void emit(const std::string& dir, const char* name,
+          const std::vector<std::uint8_t>& cs)
+{
+    const std::string path = dir + "/" + name;
+    std::ofstream out{path, std::ios::binary};
+    out.write(reinterpret_cast<const char*>(cs.data()),
+              static_cast<std::streamsize>(cs.size()));
+    const j2k::image img = j2k::decode(cs);
+    std::printf("%-16s %6zu bytes  fnv1a=0x%016llXull\n", name, cs.size(),
+                static_cast<unsigned long long>(fnv1a_image(img)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "tests/j2k/corpus";
+
+    {  // lossless 5/3, greyscale, 2×2 tile grid
+        j2k::codec_params p;
+        p.tile_width = p.tile_height = 32;
+        emit(dir, "gray_53.ojk",
+             j2k::encode(j2k::make_test_image(64, 64, 1, 8, 7), p));
+    }
+    {  // lossy 9/7, RGB, single tile
+        j2k::codec_params p;
+        p.tile_width = p.tile_height = 64;
+        p.mode = j2k::wavelet::w9_7;
+        emit(dir, "rgb_97.ojk",
+             j2k::encode(j2k::make_test_image(64, 64, 3, 8, 11), p));
+    }
+    {  // layered 5/3, RGB, 3 quality layers over 4 tiles
+        j2k::codec_params p;
+        p.tile_width = p.tile_height = 32;
+        p.quality_layers = 3;
+        emit(dir, "layered_53.ojk",
+             j2k::encode(j2k::make_test_image(64, 64, 3, 8, 13), p));
+    }
+    return 0;
+}

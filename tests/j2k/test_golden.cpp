@@ -1,0 +1,93 @@
+// Golden regression corpus: three committed codestreams (lossless 5/3,
+// lossy 9/7, layered) whose decoded pixels must hash to known values.  This
+// pins the *decoder output*, not just self-consistency — an encode/decode
+// round-trip test cannot see a bug that changes both sides symmetrically.
+//
+// Regenerate corpus files and hashes with the `corpus_gen` tool when the
+// format changes intentionally (see corpus/README.md).
+#include <j2k/j2k.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::uint8_t> load(const std::string& name)
+{
+    const std::string path = std::string{J2K_CORPUS_DIR} + "/" + name;
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw std::runtime_error{"missing corpus file: " + path};
+    return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+/// FNV-1a over geometry + every sample — must match make_corpus.cpp exactly.
+std::uint64_t fnv1a_image(const j2k::image& img)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(img.width()));
+    mix(static_cast<std::uint64_t>(img.height()));
+    mix(static_cast<std::uint64_t>(img.components()));
+    mix(static_cast<std::uint64_t>(img.bit_depth()));
+    for (int c = 0; c < img.components(); ++c)
+        for (const std::int32_t v : img.comp(c).samples())
+            mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+    return h;
+}
+
+struct golden {
+    const char* file;
+    std::uint64_t hash;
+};
+
+// Hashes printed by corpus_gen at generation time.
+constexpr golden k_golden[] = {
+    {"gray_53.ojk", 0xEE1435E1050DF733ull},
+    {"rgb_97.ojk", 0x2ABEA0B3B87A8999ull},
+    {"layered_53.ojk", 0xAA4C7851D4825229ull},
+};
+
+TEST(GoldenCorpus, DecodedPixelsMatchCommittedHashes)
+{
+    for (const auto& g : k_golden) {
+        const auto cs = load(g.file);
+        const j2k::image img = j2k::decode(cs);
+        EXPECT_EQ(fnv1a_image(img), g.hash) << g.file;
+    }
+}
+
+TEST(GoldenCorpus, LosslessStreamAlsoMatchesItsSourceImageExactly)
+{
+    // The 5/3 streams are reversible: beyond the hash, the decode must equal
+    // the generator's source image sample for sample.
+    const j2k::image src = j2k::make_test_image(64, 64, 1, 8, 7);
+    EXPECT_EQ(j2k::decode(load("gray_53.ojk")), src);
+    const j2k::image src3 = j2k::make_test_image(64, 64, 3, 8, 13);
+    EXPECT_EQ(j2k::decode(load("layered_53.ojk")), src3);
+}
+
+TEST(GoldenCorpus, LayeredStreamDegradesGracefullyByLayer)
+{
+    const auto cs = load("layered_53.ojk");
+    j2k::decoder full{cs};
+    const j2k::image best = full.decode_all();
+    j2k::decoder capped{cs};
+    capped.set_max_quality_layers(1);
+    const j2k::image worst = capped.decode_all();
+    // Fewer layers, lower fidelity — but identical geometry.
+    EXPECT_EQ(worst.width(), best.width());
+    EXPECT_EQ(worst.height(), best.height());
+    const j2k::image src = j2k::make_test_image(64, 64, 3, 8, 13);
+    EXPECT_LE(j2k::psnr(src, worst), j2k::psnr(src, best));
+}
+
+}  // namespace

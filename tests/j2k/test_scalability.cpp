@@ -189,7 +189,9 @@ TEST(Robustness, ImplausiblePlaneCountRejected)
     cb.height = 4;
     cb.num_planes = 200;  // corrupted header
     std::vector<std::int32_t> out(16);
-    EXPECT_THROW(j2k::tier1_decode(cb, out.data(), j2k::band::ll), std::invalid_argument);
+    // num_planes comes from the codestream, so the rejection is a
+    // codestream_error — the contract the fuzz harness enforces.
+    EXPECT_THROW(j2k::tier1_decode(cb, out.data(), j2k::band::ll), j2k::codestream_error);
 }
 
 TEST(Robustness, GarbageCodewordDecodesWithoutCrashing)

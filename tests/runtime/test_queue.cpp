@@ -229,6 +229,76 @@ TEST(TwoLevelQueue, SharedCapacityAndRejectAcrossLevels)
     EXPECT_EQ(q.high_water(), 2u);
 }
 
+TEST(TwoLevelQueue, PerLevelCapacityRejectsIndependently)
+{
+    // interactive bound 1, batch bound 2, shared bound 8: each class sheds at
+    // its own limit while the other still has headroom.
+    two_level_queue<int> q{8, backpressure::reject, 8,
+                           runtime::level_capacities{1, 2}};
+    EXPECT_EQ(q.capacity(), 8u);
+    EXPECT_EQ(q.capacity(priority::interactive), 1u);
+    EXPECT_EQ(q.capacity(priority::batch), 2u);
+    EXPECT_EQ(q.push(1, priority::interactive), push_result::ok);
+    EXPECT_EQ(q.push(2, priority::interactive), push_result::rejected);
+    EXPECT_EQ(q.push(100, priority::batch), push_result::ok);
+    EXPECT_EQ(q.push(101, priority::batch), push_result::ok);
+    EXPECT_EQ(q.push(102, priority::batch), push_result::rejected);
+    // Draining one level frees its bound without touching the other's.
+    EXPECT_EQ(q.pop()->item, 1);
+    EXPECT_EQ(q.push(3, priority::interactive), push_result::ok);
+    EXPECT_EQ(q.push(103, priority::batch), push_result::rejected);
+}
+
+TEST(TwoLevelQueue, DropOldestChargesEvictedPriority)
+{
+    // Regression: with a per-level bound, the victim must come from the level
+    // that is actually over its bound — evicting from the other level would
+    // free no room for the incoming item — and the reported victim priority
+    // must name that level.  (Previously the oldest batch item was always
+    // sacrificed, so an interactive push over the *interactive* bound evicted
+    // batch work, left the interactive level still full, and the drop was
+    // charged to the wrong class.)
+    two_level_queue<int> q{8, backpressure::drop_oldest, 8,
+                           runtime::level_capacities{2, 2}};
+    (void)q.push(100, priority::batch);  // older than any interactive item
+    (void)q.push(1, priority::interactive);
+    (void)q.push(2, priority::interactive);
+    int victim = -1;
+    priority victim_prio = priority::batch;
+    EXPECT_EQ(q.push(3, priority::interactive, &victim, &victim_prio),
+              push_result::dropped);
+    EXPECT_EQ(victim, 1);  // oldest *interactive*, not batch 100
+    EXPECT_EQ(victim_prio, priority::interactive);
+    EXPECT_EQ(q.size(priority::batch), 1u);
+    EXPECT_EQ(q.size(priority::interactive), 2u);
+    // Over the batch bound, the victim is the oldest batch item as before.
+    (void)q.push(101, priority::batch);
+    EXPECT_EQ(q.push(102, priority::batch, &victim, &victim_prio),
+              push_result::dropped);
+    EXPECT_EQ(victim, 100);
+    EXPECT_EQ(victim_prio, priority::batch);
+}
+
+TEST(TwoLevelQueue, BlockPolicyWaitsOnLevelCapacity)
+{
+    // A producer blocked on its level bound must wake when *that level*
+    // drains, even though the shared capacity never filled.
+    two_level_queue<int> q{8, backpressure::block, 8,
+                           runtime::level_capacities{1, 0}};
+    (void)q.push(1, priority::interactive);
+    EXPECT_EQ(q.push(100, priority::batch), push_result::ok);  // not bounded
+    std::atomic<bool> pushed{false};
+    std::thread producer{[&] {
+        EXPECT_EQ(q.push(2, priority::interactive), push_result::ok);
+        pushed.store(true);
+    }};
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop()->item, 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
 TEST(TwoLevelQueue, CloseDrainsBothLevelsThenSignalsEmpty)
 {
     two_level_queue<int> q{4};

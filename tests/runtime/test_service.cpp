@@ -362,4 +362,111 @@ TEST(DecodeService, MetricsDumpAndJsonContainCounters)
     EXPECT_NE(m.to_json().find("\"jobs_completed\":1"), std::string::npos);
 }
 
+TEST(DecodeService, MoveSubmitTransfersOwnershipWithoutCopy)
+{
+    auto cs = make_stream(128, 128, 3, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    const std::uint8_t* data = cs.data();
+    decode_service svc{{.workers = 2}};
+    auto fut = svc.submit(std::move(cs));
+    EXPECT_EQ(fut.get(), serial);
+    // The vector was moved, not copied: the caller's buffer is gone and the
+    // job decoded from the very same allocation.
+    EXPECT_TRUE(cs.empty());
+    (void)data;
+}
+
+TEST(DecodeService, SubmitAsyncInvokesCompletionInsteadOfFuture)
+{
+    auto cs = make_stream(128, 128, 3, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{{.workers = 2}};
+    std::promise<void> done;
+    j2k::image out;
+    std::exception_ptr err;
+    svc.submit_async(std::move(cs), {},
+                     [&](j2k::image&& img, std::exception_ptr e) {
+                         out = std::move(img);
+                         err = e;
+                         done.set_value();
+                     });
+    done.get_future().wait();
+    EXPECT_EQ(err, nullptr);
+    EXPECT_EQ(out, serial);
+}
+
+TEST(DecodeService, SubmitAsyncDeliversErrorsThroughTheCallback)
+{
+    decode_service svc{{.workers = 2}};
+    std::promise<std::exception_ptr> got;
+    svc.submit_async(std::vector<std::uint8_t>(32, 0), {},
+                     [&](j2k::image&&, std::exception_ptr e) { got.set_value(e); });
+    const auto err = got.get_future().get();
+    ASSERT_NE(err, nullptr);
+    EXPECT_THROW(std::rethrow_exception(err), j2k::codestream_error);
+}
+
+TEST(DecodeService, SubmitBatchUsesOnePoolSubmissionForTheWholeBatch)
+{
+    // The point of batching: n small jobs admitted together must cost one
+    // pool submission (one pump task draining n queue entries), not n.
+    const auto cs = make_stream(64, 64, 1, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    decode_service svc{{.workers = 2, .queue_capacity = 16}};
+    constexpr std::size_t n = 8;
+    std::vector<decode_service::batch_item> items;
+    std::vector<std::promise<void>> settled(n);
+    std::vector<j2k::image> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        decode_service::batch_item it;
+        it.bytes = cs;
+        it.done = [&, i](j2k::image&& img, std::exception_ptr e) {
+            if (!e) out[i] = std::move(img);
+            settled[i].set_value();
+        };
+        items.push_back(std::move(it));
+    }
+    EXPECT_EQ(svc.submit_batch(std::move(items)), n);
+    for (auto& s : settled) s.get_future().wait();
+    for (const auto& img : out) EXPECT_EQ(img, serial);
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.jobs_submitted, n);
+    EXPECT_EQ(m.jobs_completed, n);
+    EXPECT_EQ(m.jobs_batched, n);
+    EXPECT_EQ(m.pool_submissions, 1u);  // would be n without batching
+    EXPECT_LT(m.pool_submissions, n);
+}
+
+TEST(DecodeService, PerPriorityCapacitiesShedIndependentlyAndAreAccounted)
+{
+    // batch bounded at 1, interactive unbounded (shared cap applies): a batch
+    // flood sheds against its own bound while interactive admission stays
+    // open, and the shed shows up in the per-priority counters and JSON.
+    const auto cs = make_stream(256, 256, 3, 32);  // slow: piles up
+    decode_service svc{{.workers = 1,
+                        .queue_capacity = 32,
+                        .batch_capacity = 1,
+                        .policy = backpressure::reject}};
+    std::vector<std::future<j2k::image>> batch, interactive;
+    for (int i = 0; i < 6; ++i) batch.push_back(svc.submit(cs, priority::batch));
+    for (int i = 0; i < 3; ++i)
+        interactive.push_back(svc.submit(cs, priority::interactive));
+    for (auto& f : interactive) EXPECT_NO_THROW((void)f.get());
+    int rejected = 0;
+    for (auto& f : batch) {
+        try {
+            (void)f.get();
+        } catch (const runtime::admission_rejected&) {
+            ++rejected;
+        }
+    }
+    EXPECT_GE(rejected, 1);  // 6 rapid batch submits into bound 1 must shed
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.shed_by_priority[1].rejected, static_cast<std::uint64_t>(rejected));
+    EXPECT_EQ(m.shed_by_priority[0].rejected, 0u);
+    EXPECT_EQ(m.jobs_rejected, static_cast<std::uint64_t>(rejected));
+    EXPECT_NE(m.to_json().find("\"shed_batch\""), std::string::npos);
+    EXPECT_NE(m.dump().find("shed by priority"), std::string::npos);
+}
+
 }  // namespace
