@@ -7,13 +7,25 @@
 //                     "mean_us":...}, {"payload":"16-tile", ...} ],
 //     "pipelined": {"requests":N,"seconds":...,"requests_per_sec":...},
 //     "batching": {"jobs":N,"pool_submissions":...,"saved":...,
-//                  "batches":...,"batched_jobs":...} }
+//                  "batches":...,"batched_jobs":...},
+//     "progressive": {"layers":L,"frames":L,"first_frame_us":...,
+//                     "last_frame_us":...,"t1_incremental_bytes":[...],
+//                     "t1_session_bytes":...,"t1_naive_bytes":...,
+//                     "naive_over_session":...} }
 //
 // Round-trip phase: serial request→response pairs (client blocks on each),
 // measuring the full path — framing, event loop, queue, decode, response
 // serialisation, loopback both ways.  Pipelined phase: all requests written
 // in one burst, responses collected as they complete; the batching object
 // shows pool submissions < jobs, the admission coalescing the burst enables.
+//
+// Progressive phase: one streamed request against an L-layer codestream.
+// `t1_incremental_bytes[l]` is what the resumable session entropy-decoded for
+// refinement l alone — roughly layer l's segments, so the total is ~O(L)
+// in layers.  `t1_naive_bytes` is what L independent prefix decodes would
+// have cost (every refinement re-reads all earlier segments, ~O(L^2));
+// `naive_over_session` is the win.  `first_frame_us` is the time-to-first-
+// pixel advantage: the preview lands long before the full decode would have.
 #include <runtime/net/client.hpp>
 #include <runtime/net/server.hpp>
 
@@ -133,6 +145,68 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(jobs - std::min(jobs, subs)),
                     static_cast<unsigned long long>(st.batches),
                     static_cast<unsigned long long>(st.batched_jobs));
+    }
+    // Progressive stream: one request, one frame per quality layer.  The
+    // incremental tier-1 byte counts demonstrate the resumable session's
+    // ~O(L) total work vs the ~O(L^2) of decoding every prefix from scratch.
+    {
+        j2k::codec_params lp;
+        lp.tile_width = 64;
+        lp.tile_height = 64;
+        lp.quality_layers = 6;
+        const auto layered = j2k::encode(j2k::make_test_image(256, 256, 3), lp);
+
+        // Ground truth from a local session: per-refinement segment bytes.
+        std::vector<std::uint64_t> inc;
+        {
+            j2k::decode_session s{layered};
+            std::uint64_t prev = 0;
+            for (int l = 1; l <= s.total_layers(); ++l) {
+                (void)s.advance_to(l);
+                inc.push_back(s.tier1_segment_bytes() - prev);
+                prev = s.tier1_segment_bytes();
+            }
+        }
+        std::uint64_t session_bytes = 0, naive_bytes = 0, prefix = 0;
+        for (const std::uint64_t b : inc) {
+            session_bytes += b;
+            prefix += b;           // layers 1..l, what a fresh decode reads
+            naive_bytes += prefix; // one fresh decode per refinement
+        }
+
+        const auto before = srv.service().metrics();
+        net::client cli{"127.0.0.1", srv.port()};
+        std::vector<double> frame_us;
+        const auto t0 = clk::now();
+        const auto fin = cli.decode_progressive(
+            {layered, 0, net::result_format::raw, 1},
+            [&](const net::layer_frame&) {
+                frame_us.push_back(std::chrono::duration<double, std::micro>(
+                                       clk::now() - t0)
+                                       .count());
+            });
+        if (fin.st != net::status::streaming) ok = false;
+        const auto after = srv.service().metrics();
+        if (after.t1_segment_bytes - before.t1_segment_bytes != session_bytes)
+            ok = false;  // server-side accounting must match the local session
+
+        std::printf(",\"progressive\":{\"layers\":%zu,\"frames\":%zu,"
+                    "\"first_frame_us\":%.1f,\"last_frame_us\":%.1f,"
+                    "\"t1_incremental_bytes\":[",
+                    inc.size(), frame_us.size(),
+                    frame_us.empty() ? 0.0 : frame_us.front(),
+                    frame_us.empty() ? 0.0 : frame_us.back());
+        for (std::size_t i = 0; i < inc.size(); ++i)
+            std::printf("%s%llu", i ? "," : "",
+                        static_cast<unsigned long long>(inc[i]));
+        std::printf("],\"t1_session_bytes\":%llu,\"t1_naive_bytes\":%llu,"
+                    "\"naive_over_session\":%.2f}",
+                    static_cast<unsigned long long>(session_bytes),
+                    static_cast<unsigned long long>(naive_bytes),
+                    session_bytes
+                        ? static_cast<double>(naive_bytes) /
+                              static_cast<double>(session_bytes)
+                        : 0.0);
     }
     std::printf(",\"all_ok\":%s}\n", ok ? "true" : "false");
     srv.stop();

@@ -2,9 +2,12 @@
 // real client over loopback.
 //
 // Modes:
-//   decode_server                       demo: in-process server + client, 3 phases
+//   decode_server                       demo: in-process server + client, 4 phases
 //   decode_server serve [port]          run a server until stdin closes
 //   decode_server client <port> <file>  decode one .ojk file, save out.pnm
+//   decode_server client <port> <file> --stream
+//                                       progressive: one frame per quality
+//                                       layer, saved as out_L<k>.pnm
 //
 // The demo drives the whole admission path end to end:
 //   1. pipelined burst — 16 small requests in one write: the event loop
@@ -12,7 +15,9 @@
 //      pool_submissions stay far below jobs_submitted);
 //   2. overload — a batch flood against a per-priority bound of 1: typed
 //      `shed` responses come back while an interactive request sails through;
-//   3. drain — stop() completes every admitted job and flushes responses.
+//   3. drain — stop() completes every admitted job and flushes responses;
+//   4. progressive stream — one request, one `streaming` frame per quality
+//      layer, each refinement decodable the moment it lands.
 // The run is recorded by the obs tracer: decode_server.trace.json shows
 // connection/frame spans next to the decode span tree (open in
 // https://ui.perfetto.dev).
@@ -22,6 +27,7 @@
 
 #include <j2k/j2k.hpp>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,7 +70,7 @@ int run_serve(std::uint16_t port)
     return 0;
 }
 
-int run_client(std::uint16_t port, const char* path)
+int run_client(std::uint16_t port, const char* path, bool stream)
 {
     std::ifstream in{path, std::ios::binary};
     if (!in) {
@@ -74,6 +80,24 @@ int run_client(std::uint16_t port, const char* path)
     const std::vector<std::uint8_t> cs{std::istreambuf_iterator<char>{in},
                                        std::istreambuf_iterator<char>{}};
     net::client cli{"127.0.0.1", port};
+    if (stream) {
+        const auto fin = cli.decode_progressive(
+            {cs, 0, net::result_format::pnm, 1}, [&](const net::layer_frame& lf) {
+                char name[64];
+                std::snprintf(name, sizeof name, "out_L%d.pnm", lf.layer);
+                std::ofstream out{name, std::ios::binary};
+                out.write(reinterpret_cast<const char*>(lf.image.data()),
+                          static_cast<std::streamsize>(lf.image.size()));
+                std::printf("layer %d/%d -> %s (%zu bytes)%s\n", lf.layer, lf.total,
+                            name, lf.image.size(), lf.last ? "  [final]" : "");
+            });
+        if (fin.st != net::status::streaming) {
+            std::fprintf(stderr, "stream failed: %s (%s)\n", net::status_name(fin.st),
+                         fin.message().c_str());
+            return 1;
+        }
+        return 0;
+    }
     const auto r = cli.decode({cs, 0, net::result_format::pnm, 1});
     if (!r.ok()) {
         std::fprintf(stderr, "decode failed: %s (%s)\n", net::status_name(r.st),
@@ -173,6 +197,44 @@ int run_demo()
             if (cli.recv().ok()) ++ok;
         srv.stop();  // idempotent; every admitted job already settled
         std::printf("  %d/%u responses received before stop\n", ok, n);
+    }
+
+    std::printf("=== phase 4: progressive request streams layer by layer ===\n");
+    {
+        j2k::codec_params lp;
+        lp.tile_width = 64;
+        lp.tile_height = 64;
+        lp.quality_layers = 5;
+        const j2k::image src = j2k::make_test_image(256, 256, 3);
+        const auto layered = j2k::encode(src, lp);
+
+        net::server_config cfg;
+        cfg.service.workers = 2;
+        cfg.service.queue_capacity = 64;
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+        const auto fin = cli.decode_progressive(
+            {layered, 0, net::result_format::raw, 1},
+            [&](const net::layer_frame& lf) {
+                const j2k::image out = net::decode_image_raw(lf.image);
+                const double q = j2k::psnr(src, out);
+                if (std::isinf(q))
+                    std::printf("  layer %d/%d: exact%s\n", lf.layer, lf.total,
+                                lf.last ? "  [final]" : "");
+                else
+                    std::printf("  layer %d/%d: %.2f dB%s\n", lf.layer, lf.total, q,
+                                lf.last ? "  [final]" : "");
+            });
+        srv.stop();
+        const auto st = srv.stats();
+        const auto m = srv.service().metrics();
+        std::printf("  %s; %llu streaming frames for %llu progressive job "
+                    "(%llu tier-1 segment bytes total)\n",
+                    net::status_name(fin.st),
+                    static_cast<unsigned long long>(st.layer_frames_out),
+                    static_cast<unsigned long long>(m.jobs_progressive),
+                    static_cast<unsigned long long>(m.t1_segment_bytes));
         std::printf("\n%s\n", srv.service().metrics().dump().c_str());
     }
 
@@ -192,6 +254,7 @@ int main(int argc, char** argv)
         return run_serve(argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2]))
                                   : 0);
     if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
-        return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3]);
+        return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3],
+                          argc > 4 && std::strcmp(argv[4], "--stream") == 0);
     return run_demo();
 }

@@ -1,6 +1,13 @@
 // progressive_streaming — quality-progressive JPEG 2000 in action: encode one
-// layered stream, simulate a slow download, and decode each prefix as it
-// arrives, writing the improving reconstructions as PPM files.
+// layered stream, simulate a slow download, and refine a single decode_session
+// as each prefix arrives, writing the improving reconstructions as PPM files.
+//
+// The point of the session (vs. re-running the decoder per prefix): tier-1
+// entropy decoding is resumable, so every arriving layer costs only its *new*
+// codeword segments — the MQ decoder state for each codeblock persists between
+// advances.  The tier-1 byte counter printed per step is the incremental cost;
+// the "naive" column is what a from-scratch decode of the same prefix would
+// have entropy-decoded (all segments up to that layer, again).
 #include <j2k/j2k.hpp>
 
 #include <cmath>
@@ -18,33 +25,44 @@ int main()
     std::printf("progressive stream: %zu bytes, %d quality layers, %d tiles\n\n",
                 cs.size(), info.quality_layers, info.tile_count());
 
-    // "Download" the stream in 20%-steps; decode whatever layers are complete.
-    j2k::decoder dec{cs};
-    int last_layers = -1;
+    // "Download" the stream in 20%-steps; advance the session over whatever
+    // layers are complete.  One session for the whole download — IQ/IDWT/ICT
+    // re-run per refinement, tier-1 never repeats a segment.
+    j2k::decode_session session{cs};
+    std::uint64_t naive_t1 = 0;  // Σ over refreshes of (all segments so far)
     for (int pct = 20; pct <= 100; pct += 20) {
         const std::size_t received = cs.size() * static_cast<std::size_t>(pct) / 100;
         const int layers = info.layers_in_prefix(received);
         std::printf("received %3d%% (%7zu B) -> %d complete layer%s", pct, received,
                     layers, layers == 1 ? "" : "s");
-        if (layers == 0 || layers == last_layers) {
+        if (layers == 0 || layers <= session.layers_decoded()) {
             std::printf("  (no new image)\n");
             continue;
         }
-        last_layers = layers;
-        dec.set_max_quality_layers(layers);
-        const j2k::image out = dec.decode_all();
+        const std::uint64_t before = session.tier1_segment_bytes();
+        const j2k::image out = session.advance_to(layers);
+        const std::uint64_t stepped = session.tier1_segment_bytes() - before;
+        naive_t1 += session.tier1_segment_bytes();  // a fresh decode re-reads all
         const double q = j2k::psnr(img, out);
         char path[64];
         std::snprintf(path, sizeof path, "progressive_L%d.ppm", layers);
         j2k::save_pnm(out, path);
         if (std::isinf(q))
-            std::printf("  -> %s (exact)\n", path);
+            std::printf("  -> %s (exact, +%llu tier-1 B)\n", path,
+                        static_cast<unsigned long long>(stepped));
         else
-            std::printf("  -> %s (%.2f dB)\n", path, q);
+            std::printf("  -> %s (%.2f dB, +%llu tier-1 B)\n", path, q,
+                        static_cast<unsigned long long>(stepped));
     }
+    std::printf("\ntier-1 bytes entropy-decoded: session %llu, from-scratch %llu "
+                "(%.1fx)\n",
+                static_cast<unsigned long long>(session.tier1_segment_bytes()),
+                static_cast<unsigned long long>(naive_t1),
+                static_cast<double>(naive_t1) /
+                    static_cast<double>(session.tier1_segment_bytes()));
 
     std::printf("\nresolution-progressive views of the final image:\n");
-    dec.set_max_quality_layers(0);
+    j2k::decoder dec{cs};
     for (int d = 2; d >= 0; --d) {
         const j2k::image r = dec.decode_reduced(d);
         char path[64];

@@ -1,7 +1,8 @@
 #include "codec.hpp"
 
+#include "session.hpp"
+
 #include <obs/trace.hpp>
-#include <runtime/thread_pool.hpp>
 
 #include <cmath>
 #include <stdexcept>
@@ -11,18 +12,7 @@ namespace j2k {
 
 namespace {
 
-/// Iterate the code blocks of a subband rectangle in raster order.
-template <typename Fn>
-void for_each_codeblock(const band_rect& br, Fn&& fn)
-{
-    for (int y = 0; y < br.height; y += k_codeblock_size) {
-        for (int x = 0; x < br.width; x += k_codeblock_size) {
-            const int w = std::min(k_codeblock_size, br.width - x);
-            const int h = std::min(k_codeblock_size, br.height - y);
-            fn(br.x0 + x, br.y0 + y, w, h);
-        }
-    }
-}
+using detail::for_each_codeblock;
 
 void gather_block(const plane& p, int x0, int y0, int w, int h, std::vector<std::int32_t>& out)
 {
@@ -364,60 +354,19 @@ void decoder::finish(image& img) const
 
 image decoder::decode_all(decode_stats* stats) const
 {
-    image img{info_.width, info_.height, info_.components, info_.bit_depth};
-    const auto grid = tiles();
-    for (int t = 0; t < static_cast<int>(grid.size()); ++t) {
-        const tile_coeffs tc = entropy_decode(t, stats ? &stats->t1 : nullptr);
-        const tile_wavelet tw = dequantize(tc);
-        const tile_pixels tp = idwt(tw);
-        for (int c = 0; c < info_.components; ++c)
-            insert_tile(img.comp(c), tp.comps[static_cast<std::size_t>(c)], grid[static_cast<std::size_t>(t)]);
-        if (stats) {
-            const auto n = static_cast<std::uint64_t>(grid[static_cast<std::size_t>(t)].width) *
-                           static_cast<std::uint64_t>(grid[static_cast<std::size_t>(t)].height) *
-                           static_cast<std::uint64_t>(info_.components);
-            stats->iq_samples += n;
-            stats->idwt_samples += n;
-        }
-    }
-    finish(img);
-    if (stats) {
-        const auto n = static_cast<std::uint64_t>(info_.width) *
-                       static_cast<std::uint64_t>(info_.height) *
-                       static_cast<std::uint64_t>(info_.components);
-        stats->ict_samples += n;
-        stats->dc_samples += n;
-    }
-    return img;
+    // Thin wrapper over a full-depth decode session: one advance_to at the
+    // configured layer cap is exactly the classic one-shot decode.
+    decode_session s{*this};
+    return s.advance_to(max_layers_, stats);
 }
 
 image decoder::decode_all_parallel(int threads) const
 {
-    const auto grid = tiles();
     if (threads <= 0)
         threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-    // No point in more workers than tiles; and a single worker (or a 1-tile
-    // image) decodes inline with zero thread overhead.
-    threads = std::min(threads, static_cast<int>(grid.size()));
-    if (threads <= 1) return decode_all();
-
-    image img{info_.width, info_.height, info_.components, info_.bit_depth};
-    // Runs on the process-wide pool instead of spawning threads per call;
-    // `threads` caps how many workers pull tiles from this loop.
-    runtime::thread_pool::shared().parallel_for(
-        static_cast<int>(grid.size()),
-        [&](int t) {
-            OBS_TRACE_SCOPE("j2k", "tile");
-            const tile_pixels tp = idwt(dequantize(entropy_decode(t)));
-            // Tiles are disjoint, so concurrent insert_tile calls write
-            // disjoint rows/columns of the shared image.
-            for (int cidx = 0; cidx < info_.components; ++cidx)
-                insert_tile(img.comp(cidx), tp.comps[static_cast<std::size_t>(cidx)],
-                            grid[static_cast<std::size_t>(t)]);
-        },
-        threads);
-    finish(img);
-    return img;
+    decode_session s{*this};
+    s.set_threads(threads);
+    return s.advance_to(max_layers_);
 }
 
 image decoder::decode_reduced(int discard, decode_stats* stats) const

@@ -15,6 +15,7 @@
 #include "color.hpp"
 #include "tier1.hpp"
 
+#include <algorithm>
 #include <optional>
 
 namespace j2k {
@@ -73,6 +74,11 @@ public:
     explicit decoder(std::span<const std::uint8_t> cs);
 
     [[nodiscard]] const stream_info& info() const noexcept { return info_; }
+    /// The referenced codestream bytes (what the constructor was given).
+    [[nodiscard]] std::span<const std::uint8_t> codestream() const noexcept
+    {
+        return cs_;
+    }
     [[nodiscard]] int tile_count() const noexcept { return info_.tile_count(); }
     [[nodiscard]] std::vector<tile_rect> tiles() const;
 
@@ -128,5 +134,24 @@ private:
 /// One-shot convenience wrapper.
 [[nodiscard]] image decode(std::span<const std::uint8_t> cs,
                            decode_stats* stats = nullptr);
+
+namespace detail {
+
+/// Iterate the code blocks of a subband rectangle in raster order — the
+/// canonical block order every codestream reader/writer must agree on
+/// (encoder, one-shot decoder, and the resumable decode_session).
+template <typename Fn>
+void for_each_codeblock(const band_rect& br, Fn&& fn)
+{
+    for (int y = 0; y < br.height; y += k_codeblock_size) {
+        for (int x = 0; x < br.width; x += k_codeblock_size) {
+            const int w = std::min(k_codeblock_size, br.width - x);
+            const int h = std::min(k_codeblock_size, br.height - y);
+            fn(br.x0 + x, br.y0 + y, w, h);
+        }
+    }
+}
+
+}  // namespace detail
 
 }  // namespace j2k

@@ -9,4 +9,5 @@
 #include "mq_coder.hpp"    // IWYU pragma: export
 #include "pnm.hpp"         // IWYU pragma: export
 #include "quant.hpp"       // IWYU pragma: export
+#include "session.hpp"     // IWYU pragma: export
 #include "tier1.hpp"       // IWYU pragma: export

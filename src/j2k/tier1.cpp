@@ -415,57 +415,101 @@ layered_codeblock tier1_encode_layered(const std::int32_t* coeffs, int w, int h,
     return out;
 }
 
+/// Persistent state of a resumable block decoder: the shared coder state plus
+/// the cursor into the canonical pass sequence.
+struct tier1_block_decoder::state {
+    block_state bs;
+    std::vector<pass_ref> seq;
+    std::size_t pass_i = 0;
+    int last_plane = -1;
+    int num_planes = 0;
+    int segments = 0;
+
+    state(int w, int h, int planes, band orient)
+        : bs{w, h, orient}, seq{pass_sequence(planes)}, num_planes{planes}
+    {
+    }
+};
+
+tier1_block_decoder::tier1_block_decoder(int width, int height, int num_planes,
+                                         band orient)
+{
+    if (width <= 0 || height <= 0)
+        throw std::invalid_argument{"tier1_block_decoder: empty block"};
+    // num_planes is stream data, not an API argument — malformed values are a
+    // codestream error so hostile inputs stay inside the decode error contract.
+    if (num_planes < 0 || num_planes > 31)
+        throw codestream_error{"tier1_block_decoder: implausible plane count"};
+    st_ = std::make_unique<state>(width, height, num_planes, orient);
+}
+
+tier1_block_decoder::~tier1_block_decoder() = default;
+tier1_block_decoder::tier1_block_decoder(tier1_block_decoder&&) noexcept = default;
+tier1_block_decoder& tier1_block_decoder::operator=(tier1_block_decoder&&) noexcept =
+    default;
+
+int tier1_block_decoder::width() const noexcept { return st_->bs.w; }
+int tier1_block_decoder::height() const noexcept { return st_->bs.h; }
+int tier1_block_decoder::segments_consumed() const noexcept { return st_->segments; }
+
+void tier1_block_decoder::advance(int passes, std::span<const std::uint8_t> data,
+                                  tier1_stats* stats)
+{
+    ++st_->segments;
+    if (st_->num_planes == 0 || passes <= 0) return;
+    mq_decoder dec{data};
+    engine<decode_io> eng{st_->bs, decode_io{&dec}};
+    std::uint64_t executed = 0;
+    for (int k = 0; k < passes && st_->pass_i < st_->seq.size(); ++k, ++st_->pass_i) {
+        const pass_ref& pr = st_->seq[st_->pass_i];
+        if (pr.plane != st_->last_plane && (pr.kind == 0 || pr.kind == 2)) {
+            if (pr.kind == 2 && pr.plane == st_->num_planes - 1) eng.begin_plane();
+            if (pr.kind == 0) eng.begin_plane();
+            st_->last_plane = pr.plane;
+        }
+        run_pass(eng, pr);
+        ++executed;
+    }
+    if (stats) {
+        stats->mq_decisions += dec.decisions();
+        stats->passes += executed;
+        stats->samples += eng.samples_visited;
+    }
+}
+
+void tier1_block_decoder::read(std::int32_t* out) const
+{
+    const block_state& bs = st_->bs;
+    const auto n = static_cast<std::size_t>(bs.w) * static_cast<std::size_t>(bs.h);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto m = static_cast<std::int32_t>(bs.mag[i]);
+        out[i] = bs.sign[i] ? -m : m;
+    }
+}
+
 void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
                           band orient, int layers, tier1_stats* stats)
 {
     if (cb.width <= 0 || cb.height <= 0)
         throw std::invalid_argument{"tier1_decode_layered: empty block"};
-    // num_planes is stream data, not an API argument — malformed values are a
-    // codestream error so hostile inputs stay inside the decode error contract.
-    if (cb.num_planes < 0 || cb.num_planes > 31)
-        throw codestream_error{"tier1_decode_layered: implausible plane count"};
     const auto n = static_cast<std::size_t>(cb.width) * static_cast<std::size_t>(cb.height);
-    std::fill(out, out + n, 0);
-    if (cb.num_planes == 0) return;
-
+    // One batch decode is the resumable decoder fed every segment in turn —
+    // a single code path keeps the incremental session bit-exact by
+    // construction (num_planes validation happens in the constructor).
+    tier1_block_decoder dec{cb.width, cb.height, cb.num_planes, orient};
+    if (cb.num_planes == 0) {
+        std::fill(out, out + n, 0);
+        return;
+    }
     const std::size_t use_layers =
         layers <= 0 ? cb.segments.size()
                     : std::min<std::size_t>(static_cast<std::size_t>(layers),
                                             cb.segments.size());
-    block_state st{cb.width, cb.height, orient};
-    const auto seq = pass_sequence(cb.num_planes);
-    std::size_t pass_i = 0;
-    int last_plane = -1;
-    std::uint64_t passes = 0;
-    std::uint64_t decisions = 0;
-    std::uint64_t samples = 0;
     for (std::size_t layer = 0; layer < use_layers; ++layer) {
         const auto& seg = cb.segments[layer];
-        if (seg.passes == 0) continue;
-        mq_decoder dec{std::span<const std::uint8_t>{seg.data}};
-        engine<decode_io> eng{st, decode_io{&dec}};
-        for (int k = 0; k < seg.passes && pass_i < seq.size(); ++k, ++pass_i) {
-            const pass_ref& pr = seq[pass_i];
-            if (pr.plane != last_plane && (pr.kind == 0 || pr.kind == 2)) {
-                if (pr.kind == 2 && pr.plane == cb.num_planes - 1) eng.begin_plane();
-                if (pr.kind == 0) eng.begin_plane();
-                last_plane = pr.plane;
-            }
-            run_pass(eng, pr);
-            ++passes;
-        }
-        decisions += dec.decisions();
-        samples += eng.samples_visited;
+        dec.advance(seg.passes, seg.data, stats);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto m = static_cast<std::int32_t>(st.mag[i]);
-        out[i] = st.sign[i] ? -m : m;
-    }
-    if (stats) {
-        stats->mq_decisions += decisions;
-        stats->passes += passes;
-        stats->samples += samples;
-    }
+    dec.read(out);
 }
 
 void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,

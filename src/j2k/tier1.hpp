@@ -21,6 +21,8 @@
 #include "mq_coder.hpp"
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 namespace j2k {
@@ -87,6 +89,44 @@ struct layered_codeblock {
 void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
                           band orient, int layers = 0,
                           tier1_stats* stats = nullptr);
+
+/// Resumable layer-by-layer decoder for one code block.  The coder state
+/// (accumulated magnitudes, signs, significance map, MQ contexts, position in
+/// the pass sequence) persists across calls, which is legal because the MQ
+/// codeword is terminated at every layer boundary: feeding segment l to a
+/// decoder that has consumed segments 0..l-1 reproduces the batch decode
+/// bit for bit, while costing only segment l's passes.  This is what turns an
+/// L-layer progressive session from O(L²) tier-1 work into O(L).
+class tier1_block_decoder {
+public:
+    /// `num_planes` is stream data: implausible values throw codestream_error
+    /// (empty geometry stays std::invalid_argument, as for tier1_decode).
+    tier1_block_decoder(int width, int height, int num_planes, band orient);
+    ~tier1_block_decoder();
+
+    tier1_block_decoder(tier1_block_decoder&&) noexcept;
+    tier1_block_decoder& operator=(tier1_block_decoder&&) noexcept;
+    tier1_block_decoder(const tier1_block_decoder&) = delete;
+    tier1_block_decoder& operator=(const tier1_block_decoder&) = delete;
+
+    /// Consume the next layer's segment: `passes` coding passes out of `data`
+    /// (one terminated MQ codeword piece).  Passes beyond the block's pass
+    /// sequence are ignored, matching tier1_decode_layered.
+    void advance(int passes, std::span<const std::uint8_t> data,
+                 tier1_stats* stats = nullptr);
+
+    /// Copy the current reconstruction (exact after all segments, coarser
+    /// after a prefix) into `out` (width*height samples, row-major).
+    void read(std::int32_t* out) const;
+
+    [[nodiscard]] int width() const noexcept;
+    [[nodiscard]] int height() const noexcept;
+    [[nodiscard]] int segments_consumed() const noexcept;
+
+private:
+    struct state;
+    std::unique_ptr<state> st_;
+};
 
 /// Decode a code block back into signed coefficients; exact inverse of
 /// tier1_encode.  `stats`, when non-null, is accumulated into.

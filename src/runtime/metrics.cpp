@@ -12,6 +12,11 @@ service_metrics::service_metrics()
       dropped_{reg_.get_counter("jobs_dropped")},
       promoted_{reg_.get_counter("jobs_promoted")},
       batched_{reg_.get_counter("jobs_batched")},
+      progressive_{reg_.get_counter("jobs_progressive")},
+      layers_{reg_.get_counter("layers_emitted")},
+      progressive_cancelled_{reg_.get_counter("progressive_cancelled")},
+      t1_bytes_{reg_.get_counter("t1_segment_bytes")},
+      progressive_active_{reg_.get_gauge("progressive_active")},
       pool_submissions_{reg_.get_counter("pool_submissions")},
       tiles_{reg_.get_counter("tiles_decoded")},
       entropy_ns_{reg_.get_counter("stage_entropy_ns")},
@@ -41,6 +46,11 @@ metrics_snapshot service_metrics::snapshot() const
     s.jobs_promoted = promoted_.value();
     s.jobs_batched = batched_.value();
     s.queue_depth_high_water = static_cast<std::uint64_t>(queue_depth_.max());
+    s.jobs_progressive = progressive_.value();
+    s.layers_emitted = layers_.value();
+    s.progressive_cancelled = progressive_cancelled_.value();
+    s.t1_segment_bytes = t1_bytes_.value();
+    s.progressive_active_high_water = static_cast<std::uint64_t>(progressive_active_.max());
     s.tiles_decoded = tiles_.value();
     s.pool_submissions = pool_submissions_.value();
     for (std::size_t p = 0; p < priority_count; ++p) {
@@ -69,7 +79,7 @@ metrics_snapshot service_metrics::snapshot() const
 
 std::string metrics_snapshot::dump() const
 {
-    char buf[2048];
+    char buf[3072];
     std::snprintf(
         buf, sizeof buf,
         "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu "
@@ -77,6 +87,8 @@ std::string metrics_snapshot::dump() const
         "shed by priority: interactive rejected=%llu dropped=%llu | "
         "batch rejected=%llu dropped=%llu\n"
         "queue: high_water=%llu\n"
+        "progressive: jobs=%llu layers=%llu cancelled=%llu t1_bytes=%llu "
+        "active_high_water=%llu\n"
         "work: tiles_decoded=%llu tasks_stolen=%llu pool_submissions=%llu\n"
         "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
         "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
@@ -94,6 +106,11 @@ std::string metrics_snapshot::dump() const
         static_cast<unsigned long long>(shed_by_priority[1].rejected),
         static_cast<unsigned long long>(shed_by_priority[1].dropped),
         static_cast<unsigned long long>(queue_depth_high_water),
+        static_cast<unsigned long long>(jobs_progressive),
+        static_cast<unsigned long long>(layers_emitted),
+        static_cast<unsigned long long>(progressive_cancelled),
+        static_cast<unsigned long long>(t1_segment_bytes),
+        static_cast<unsigned long long>(progressive_active_high_water),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,
@@ -109,7 +126,7 @@ std::string metrics_snapshot::dump() const
 
 std::string metrics_snapshot::to_json() const
 {
-    char buf[2048];
+    char buf[3072];
     std::snprintf(
         buf, sizeof buf,
         "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
@@ -118,6 +135,9 @@ std::string metrics_snapshot::to_json() const
         "\"shed_interactive\":{\"rejected\":%llu,\"dropped\":%llu},"
         "\"shed_batch\":{\"rejected\":%llu,\"dropped\":%llu},"
         "\"queue_depth_high_water\":%llu,"
+        "\"jobs_progressive\":%llu,\"layers_emitted\":%llu,"
+        "\"progressive_cancelled\":%llu,\"t1_segment_bytes\":%llu,"
+        "\"progressive_active_high_water\":%llu,"
         "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,\"pool_submissions\":%llu,"
         "\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
         "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
@@ -137,6 +157,11 @@ std::string metrics_snapshot::to_json() const
         static_cast<unsigned long long>(shed_by_priority[1].rejected),
         static_cast<unsigned long long>(shed_by_priority[1].dropped),
         static_cast<unsigned long long>(queue_depth_high_water),
+        static_cast<unsigned long long>(jobs_progressive),
+        static_cast<unsigned long long>(layers_emitted),
+        static_cast<unsigned long long>(progressive_cancelled),
+        static_cast<unsigned long long>(t1_segment_bytes),
+        static_cast<unsigned long long>(progressive_active_high_water),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,

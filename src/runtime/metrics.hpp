@@ -42,6 +42,15 @@ struct metrics_snapshot {
     };
     priority_shed shed_by_priority[priority_count];
 
+    // Progressive (layer-streaming) jobs.
+    std::uint64_t jobs_progressive = 0;        ///< jobs via submit_progressive
+    std::uint64_t layers_emitted = 0;          ///< refinement images delivered
+    std::uint64_t progressive_cancelled = 0;   ///< sessions ended early by callback
+    /// Tier-1 segment bytes arithmetic-decoded by progressive sessions — the
+    /// O(L) evidence: approaches the streams' total payload, never L× it.
+    std::uint64_t t1_segment_bytes = 0;
+    std::uint64_t progressive_active_high_water = 0;
+
     // Work.
     std::uint64_t tiles_decoded = 0;
     std::uint64_t tasks_stolen = 0;  ///< pool subtasks run by a non-owning worker
@@ -98,6 +107,15 @@ public:
     }
     void on_promoted() noexcept { promoted_.add(); }
     void on_batched() noexcept { batched_.add(); }
+    void on_progressive_started() noexcept
+    {
+        progressive_.add();
+        progressive_active_.add(1);
+    }
+    void on_progressive_finished() noexcept { progressive_active_.add(-1); }
+    void on_layer_emitted() noexcept { layers_.add(); }
+    void on_progressive_cancelled() noexcept { progressive_cancelled_.add(); }
+    void add_t1_segment_bytes(std::uint64_t n) noexcept { t1_bytes_.add(n); }
     void on_pool_submission() noexcept { pool_submissions_.add(); }
     void on_tile_decoded() noexcept { tiles_.add(); }
 
@@ -137,6 +155,11 @@ private:
     obs::counter& dropped_;
     obs::counter& promoted_;
     obs::counter& batched_;
+    obs::counter& progressive_;
+    obs::counter& layers_;
+    obs::counter& progressive_cancelled_;
+    obs::counter& t1_bytes_;
+    obs::gauge& progressive_active_;
     obs::counter& pool_submissions_;
     obs::counter& tiles_;
     obs::counter& entropy_ns_;

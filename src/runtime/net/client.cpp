@@ -48,6 +48,7 @@ void append_frame(std::vector<std::uint8_t>& out, const request& r)
     request_header h;
     h.priority_raw = r.priority;
     h.format_raw = static_cast<std::uint8_t>(r.format);
+    h.flags = r.progressive ? k_flag_progressive : 0;
     h.request_id = r.request_id;
     h.payload_len = static_cast<std::uint32_t>(r.codestream.size());
     const std::size_t base = out.size();
@@ -132,6 +133,35 @@ response client::decode(const request& r)
 {
     send(r);
     return recv();
+}
+
+response client::decode_progressive(
+    const request& r, const std::function<void(const layer_frame&)>& on_layer)
+{
+    request pr = r;
+    pr.progressive = true;
+    send(pr);
+    for (;;) {
+        response resp = recv();
+        if (resp.st != status::streaming) return resp;  // error cut the stream
+        const auto lf = split_layer_frame(resp);
+        if (!lf) throw std::runtime_error{"malformed streaming payload"};
+        if (on_layer) on_layer(*lf);
+        if (lf->last) return resp;
+    }
+}
+
+std::optional<layer_frame> split_layer_frame(const response& r)
+{
+    if (r.st != status::streaming) return std::nullopt;
+    const auto lh = decode_layer_header(r.payload);
+    if (!lh) return std::nullopt;
+    layer_frame lf;
+    lf.layer = lh->layer;
+    lf.total = lh->total;
+    lf.last = lh->last != 0;
+    lf.image = std::span<const std::uint8_t>{r.payload}.subspan(k_layer_header_size);
+    return lf;
 }
 
 void client::shutdown_write() noexcept

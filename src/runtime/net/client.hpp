@@ -10,6 +10,8 @@
 #include "protocol.hpp"
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@ struct request {
     std::uint8_t priority = 1;  ///< 0 interactive, 1 batch
     result_format format = result_format::raw;
     std::uint32_t request_id = 0;
+    bool progressive = false;  ///< stream one response per quality layer
 };
 
 /// One response off the wire.
@@ -36,6 +39,20 @@ struct response {
         return {payload.begin(), payload.end()};
     }
 };
+
+/// One refinement split out of a `status::streaming` response.
+struct layer_frame {
+    int layer = 0;  ///< 1-based refinement index
+    int total = 0;  ///< refinements the stream will emit
+    bool last = false;
+    std::span<const std::uint8_t> image;  ///< encoded image, sub-header stripped
+};
+
+/// Split a streaming response into its layer sub-header and image bytes.
+/// Returns nullopt when the response is not `status::streaming` or its
+/// sub-header fails validation.  The span aliases `r.payload` — it dies with
+/// the response.
+[[nodiscard]] std::optional<layer_frame> split_layer_frame(const response& r);
 
 class client {
 public:
@@ -62,6 +79,14 @@ public:
 
     /// send() + recv() one frame.  Only valid when no responses are pending.
     [[nodiscard]] response decode(const request& r);
+
+    /// Send a progressive request and block through the whole stream, invoking
+    /// `on_layer` for each refinement in layer order.  Returns the terminal
+    /// response: the `last = 1` streaming frame, or the error frame that cut
+    /// the stream short.  Only valid when no responses are pending.  Forces
+    /// `r.progressive` on regardless of the caller's flag.
+    [[nodiscard]] response decode_progressive(
+        const request& r, const std::function<void(const layer_frame&)>& on_layer);
 
     /// Half-close the write side (server sees EOF after pending frames).
     void shutdown_write() noexcept;

@@ -29,7 +29,7 @@ void encode_request_header(const request_header& h, std::uint8_t out[k_header_si
     out[4] = k_version;
     out[5] = h.priority_raw;
     out[6] = h.format_raw;
-    out[7] = 0;
+    out[7] = h.flags;
     put_u32(out + 8, h.request_id);
     put_u32(out + 12, h.payload_len);
 }
@@ -49,7 +49,8 @@ std::optional<request_header> decode_request_header(std::span<const std::uint8_t
     h.format_raw = in[6];
     if (h.priority_raw > 1) return fail("bad priority byte");
     if (h.format_raw > 1) return fail("bad format byte");
-    if (in[7] != 0) return fail("nonzero reserved byte");
+    h.flags = in[7];
+    if ((h.flags & ~k_flag_progressive) != 0) return fail("unknown flag bits");
     h.request_id = get_u32(in.data() + 8);
     h.payload_len = get_u32(in.data() + 12);
     return h;
@@ -71,11 +72,33 @@ std::optional<response_header> decode_response_header(std::span<const std::uint8
     if (in.size() < k_header_size) return std::nullopt;
     if (get_u32(in.data()) != k_magic) return std::nullopt;
     if (in[4] != k_version) return std::nullopt;
-    if (in[5] > static_cast<std::uint8_t>(status::internal_error)) return std::nullopt;
+    if (in[5] > static_cast<std::uint8_t>(status::streaming)) return std::nullopt;
     response_header h;
     h.st = static_cast<status>(in[5]);
     h.request_id = get_u32(in.data() + 8);
     h.payload_len = get_u32(in.data() + 12);
+    return h;
+}
+
+void encode_layer_header(const layer_header& h, std::uint8_t out[k_layer_header_size])
+{
+    out[0] = h.layer;
+    out[1] = h.total;
+    out[2] = h.last;
+    out[3] = 0;
+}
+
+std::optional<layer_header> decode_layer_header(std::span<const std::uint8_t> in)
+{
+    if (in.size() < k_layer_header_size) return std::nullopt;
+    layer_header h;
+    h.layer = in[0];
+    h.total = in[1];
+    h.last = in[2];
+    if (in[3] != 0) return std::nullopt;
+    if (h.layer < 1 || h.total < 1 || h.layer > h.total) return std::nullopt;
+    if (h.last > 1) return std::nullopt;
+    if ((h.last == 1) != (h.layer == h.total)) return std::nullopt;
     return h;
 }
 

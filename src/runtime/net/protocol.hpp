@@ -13,7 +13,8 @@
 //   u8  version    1
 //   u8  priority   0 = interactive, 1 = batch
 //   u8  format     0 = raw planar samples, 1 = PNM (PGM/PPM)
-//   u8  reserved   must be 0
+//   u8  flags      bit 0 = progressive (stream one response per quality
+//                  layer); other bits must be 0
 //   u32 request_id echoed verbatim in the response (pipelining correlation)
 //   u32 payload_len
 //   ... payload_len bytes of J2K codestream
@@ -27,6 +28,19 @@
 //   u32 request_id
 //   u32 payload_len
 //   ... decoded image (ok) or an ASCII diagnostic message (errors)
+//
+// A progressive request elicits a *sequence* of `streaming` responses with
+// the same request_id — one per completed quality layer, in layer order.
+// Each streaming payload starts with a 4-byte layer sub-header:
+//
+//   u8 layer   1-based refinement index
+//   u8 total   layers this stream will emit
+//   u8 last    1 on the final refinement, else 0
+//   u8 0       reserved
+//
+// followed by the image in the requested result encoding.  The frame with
+// `last = 1` ends the sequence; a terminal error status (same request_id) can
+// replace any remaining refinements.
 //
 // Responses are emitted in *completion* order, not request order — pipelined
 // clients must correlate by request_id.
@@ -60,6 +74,7 @@ enum class status : std::uint8_t {
     bad_frame = 4,             ///< bad magic / version / priority / format
     stopped = 5,               ///< server shutting down
     internal_error = 6,        ///< anything else (message in payload)
+    streaming = 7,             ///< one refinement of a progressive request
 };
 
 [[nodiscard]] constexpr const char* status_name(status s) noexcept
@@ -72,15 +87,25 @@ enum class status : std::uint8_t {
     case status::bad_frame: return "bad_frame";
     case status::stopped: return "stopped";
     case status::internal_error: return "internal_error";
+    case status::streaming: return "streaming";
     }
     return "?";
 }
 
+/// Request flag bits (request header byte 7).
+inline constexpr std::uint8_t k_flag_progressive = 0x01;
+
 struct request_header {
     std::uint8_t priority_raw = 1;  ///< runtime::priority as a byte
     std::uint8_t format_raw = 0;    ///< result_format as a byte
+    std::uint8_t flags = 0;         ///< k_flag_* bits; unknown bits rejected
     std::uint32_t request_id = 0;
     std::uint32_t payload_len = 0;
+
+    [[nodiscard]] bool progressive() const noexcept
+    {
+        return (flags & k_flag_progressive) != 0;
+    }
 };
 
 struct response_header {
@@ -100,6 +125,23 @@ void encode_request_header(const request_header& h, std::uint8_t out[k_header_si
 void encode_response_header(const response_header& h, std::uint8_t out[k_header_size]);
 
 [[nodiscard]] std::optional<response_header> decode_response_header(
+    std::span<const std::uint8_t> in);
+
+/// Sub-header prefixed to every `streaming` response payload.
+struct layer_header {
+    std::uint8_t layer = 0;  ///< 1-based refinement index
+    std::uint8_t total = 0;  ///< refinements the stream will emit
+    std::uint8_t last = 0;   ///< 1 on the final refinement
+};
+
+inline constexpr std::size_t k_layer_header_size = 4;
+
+void encode_layer_header(const layer_header& h, std::uint8_t out[k_layer_header_size]);
+
+/// Parse (and validate) a layer sub-header from the front of a streaming
+/// payload.  Returns nullopt on short input, a nonzero reserved byte, or an
+/// inconsistent layer/total/last combination.
+[[nodiscard]] std::optional<layer_header> decode_layer_header(
     std::span<const std::uint8_t> in);
 
 /// Encode a decoded image as the `raw` result payload.

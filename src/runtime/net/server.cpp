@@ -192,12 +192,21 @@ struct server::impl {
         std::size_t out_off = 0;
         bool want_write = false;
         bool closing = false;  ///< close once `out` drains (protocol error)
+        /// Liveness flag shared with in-flight progressive jobs: cleared on
+        /// close, read by the per-layer completion on the worker so a
+        /// departed client cancels its stream instead of decoding layers
+        /// nobody will read.
+        std::shared_ptr<std::atomic<bool>> alive =
+            std::make_shared<std::atomic<bool>>(true);
     };
 
     struct completion_record {
         std::uint64_t conn_id = 0;
         std::vector<std::uint8_t> frame;
         std::uint64_t trace_id = 0;
+        /// False for intermediate streaming frames: the async "frame" span
+        /// ends once per request, on the final (or error) frame.
+        bool end_span = true;
     };
 
     struct small_job {
@@ -324,6 +333,7 @@ struct server::impl {
         deliver_completions();
         for (auto& [id, c] : conns_) flush_blocking(*c);
         for (auto& [id, c] : conns_) {
+            c->alive->store(false, std::memory_order_release);
             poller_->remove(c->fd);
             ::close(c->fd);
             OBS_TRACE_ASYNC_END("net", "connection", c->id);
@@ -432,6 +442,17 @@ struct server::impl {
         OBS_TRACE_ASYNC_BEGIN("net", "frame", trace_id);
         decode_options opt;
         opt.prio = c.hdr.priority_raw == 0 ? priority::interactive : priority::batch;
+        if (c.hdr.progressive()) {
+            // Streaming requests are never coalesced: each one produces a
+            // whole response sequence and holds a worker for its duration.
+            progressive_streams_.fetch_add(1, std::memory_order_relaxed);
+            service_.submit_progressive(
+                std::move(payload), opt,
+                make_layer_completion(c.id, c.hdr.request_id,
+                                      static_cast<result_format>(c.hdr.format_raw),
+                                      trace_id, c.alive));
+            return;
+        }
         auto done = make_completion(c.id, c.hdr.request_id,
                                     static_cast<result_format>(c.hdr.format_raw),
                                     trace_id);
@@ -486,31 +507,94 @@ struct server::impl {
                     body.assign(e.what(), e.what() + std::strlen(e.what()));
                 }
             } else {
+                rh.st = map_error(std::move(err), body);
+            }
+            enqueue_frame(conn_id, rh, body, trace_id, true);
+        };
+    }
+
+    /// Map a decode/admission exception onto a response status (diagnostic
+    /// text, when any, lands in `body`).
+    static status map_error(std::exception_ptr err, std::vector<std::uint8_t>& body)
+    {
+        try {
+            std::rethrow_exception(std::move(err));
+        } catch (const j2k::codestream_error& e) {
+            body.assign(e.what(), e.what() + std::strlen(e.what()));
+            return status::malformed_codestream;
+        } catch (const admission_rejected&) {
+            return status::shed;
+        } catch (const job_dropped&) {
+            return status::shed;
+        } catch (const service_stopped&) {
+            return status::stopped;
+        } catch (const std::exception& e) {
+            body.assign(e.what(), e.what() + std::strlen(e.what()));
+            return status::internal_error;
+        }
+    }
+
+    /// Frame a response and hand it to the loop (worker side).
+    void enqueue_frame(std::uint64_t conn_id, response_header rh,
+                       const std::vector<std::uint8_t>& body, std::uint64_t trace_id,
+                       bool end_span)
+    {
+        rh.payload_len = static_cast<std::uint32_t>(body.size());
+        std::vector<std::uint8_t> frame(k_header_size + body.size());
+        encode_response_header(rh, frame.data());
+        std::copy(body.begin(), body.end(), frame.begin() + k_header_size);
+        {
+            std::lock_guard lk{completions_m_};
+            completions_.push_back({conn_id, std::move(frame), trace_id, end_span});
+        }
+        wake();
+    }
+
+    /// Per-layer completion for progressive requests: each refinement becomes
+    /// one `streaming` frame (layer sub-header + encoded image); a terminal
+    /// error becomes a plain error frame; a vanished client cancels the rest
+    /// of the session by returning false.
+    decode_service::progressive_completion make_layer_completion(
+        std::uint64_t conn_id, std::uint32_t request_id, result_format fmt,
+        std::uint64_t trace_id, std::shared_ptr<std::atomic<bool>> alive)
+    {
+        return [this, conn_id, request_id, fmt, trace_id, alive = std::move(alive)](
+                   decode_service::layer_event&& ev, std::exception_ptr err) -> bool {
+            if (!alive->load(std::memory_order_acquire)) {
+                streams_cancelled_.fetch_add(1, std::memory_order_relaxed);
+                OBS_TRACE_INSTANT("net", "stream_cancelled");
+                OBS_TRACE_ASYNC_END("net", "frame", trace_id);
+                return false;
+            }
+            response_header rh;
+            rh.request_id = request_id;
+            std::vector<std::uint8_t> body;
+            bool last = true;
+            if (!err) {
+                rh.st = status::streaming;
+                last = ev.last;
+                body.resize(k_layer_header_size);
+                encode_layer_header({static_cast<std::uint8_t>(ev.layer),
+                                     static_cast<std::uint8_t>(ev.total),
+                                     static_cast<std::uint8_t>(ev.last ? 1 : 0)},
+                                    body.data());
                 try {
-                    std::rethrow_exception(err);
-                } catch (const j2k::codestream_error& e) {
-                    rh.st = status::malformed_codestream;
-                    body.assign(e.what(), e.what() + std::strlen(e.what()));
-                } catch (const admission_rejected&) {
-                    rh.st = status::shed;
-                } catch (const job_dropped&) {
-                    rh.st = status::shed;
-                } catch (const service_stopped&) {
-                    rh.st = status::stopped;
+                    const std::vector<std::uint8_t> px =
+                        fmt == result_format::raw ? encode_image_raw(ev.img)
+                                                  : j2k::pnm_bytes(ev.img);
+                    body.insert(body.end(), px.begin(), px.end());
                 } catch (const std::exception& e) {
                     rh.st = status::internal_error;
                     body.assign(e.what(), e.what() + std::strlen(e.what()));
+                    last = true;
                 }
+            } else {
+                rh.st = map_error(std::move(err), body);
             }
-            rh.payload_len = static_cast<std::uint32_t>(body.size());
-            std::vector<std::uint8_t> frame(k_header_size + body.size());
-            encode_response_header(rh, frame.data());
-            std::copy(body.begin(), body.end(), frame.begin() + k_header_size);
-            {
-                std::lock_guard lk{completions_m_};
-                completions_.push_back({conn_id, std::move(frame), trace_id});
-            }
-            wake();
+            if (rh.st == status::streaming)
+                layer_frames_out_.fetch_add(1, std::memory_order_relaxed);
+            enqueue_frame(conn_id, rh, body, trace_id, last);
+            return rh.st == status::streaming;
         };
     }
 
@@ -523,7 +607,7 @@ struct server::impl {
             ready.swap(completions_);
         }
         for (completion_record& r : ready) {
-            OBS_TRACE_ASYNC_END("net", "frame", r.trace_id);
+            if (r.end_span) OBS_TRACE_ASYNC_END("net", "frame", r.trace_id);
             auto it = conns_.find(r.conn_id);
             if (it == conns_.end()) continue;  // client went away mid-decode
             connection& c = *it->second;
@@ -612,6 +696,7 @@ struct server::impl {
 
     void close_conn(connection& c)
     {
+        c.alive->store(false, std::memory_order_release);
         poller_->remove(c.fd);
         ::close(c.fd);
         OBS_TRACE_ASYNC_END("net", "connection", c.id);
@@ -663,6 +748,9 @@ struct server::impl {
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> batched_jobs_{0};
     std::atomic<std::uint64_t> bad_frames_{0};
+    std::atomic<std::uint64_t> progressive_streams_{0};
+    std::atomic<std::uint64_t> layer_frames_out_{0};
+    std::atomic<std::uint64_t> streams_cancelled_{0};
 };
 
 server::server(server_config cfg) : impl_{std::make_unique<impl>(std::move(cfg))} {}
@@ -693,6 +781,9 @@ server::stats_snapshot server::stats() const noexcept
     s.batches = impl_->batches_.load(std::memory_order_relaxed);
     s.batched_jobs = impl_->batched_jobs_.load(std::memory_order_relaxed);
     s.bad_frames = impl_->bad_frames_.load(std::memory_order_relaxed);
+    s.progressive_streams = impl_->progressive_streams_.load(std::memory_order_relaxed);
+    s.layer_frames_out = impl_->layer_frames_out_.load(std::memory_order_relaxed);
+    s.streams_cancelled = impl_->streams_cancelled_.load(std::memory_order_relaxed);
     return s;
 }
 

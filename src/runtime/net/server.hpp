@@ -24,6 +24,12 @@
 // `drop_oldest` (the default here is reject) and shed requests come back as
 // framed `status::shed` responses; per-priority queue capacities reserve
 // headroom for interactive traffic while batch floods shed early.
+//
+// Progressive requests (k_flag_progressive) dispatch through
+// `submit_progressive`: the worker streams one `status::streaming` frame per
+// quality layer back through the completion queue, and a per-connection
+// liveness flag cancels the remaining layers the moment the client goes away
+// (mid-stream disconnects do not hold a worker hostage).
 #pragma once
 
 #include "protocol.hpp"
@@ -85,6 +91,9 @@ public:
         std::uint64_t batches = 0;        ///< submit_batch calls (>= 2 jobs)
         std::uint64_t batched_jobs = 0;   ///< jobs admitted through those
         std::uint64_t bad_frames = 0;     ///< protocol errors (frame refused)
+        std::uint64_t progressive_streams = 0;  ///< progressive requests accepted
+        std::uint64_t layer_frames_out = 0;     ///< streaming frames enqueued
+        std::uint64_t streams_cancelled = 0;    ///< streams cut by client departure
     };
     [[nodiscard]] stats_snapshot stats() const noexcept;
 

@@ -1,6 +1,7 @@
 #include "service.hpp"
 
 #include <j2k/image.hpp>
+#include <j2k/session.hpp>
 #include <obs/obs.hpp>
 
 #include <utility>
@@ -45,7 +46,9 @@ void decode_service::settle(job& j, j2k::image&& img)
 void decode_service::settle(job& j, std::exception_ptr err)
 {
     if (j.settled.exchange(true, std::memory_order_acq_rel)) return;
-    if (j.done)
+    if (j.on_layer)
+        j.on_layer(layer_event{}, std::move(err));
+    else if (j.done)
         j.done(j2k::image{}, std::move(err));
     else
         j.promise.set_exception(std::move(err));
@@ -95,6 +98,16 @@ void decode_service::submit_async(std::vector<std::uint8_t>&& bytes,
     OBS_TRACE_SCOPE("runtime", "submit");
     auto j = make_job(std::move(bytes), opt);
     j->done = std::move(done);
+    if (admit(std::move(j))) pump(1);
+}
+
+void decode_service::submit_progressive(std::vector<std::uint8_t>&& bytes,
+                                        const decode_options& opt,
+                                        progressive_completion on_layer)
+{
+    OBS_TRACE_SCOPE("runtime", "submit");
+    auto j = make_job(std::move(bytes), opt);
+    j->on_layer = std::move(on_layer);
     if (admit(std::move(j))) pump(1);
 }
 
@@ -220,6 +233,10 @@ void decode_service::finish_one()
 
 void decode_service::run_job(job& j)
 {
+    if (j.on_layer) {
+        run_progressive_job(j);
+        return;
+    }
     OBS_TRACE_SCOPE("runtime", "decode_job");
     j2k::image img;
     try {
@@ -239,6 +256,51 @@ void decode_service::run_job(job& j)
         j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
     metrics_.on_completed();
     settle(j, std::move(img));
+    OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+}
+
+void decode_service::run_progressive_job(job& j)
+{
+    OBS_TRACE_SCOPE("runtime", "progressive_job");
+    metrics_.on_progressive_started();
+    OBS_TRACE_COUNTER("runtime", "progressive_active",
+                      metrics_.instruments().get_gauge("progressive_active").value());
+    try {
+        j2k::decode_session s{j.bytes};
+        const int stream_layers = s.total_layers();
+        const int cap = j.opt.max_quality_layers;
+        const int total = cap > 0 && cap < stream_layers ? cap : stream_layers;
+        std::uint64_t prev_bytes = 0;
+        for (int l = 1; l <= total; ++l) {
+            // Per-refinement async span under the job's span tree; the j2k
+            // stage spans (tier-1 / IQ / IDWT) nest inside it.
+            OBS_TRACE_ASYNC_BEGIN("job", "layer", j.trace_id);
+            j2k::image img = s.advance_to(l);
+            OBS_TRACE_ASYNC_END("job", "layer", j.trace_id);
+            metrics_.add_t1_segment_bytes(s.tier1_segment_bytes() - prev_bytes);
+            prev_bytes = s.tier1_segment_bytes();
+            metrics_.on_layer_emitted();
+            const bool more =
+                j.on_layer(layer_event{l, total, l == total, std::move(img)}, nullptr);
+            if (!more && l < total) {
+                metrics_.on_progressive_cancelled();
+                OBS_TRACE_INSTANT("runtime", "progressive_cancelled");
+                break;
+            }
+        }
+    } catch (...) {
+        metrics_.on_failed();
+        metrics_.on_progressive_finished();
+        OBS_TRACE_INSTANT("runtime", "job_failed");
+        settle(j, std::current_exception());  // routed through on_layer
+        OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+        return;
+    }
+    metrics_.record_latency_us(
+        j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+    metrics_.on_completed();
+    metrics_.on_progressive_finished();
+    j.settled.store(true, std::memory_order_release);  // all layers delivered
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 

@@ -129,6 +129,32 @@ public:
     void submit_async(std::vector<std::uint8_t>&& bytes, const decode_options& opt,
                       completion done);
 
+    /// One refinement of a progressive job: the reconstruction after `layer`
+    /// quality layers (1-based), out of the `total` the job will emit.
+    struct layer_event {
+        int layer = 0;
+        int total = 0;
+        bool last = false;
+        j2k::image img;
+    };
+
+    /// Per-layer delivery for progressive jobs.  Called once per refinement on
+    /// the decoding worker, in layer order; a non-null `err` is terminal (no
+    /// further calls, `ev` is empty) and also covers admission failures.
+    /// Return false to cancel the remaining layers — the job ends quietly and
+    /// the cancellation is counted in the metrics.  Must not block on the
+    /// service.
+    using progressive_completion =
+        std::function<bool(layer_event&& ev, std::exception_ptr err)>;
+
+    /// Streamed decode: one layer_event per quality layer (a plain stream
+    /// emits exactly one).  `opt.max_quality_layers` caps the depth;
+    /// `opt.discard_levels` is not supported on this path and is ignored.
+    /// Tier-1 state persists across refinements, so the arithmetic-decoding
+    /// work over the whole job is O(L), not O(L²) (see j2k/session.hpp).
+    void submit_progressive(std::vector<std::uint8_t>&& bytes, const decode_options& opt,
+                            progressive_completion on_layer);
+
     /// One element of a coalesced small-job batch.
     struct batch_item {
         std::vector<std::uint8_t> bytes;
@@ -158,6 +184,8 @@ private:
     struct job {
         std::promise<j2k::image> promise;
         completion done;  ///< when set, outcome goes here instead of promise
+        /// Progressive jobs: per-layer delivery channel (errors included).
+        progressive_completion on_layer;
         /// Exactly-once guard for the settle: the settle paths (worker
         /// success/failure, eviction, rejection, close during admission) can
         /// race, and std::promise throws on a second set.
@@ -180,6 +208,7 @@ private:
     /// Hand the pool one pump able to pop-and-run up to `n` queued jobs.
     void pump(std::size_t n);
     void run_job(job& j);
+    void run_progressive_job(job& j);
     void finish_one();
     void record_priority_depths();
     j2k::image decode_tiled(const j2k::decoder& dec);

@@ -72,5 +72,19 @@ int main(int argc, char** argv)
         emit(dir, "layered_53.ojk",
              j2k::encode(j2k::make_test_image(64, 64, 3, 8, 13), p));
     }
+    {  // odd geometry: prime-ish extents over 32-px tiles → a 3×2 grid whose
+       // right/bottom tiles are partial (33×32, 65×1-high edge cases inside)
+        j2k::codec_params p;
+        p.tile_width = p.tile_height = 32;
+        p.quality_layers = 3;
+        emit(dir, "odd_65x33.ojk",
+             j2k::encode(j2k::make_test_image(65, 33, 1, 8, 21), p));
+    }
+    {  // 16-bit depth: twice the bit planes through tier-1 and the DC shift
+        j2k::codec_params p;
+        p.tile_width = p.tile_height = 32;
+        emit(dir, "gray16_53.ojk",
+             j2k::encode(j2k::make_test_image(48, 48, 1, 16, 33), p));
+    }
     return 0;
 }

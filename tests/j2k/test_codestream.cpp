@@ -111,6 +111,54 @@ TEST(Codestream, LayeredPayloadTruncationRejected)
     EXPECT_THROW((void)j2k::read_header(cs), j2k::codestream_error);
 }
 
+TEST(Codestream, LayersInPrefixBoundaries)
+{
+    const auto cs = make_stream(64, 64, 1, 32, 3);  // 3 layers × 4 tiles
+    const auto info = j2k::read_header(cs);
+    const int tiles = info.tile_count();
+    ASSERT_EQ(tiles, 4);
+
+    // Zero bytes and any prefix that ends before the first layer's last
+    // chunk contain no complete layer.
+    EXPECT_EQ(info.layers_in_prefix(0), 0);
+    const std::size_t l0_end =
+        info.chunk_offsets[static_cast<std::size_t>(tiles) - 1] +
+        info.chunk_lengths[static_cast<std::size_t>(tiles) - 1];
+    EXPECT_EQ(info.layers_in_prefix(l0_end - 1), 0);
+
+    // A prefix ending exactly on a layer boundary counts that layer —
+    // off-by-one here silently costs a refinement per downloaded chunk.
+    EXPECT_EQ(info.layers_in_prefix(l0_end), 1);
+    EXPECT_EQ(info.layers_in_prefix(l0_end + 1), 1);
+    for (int l = 1; l <= 3; ++l) {
+        const std::size_t idx = static_cast<std::size_t>(l) * tiles - 1;
+        const std::size_t end = info.chunk_offsets[idx] + info.chunk_lengths[idx];
+        EXPECT_EQ(info.layers_in_prefix(end), l) << "layer " << l;
+        if (l < 3) EXPECT_EQ(info.layers_in_prefix(end + 1), l) << "layer " << l;
+    }
+
+    // Past the end clamps to the full layer count.
+    EXPECT_EQ(info.layers_in_prefix(cs.size()), 3);
+    EXPECT_EQ(info.layers_in_prefix(cs.size() + 1000), 3);
+    EXPECT_EQ(info.layers_in_prefix(std::numeric_limits<std::size_t>::max()), 3);
+}
+
+TEST(Codestream, LayersInPrefixHeaderOnlyAndPlainStreams)
+{
+    // A prefix that covers only the header + directory has zero layers.
+    const auto layered = make_stream(64, 64, 1, 32, 3);
+    const auto info = j2k::read_header(layered);
+    EXPECT_EQ(info.layers_in_prefix(info.chunk_offsets[0]), 0);
+
+    // Plain streams have no layer structure: the answer is always 1 — the
+    // caller cannot partially decode, whatever the byte count says.
+    const auto plain = make_stream(64, 64, 1, 64);
+    const auto pinfo = j2k::read_header(plain);
+    EXPECT_EQ(pinfo.layers_in_prefix(0), 1);
+    EXPECT_EQ(pinfo.layers_in_prefix(plain.size()), 1);
+    EXPECT_EQ(pinfo.layers_in_prefix(plain.size() + 7), 1);
+}
+
 TEST(Codestream, MalformedStreamsFailDecoderConstructionCleanly)
 {
     // A grab-bag of hostile prefixes: never crash, always codestream_error.

@@ -1,5 +1,6 @@
-// Golden regression corpus: three committed codestreams (lossless 5/3,
-// lossy 9/7, layered) whose decoded pixels must hash to known values.  This
+// Golden regression corpus: committed codestreams (lossless 5/3, lossy 9/7,
+// layered, odd-geometry, 16-bit) whose decoded pixels must hash to known
+// values.  This
 // pins the *decoder output*, not just self-consistency — an encode/decode
 // round-trip test cannot see a bug that changes both sides symmetrically.
 //
@@ -54,6 +55,8 @@ constexpr golden k_golden[] = {
     {"gray_53.ojk", 0xEE1435E1050DF733ull},
     {"rgb_97.ojk", 0x2ABEA0B3B87A8999ull},
     {"layered_53.ojk", 0xAA4C7851D4825229ull},
+    {"odd_65x33.ojk", 0x80E88702BCF63C11ull},
+    {"gray16_53.ojk", 0x58700F9E92184262ull},
 };
 
 TEST(GoldenCorpus, DecodedPixelsMatchCommittedHashes)
@@ -73,6 +76,10 @@ TEST(GoldenCorpus, LosslessStreamAlsoMatchesItsSourceImageExactly)
     EXPECT_EQ(j2k::decode(load("gray_53.ojk")), src);
     const j2k::image src3 = j2k::make_test_image(64, 64, 3, 8, 13);
     EXPECT_EQ(j2k::decode(load("layered_53.ojk")), src3);
+    const j2k::image odd = j2k::make_test_image(65, 33, 1, 8, 21);
+    EXPECT_EQ(j2k::decode(load("odd_65x33.ojk")), odd);
+    const j2k::image deep = j2k::make_test_image(48, 48, 1, 16, 33);
+    EXPECT_EQ(j2k::decode(load("gray16_53.ojk")), deep);
 }
 
 TEST(GoldenCorpus, LayeredStreamDegradesGracefullyByLayer)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
@@ -74,7 +75,54 @@ TEST(NetProtocol, RequestHeaderRoundTripsAndValidates)
     corrupt(4, 99);    // version
     corrupt(5, 2);     // priority
     corrupt(6, 7);     // format
-    corrupt(7, 1);     // reserved
+    corrupt(7, 0x02);  // unknown flag bit
+    corrupt(7, 0xFE);  // all unknown flag bits
+
+    // Bit 0 of byte 7 is the progressive flag — valid, not a violation.
+    std::uint8_t prog[net::k_header_size];
+    std::memcpy(prog, buf, sizeof prog);
+    prog[7] = net::k_flag_progressive;
+    const auto ph = net::decode_request_header(prog);
+    ASSERT_TRUE(ph);
+    EXPECT_TRUE(ph->progressive());
+    EXPECT_FALSE(back->progressive());
+}
+
+TEST(NetProtocol, LayerHeaderRoundTripsAndValidates)
+{
+    net::layer_header h;
+    h.layer = 2;
+    h.total = 5;
+    h.last = 0;
+    std::uint8_t buf[net::k_layer_header_size];
+    net::encode_layer_header(h, buf);
+    const auto back = net::decode_layer_header(buf);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->layer, 2);
+    EXPECT_EQ(back->total, 5);
+    EXPECT_EQ(back->last, 0);
+
+    auto reject = [](std::uint8_t layer, std::uint8_t total, std::uint8_t last,
+                     std::uint8_t reserved = 0) {
+        const std::uint8_t bad[net::k_layer_header_size] = {layer, total, last,
+                                                            reserved};
+        EXPECT_FALSE(net::decode_layer_header(bad))
+            << int(layer) << "/" << int(total) << "/" << int(last);
+    };
+    reject(0, 5, 0);     // layer below 1
+    reject(6, 5, 0);     // layer above total
+    reject(3, 0, 0);     // zero total
+    reject(2, 5, 2);     // last out of range
+    reject(5, 5, 0);     // final layer must be flagged last
+    reject(2, 5, 1);     // non-final layer must not be flagged last
+    reject(2, 5, 0, 9);  // reserved byte must be zero
+
+    // Final layer, correctly flagged.
+    const std::uint8_t fin[net::k_layer_header_size] = {5, 5, 1, 0};
+    ASSERT_TRUE(net::decode_layer_header(fin));
+
+    // Short input.
+    EXPECT_FALSE(net::decode_layer_header(std::span<const std::uint8_t>{buf, 3}));
 }
 
 TEST(NetProtocol, ResponseHeaderRoundTrips)
@@ -392,6 +440,158 @@ TEST(NetServer, StopIsIdempotentAndRestartNotRequired)
     EXPECT_NE(port, 0);
     srv.stop();
     srv.stop();  // second stop is a no-op
+}
+
+// ---- progressive streaming -------------------------------------------------
+
+TEST(NetStreaming, OneFrameArrivesPerLayerInOrderAndFinalMatchesDecodeAll)
+{
+    const int layers = 4;
+    const auto cs = make_stream(96, 96, 1, 48, j2k::wavelet::w5_3, layers);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+
+    std::vector<net::layer_frame> seen;
+    std::vector<j2k::image> images;
+    const auto fin = cli.decode_progressive(
+        {cs, 0, net::result_format::raw, 42}, [&](const net::layer_frame& lf) {
+            seen.push_back(lf);
+            seen.back().image = {};  // aliases the dead response; keep a copy
+            images.push_back(net::decode_image_raw(lf.image));
+        });
+    ASSERT_EQ(fin.st, net::status::streaming);
+    EXPECT_EQ(fin.request_id, 42u);
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(layers));
+    for (int l = 0; l < layers; ++l) {
+        EXPECT_EQ(seen[l].layer, l + 1);
+        EXPECT_EQ(seen[l].total, layers);
+        EXPECT_EQ(seen[l].last, l + 1 == layers);
+        // Refinement l must match a one-shot decode capped at l+1 layers.
+        j2k::decoder ref{cs};
+        ref.set_max_quality_layers(l + 1);
+        EXPECT_EQ(images[l], ref.decode_all()) << "layer " << l + 1;
+    }
+    EXPECT_EQ(images.back(), j2k::decoder{cs}.decode_all());
+
+    srv.stop();
+    const auto st = srv.stats();
+    EXPECT_EQ(st.progressive_streams, 1u);
+    EXPECT_EQ(st.layer_frames_out, static_cast<std::uint64_t>(layers));
+    EXPECT_EQ(st.streams_cancelled, 0u);
+    const auto sm = srv.service().metrics();
+    EXPECT_EQ(sm.jobs_progressive, 1u);
+    EXPECT_EQ(sm.layers_emitted, static_cast<std::uint64_t>(layers));
+    EXPECT_GT(sm.t1_segment_bytes, 0u);
+}
+
+TEST(NetStreaming, PnmFormatStreamsToo)
+{
+    const auto cs = make_stream(64, 64, 3, 64, j2k::wavelet::w9_7, 2);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+    int frames = 0;
+    const auto fin = cli.decode_progressive(
+        {cs, 0, net::result_format::pnm, 7}, [&](const net::layer_frame& lf) {
+            ++frames;
+            if (lf.last) {
+                const std::vector<std::uint8_t> pnm{lf.image.begin(),
+                                                    lf.image.end()};
+                EXPECT_EQ(pnm, j2k::pnm_bytes(j2k::decoder{cs}.decode_all()));
+            }
+        });
+    EXPECT_EQ(fin.st, net::status::streaming);
+    EXPECT_EQ(frames, 2);
+}
+
+TEST(NetStreaming, SingleLayerStreamEmitsOneFinalFrame)
+{
+    // A plain (1-layer) stream is a degenerate but valid progressive request.
+    const auto cs = make_stream(64, 64, 1, 64);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+    int frames = 0;
+    const auto fin = cli.decode_progressive(
+        {cs, 0, net::result_format::raw, 1},
+        [&](const net::layer_frame& lf) {
+            ++frames;
+            EXPECT_EQ(lf.layer, 1);
+            EXPECT_EQ(lf.total, 1);
+            EXPECT_TRUE(lf.last);
+        });
+    EXPECT_EQ(fin.st, net::status::streaming);
+    EXPECT_EQ(frames, 1);
+}
+
+TEST(NetStreaming, MalformedCodestreamEndsStreamWithTypedError)
+{
+    std::vector<std::uint8_t> junk(512, 0x5A);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+    int frames = 0;
+    const auto fin = cli.decode_progressive(
+        {junk, 0, net::result_format::raw, 9},
+        [&](const net::layer_frame&) { ++frames; });
+    EXPECT_EQ(fin.st, net::status::malformed_codestream);
+    EXPECT_EQ(fin.request_id, 9u);
+    EXPECT_EQ(frames, 0);
+
+    // The connection survives for normal traffic.
+    const auto cs = make_stream(64, 64, 1, 64);
+    const auto r = cli.decode({cs, 0, net::result_format::raw, 10});
+    ASSERT_TRUE(r.ok()) << r.message();
+}
+
+TEST(NetStreaming, MidStreamDisconnectCancelsAndServerKeepsServing)
+{
+    // Enough layers that the client can vanish with refinements still queued.
+    const int layers = 8;
+    const auto cs = make_stream(128, 128, 1, 64, j2k::wavelet::w5_3, layers);
+    net::server srv{quiet_config()};
+    srv.start();
+    {
+        net::client cli{"127.0.0.1", srv.port()};
+        cli.send({cs, 0, net::result_format::raw, 1, /*progressive=*/true});
+        // Take exactly one refinement, then vanish mid-stream.
+        const auto first = cli.recv();
+        ASSERT_EQ(first.st, net::status::streaming);
+    }  // destructor closes the socket with layers still in flight
+
+    // The cancel is detected when the worker next completes a layer; wait for
+    // the stream to wind down, then confirm the server still serves.
+    net::client cli2{"127.0.0.1", srv.port()};
+    const auto r = cli2.decode({cs, 0, net::result_format::raw, 2});
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(net::decode_image_raw(r.payload), j2k::decoder{cs}.decode_all());
+
+    for (int spin = 0; spin < 200; ++spin) {
+        if (srv.stats().streams_cancelled > 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const auto st = srv.stats();
+    EXPECT_EQ(st.progressive_streams, 1u);
+    EXPECT_EQ(st.streams_cancelled, 1u);
+    EXPECT_LT(st.layer_frames_out, static_cast<std::uint64_t>(layers));
+    srv.stop();
+}
+
+TEST(NetStreaming, ProgressiveAndPlainRequestsInterleaveOnOneConnection)
+{
+    const auto cs = make_stream(64, 64, 1, 64, j2k::wavelet::w5_3, 3);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+    int frames = 0;
+    const auto fin = cli.decode_progressive(
+        {cs, 0, net::result_format::raw, 1},
+        [&](const net::layer_frame&) { ++frames; });
+    EXPECT_EQ(fin.st, net::status::streaming);
+    EXPECT_EQ(frames, 3);
+    const auto r = cli.decode({cs, 0, net::result_format::raw, 2});
+    ASSERT_TRUE(r.ok()) << r.message();
 }
 
 }  // namespace
