@@ -11,7 +11,9 @@
 //     "progressive": {"layers":L,"frames":L,"first_frame_us":...,
 //                     "last_frame_us":...,"t1_incremental_bytes":[...],
 //                     "t1_session_bytes":...,"t1_naive_bytes":...,
-//                     "naive_over_session":...} }
+//                     "naive_over_session":...},
+//     "batching_ratio":...,   // jobs per pool submission (scale-free)
+//     "t1_ratio":... }        // naive/session tier-1 bytes (scale-free)
 //
 // Round-trip phase: serial request→response pairs (client blocks on each),
 // measuring the full path — framing, event loop, queue, decode, response
@@ -101,6 +103,10 @@ int main(int argc, char** argv)
     srv.start();
 
     bool ok = true;
+    // Scale-free ratios surfaced as top-level keys so CI can gate regressions
+    // without caring about absolute machine speed.
+    double batching_ratio = 0.0;  // jobs per pool submission (coalescing win)
+    double t1_ratio = 0.0;        // naive prefix decodes over resumable session
     std::printf("{\"bench\":\"net_roundtrip\",\"iters\":%d,\"roundtrip\":[", iters);
     {
         net::client cli{"127.0.0.1", srv.port()};
@@ -138,6 +144,8 @@ int main(int argc, char** argv)
         std::printf(",\"pipelined\":{\"requests\":%d,\"seconds\":%.4f,"
                     "\"requests_per_sec\":%.1f}",
                     iters, secs, static_cast<double>(iters) / secs);
+        batching_ratio =
+            subs ? static_cast<double>(jobs) / static_cast<double>(subs) : 0.0;
         std::printf(",\"batching\":{\"jobs\":%llu,\"pool_submissions\":%llu,"
                     "\"saved\":%llu,\"batches\":%llu,\"batched_jobs\":%llu}",
                     static_cast<unsigned long long>(jobs),
@@ -199,16 +207,16 @@ int main(int argc, char** argv)
         for (std::size_t i = 0; i < inc.size(); ++i)
             std::printf("%s%llu", i ? "," : "",
                         static_cast<unsigned long long>(inc[i]));
+        t1_ratio = session_bytes ? static_cast<double>(naive_bytes) /
+                                       static_cast<double>(session_bytes)
+                                 : 0.0;
         std::printf("],\"t1_session_bytes\":%llu,\"t1_naive_bytes\":%llu,"
                     "\"naive_over_session\":%.2f}",
                     static_cast<unsigned long long>(session_bytes),
-                    static_cast<unsigned long long>(naive_bytes),
-                    session_bytes
-                        ? static_cast<double>(naive_bytes) /
-                              static_cast<double>(session_bytes)
-                        : 0.0);
+                    static_cast<unsigned long long>(naive_bytes), t1_ratio);
     }
-    std::printf(",\"all_ok\":%s}\n", ok ? "true" : "false");
+    std::printf(",\"batching_ratio\":%.2f,\"t1_ratio\":%.2f,\"all_ok\":%s}\n",
+                batching_ratio, t1_ratio, ok ? "true" : "false");
     srv.stop();
     return ok ? 0 : 1;
 }

@@ -9,11 +9,18 @@
 //                   "steals":...}, ... ],
 //     "speedup_max_vs_1": ...,
 //     "mixed_priority": { "interactive": {"count":..,"p50_us":..,"p99_us":..},
-//                         "batch": {...}, "promotions":.., "steals":.. } }
+//                         "batch": {...}, "promotions":.., "steals":.. },
+//     "zipf": { "cold_jobs_per_sec":.., "cached_jobs_per_sec":..,
+//               "throughput_ratio":.., "hit_rate":.., "hashes_ok":true } }
 //
 // The mixed-priority phase floods one small worker pool with batch jobs and a
 // trickle of interactive arrivals; the acceptance signal is interactive p99
 // below batch p99 with zero starvation (every future completes).
+//
+// The zipf phase replays a fixed power-law request sequence over 8 distinct
+// codestreams with the decoded-result cache off, then on; the acceptance
+// signal is a throughput ratio >= 2 at a hit rate >= 0.8 with every response
+// matching its direct-decode digest (hashes_ok).
 //
 // The whole run is recorded by the obs span tracer (when compiled in) and
 // dumped to a Chrome trace-event file — argv[2], default
@@ -24,10 +31,14 @@
 
 #include <j2k/j2k.hpp>
 
+#include <runtime/hash.hpp>
+
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,6 +72,96 @@ run_result run_with_workers(const std::vector<std::uint8_t>& cs, int workers, in
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
     r.metrics = svc.metrics();
     return r;
+}
+
+/// Zipf-distributed serving phase: M distinct codestreams requested under a
+/// power-law popularity (the cache's design assumption), once with the
+/// decoded-result cache off and once with it on.  Fixed seed, precomputed
+/// CDF — the request sequence is identical across both runs and across
+/// machines, so hit rate is reproducible and the golden digests prove the
+/// cached path stays bit-exact.
+struct zipf_result {
+    double cold_jps = 0.0;
+    double cached_jps = 0.0;
+    double hit_rate = 0.0;
+    std::uint64_t collapses = 0;
+    std::uint64_t session_resumes = 0;
+    bool hashes_ok = true;
+};
+
+zipf_result run_zipf(int requests)
+{
+    constexpr int distinct = 8;
+    constexpr double skew = 1.1;
+
+    std::vector<std::vector<std::uint8_t>> streams;
+    std::vector<std::uint64_t> digests;
+    for (int i = 0; i < distinct; ++i) {
+        // Distinct content per stream (seed varies) on the same geometry.
+        j2k::codec_params p;
+        p.tile_width = 64;
+        p.tile_height = 64;
+        streams.push_back(
+            j2k::encode(j2k::make_test_image(256, 256, 3, 8, 100 + i), p));
+        digests.push_back(runtime::fnv1a_image(j2k::decode(streams.back())));
+    }
+
+    // Zipf CDF over ranks 1..distinct, sampled with a fixed-seed generator.
+    std::vector<double> cdf(distinct);
+    double mass = 0.0;
+    for (int i = 0; i < distinct; ++i) mass += 1.0 / std::pow(i + 1, skew);
+    double acc = 0.0;
+    for (int i = 0; i < distinct; ++i) {
+        acc += 1.0 / std::pow(i + 1, skew) / mass;
+        cdf[static_cast<std::size_t>(i)] = acc;
+    }
+    std::mt19937 rng{12345};
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+    std::vector<int> sequence;
+    sequence.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+        const double u = uni(rng);
+        int r = 0;
+        while (r < distinct - 1 && u > cdf[static_cast<std::size_t>(r)]) ++r;
+        sequence.push_back(r);
+    }
+
+    zipf_result z;
+    for (const bool cached : {false, true}) {
+        runtime::decode_service svc{{.workers = 4,
+                                     .queue_capacity = 256,
+                                     .policy = runtime::backpressure::block,
+                                     .cache_bytes = cached ? (256u << 20) : 0}};
+        svc.submit(streams[0]).get();  // warm-up (primes rank 1 when cached)
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::future<j2k::image>> futs;
+        futs.reserve(sequence.size());
+        for (const int r : sequence)
+            futs.push_back(svc.submit(streams[static_cast<std::size_t>(r)]));
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            const j2k::image img = futs[i].get();
+            const auto rank = static_cast<std::size_t>(sequence[i]);
+            if (runtime::fnv1a_image(img) != digests[rank]) z.hashes_ok = false;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double jps = static_cast<double>(requests) /
+                           std::chrono::duration<double>(t1 - t0).count();
+        const auto m = svc.metrics();
+        if (cached) {
+            z.cached_jps = jps;
+            const double served = static_cast<double>(m.cache_hits + m.cache_misses +
+                                                      m.cache_collapses);
+            z.hit_rate = served > 0
+                             ? static_cast<double>(m.cache_hits + m.cache_collapses) /
+                                   served
+                             : 0.0;
+            z.collapses = m.cache_collapses;
+            z.session_resumes = m.cache_session_resumes;
+        } else {
+            z.cold_jps = jps;
+        }
+    }
+    return z;
 }
 
 /// Batch flood + interactive trickle through one pool: the per-priority
@@ -147,6 +248,20 @@ int main(int argc, char** argv)
                     li.p99_us < lb.p99_us ? "true" : "false",
                     static_cast<unsigned long long>(m.jobs_promoted),
                     static_cast<unsigned long long>(m.tasks_stolen));
+    }
+
+    {
+        const zipf_result z = run_zipf(std::max(64, jobs * 2));
+        std::printf(",\"zipf\":{\"distinct\":8,\"requests\":%d,\"skew\":1.1,"
+                    "\"cold_jobs_per_sec\":%.2f,\"cached_jobs_per_sec\":%.2f,"
+                    "\"throughput_ratio\":%.2f,\"hit_rate\":%.3f,"
+                    "\"collapses\":%llu,\"session_resumes\":%llu,"
+                    "\"hashes_ok\":%s}",
+                    std::max(64, jobs * 2), z.cold_jps, z.cached_jps,
+                    z.cold_jps > 0 ? z.cached_jps / z.cold_jps : 0.0, z.hit_rate,
+                    static_cast<unsigned long long>(z.collapses),
+                    static_cast<unsigned long long>(z.session_resumes),
+                    z.hashes_ok ? "true" : "false");
     }
 
     if (tracing) {

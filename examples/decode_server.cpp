@@ -2,8 +2,10 @@
 // real client over loopback.
 //
 // Modes:
-//   decode_server                       demo: in-process server + client, 4 phases
-//   decode_server serve [port]          run a server until stdin closes
+//   decode_server                       demo: in-process server + client, 5 phases
+//   decode_server serve [port] [--cache-bytes N]
+//                                       run a server until stdin closes; N > 0
+//                                       enables the decoded-result cache
 //   decode_server client <port> <file>  decode one .ojk file, save out.pnm
 //   decode_server client <port> <file> --stream
 //                                       progressive: one frame per quality
@@ -47,16 +49,17 @@ std::vector<std::uint8_t> demo_stream(int w, int h, int comps, int tile)
     return j2k::encode(j2k::make_test_image(w, h, comps), p);
 }
 
-int run_serve(std::uint16_t port)
+int run_serve(std::uint16_t port, std::size_t cache_bytes)
 {
     net::server_config cfg;
     cfg.port = port;
     cfg.service.workers = 0;  // hardware concurrency
     cfg.service.queue_capacity = 64;
+    cfg.service.cache_bytes = cache_bytes;
     net::server srv{cfg};
     srv.start();
-    std::printf("decode_server listening on 127.0.0.1:%u (^D to stop)\n",
-                srv.port());
+    std::printf("decode_server listening on 127.0.0.1:%u (^D to stop)%s\n",
+                srv.port(), cache_bytes ? " [result cache on]" : "");
     // Serve until stdin closes.
     for (int c = std::getchar(); c != EOF; c = std::getchar()) {
     }
@@ -67,6 +70,17 @@ int run_serve(std::uint16_t port)
                 static_cast<unsigned long long>(st.connections_accepted),
                 static_cast<unsigned long long>(st.bytes_in),
                 static_cast<unsigned long long>(st.bytes_out));
+    if (cache_bytes) {
+        const auto m = srv.service().metrics();
+        std::printf("cache: hits=%llu misses=%llu collapses=%llu evictions=%llu "
+                    "session_resumes=%llu bytes=%llu\n",
+                    static_cast<unsigned long long>(m.cache_hits),
+                    static_cast<unsigned long long>(m.cache_misses),
+                    static_cast<unsigned long long>(m.cache_collapses),
+                    static_cast<unsigned long long>(m.cache_evictions),
+                    static_cast<unsigned long long>(m.cache_session_resumes),
+                    static_cast<unsigned long long>(m.cache_bytes));
+    }
     return 0;
 }
 
@@ -238,6 +252,31 @@ int run_demo()
         std::printf("\n%s\n", srv.service().metrics().dump().c_str());
     }
 
+    std::printf("=== phase 5: result cache serves repeats without decoding ===\n");
+    {
+        net::server_config cfg;
+        cfg.service.workers = 2;
+        cfg.service.queue_capacity = 64;
+        cfg.service.cache_bytes = 64u << 20;
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+        constexpr std::uint32_t n = 8;
+        int ok = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (cli.decode({heavy, 1, net::result_format::raw, i}).ok()) ++ok;
+        net::request bypass{heavy, 1, net::result_format::raw, n};
+        bypass.cache_bypass = true;
+        const auto br = cli.decode(bypass);
+        const auto m = srv.service().metrics();
+        std::printf("  %d/%u repeats decoded; cache hits=%llu misses=%llu "
+                    "(bypass request -> %s, not counted)\n",
+                    ok, n, static_cast<unsigned long long>(m.cache_hits),
+                    static_cast<unsigned long long>(m.cache_misses),
+                    net::status_name(br.st));
+        srv.stop();
+    }
+
     const std::size_t evs =
         obs::tracer::instance().write_json_file("decode_server.trace.json");
     std::printf("trace: %zu events written to decode_server.trace.json "
@@ -250,9 +289,17 @@ int run_demo()
 
 int main(int argc, char** argv)
 {
-    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
-        return run_serve(argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2]))
-                                  : 0);
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+        std::uint16_t port = 0;
+        std::size_t cache_bytes = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--cache-bytes") == 0 && i + 1 < argc)
+                cache_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+            else
+                port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+        }
+        return run_serve(port, cache_bytes);
+    }
     if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
         return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3],
                           argc > 4 && std::strcmp(argv[4], "--stream") == 0);

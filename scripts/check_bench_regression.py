@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate bench regressions against the committed baseline JSON.
+
+Usage:
+    check_bench_regression.py <baseline.json> <fresh.json> <key> [<key> ...]
+
+Each <key> is a dotted path into the bench JSON (e.g. ``zipf.hit_rate``).
+Every gated key is a scale-free, higher-is-better ratio (speedups, hit
+rates, batching factors) — absolute jobs/sec depends on the machine, but a
+parallel speedup or cache hit rate should not silently decay.  A fresh value
+more than TOLERANCE below the committed baseline fails the check.
+
+Exit codes: 0 ok, 1 regression or malformed input.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.25  # fail when fresh < baseline * (1 - TOLERANCE)
+
+
+def lookup(obj, dotted):
+    for part in dotted.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            return None
+        obj = obj[part]
+    return obj
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline_path, fresh_path, keys = argv[1], argv[2], argv[3:]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    failed = False
+    for key in keys:
+        base = lookup(baseline, key)
+        now = lookup(fresh, key)
+        if base is None:
+            # New metric with no committed history yet: report, don't gate.
+            print(f"  {key}: no baseline (fresh={now}) — skipped")
+            continue
+        if now is None:
+            print(f"  {key}: MISSING from fresh output (baseline={base})")
+            failed = True
+            continue
+        if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
+            print(f"  {key}: non-numeric (baseline={base!r}, fresh={now!r})")
+            failed = True
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        status = "ok" if now >= floor else "REGRESSION"
+        print(f"  {key}: baseline={base:.3f} fresh={now:.3f} floor={floor:.3f} {status}")
+        if now < floor:
+            failed = True
+
+    if failed:
+        print("bench regression check FAILED", file=sys.stderr)
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

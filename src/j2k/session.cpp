@@ -169,6 +169,19 @@ std::uint64_t decode_session::tier1_segment_bytes() const noexcept
     return impl_->seg_bytes;
 }
 
+std::size_t decode_session::resident_bytes() const noexcept
+{
+    // Dominant terms of tier1_block_decoder's state: the per-sample arrays
+    // (u32 magnitude + five flag planes = 9 B/sample) plus a small per-block
+    // constant for MQ contexts and the pass table.
+    std::size_t total = 0;
+    for (const auto& tb : impl_->slots)
+        for (const auto& s : tb)
+            total += static_cast<std::size_t>(s.w) * static_cast<std::size_t>(s.h) * 9 +
+                     160;
+    return total;
+}
+
 image decode_session::advance_to(int layers, decode_stats* stats)
 {
     impl& im = *impl_;

@@ -73,6 +73,13 @@ public:
     /// total segment payload, never L times it.
     [[nodiscard]] std::uint64_t tier1_segment_bytes() const noexcept;
 
+    /// Approximate bytes of persistent decoder state this session retains
+    /// (per-block magnitudes, flag planes, MQ contexts; the codestream span
+    /// is the caller's and not included).  Drives the byte budget of the
+    /// runtime's decoded-result cache, which holds sessions as resumable
+    /// prefixes.  Plain (single-layer) streams retain no block state: 0.
+    [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
 private:
     struct impl;
     std::unique_ptr<impl> impl_;

@@ -1,0 +1,329 @@
+#include "decoded_cache.hpp"
+
+#include <runtime/hash.hpp>
+
+#include <obs/obs.hpp>
+
+#include <algorithm>
+#include <utility>
+
+namespace runtime {
+
+std::size_t cache_key_hash::operator()(const cache_key& k) const noexcept
+{
+    fnv1a h;
+    h.u64(k.content_hash);
+    h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layers)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.discard_levels))
+           << 32));
+    h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.max_passes)));
+    h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.roi_x)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.roi_y)) << 32));
+    h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.roi_w)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.roi_h)) << 32));
+    return static_cast<std::size_t>(h.value());
+}
+
+std::size_t image_bytes(const j2k::image& img) noexcept
+{
+    return static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height()) *
+           static_cast<std::size_t>(img.components()) * sizeof(std::int32_t);
+}
+
+/// One resident decoded image.
+struct decoded_cache::image_entry {
+    image_ptr img;
+    std::size_t bytes = 0;
+    bool pinned = false;
+    lru_list::iterator lru_it;  ///< position in lru_ (pinned entries included,
+                                ///< skipped at eviction time)
+};
+
+/// One resident resumable prefix.  `session` is empty while checked out.
+struct decoded_cache::session_entry {
+    std::vector<std::uint8_t> bytes;
+    std::optional<j2k::decode_session> session;
+    std::size_t resident = 0;  ///< accounted bytes (codestream + decoder state)
+    bool leased = false;
+};
+
+/// Single-flight rendezvous: the leader publishes exactly once, waiters block
+/// on the flight's own cv (not the cache mutex) so a long decode never holds
+/// the cache lock.
+struct decoded_cache::flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    image_ptr img;
+    std::exception_ptr err;
+};
+
+decoded_cache::decoded_cache(std::size_t byte_budget) : budget_{byte_budget} {}
+
+decoded_cache::~decoded_cache() = default;
+
+void decoded_cache::account_insert_locked(std::size_t bytes, bool pinned)
+{
+    bytes_ += bytes;
+    if (pinned) pinned_bytes_ += bytes;
+}
+
+void decoded_cache::account_erase_locked(std::size_t bytes, bool pinned)
+{
+    bytes_ -= bytes;
+    if (pinned) pinned_bytes_ -= bytes;
+}
+
+void decoded_cache::evict_to_budget_locked()
+{
+    // Unpinned images go first, coldest first; session prefixes only after
+    // every unpinned image is gone (a prefix took O(layers) tier-1 work to
+    // build, an image only synthesis).  Leased sessions and pinned images are
+    // untouchable, so a fully pinned cache may sit above budget — bounded,
+    // because inserts refuse the pin bit once pins alone would exceed the
+    // budget (see complete_flight/insert).
+    auto it = lru_.end();
+    while (bytes_ > budget_ && it != lru_.begin()) {
+        --it;
+        auto found = images_.find(*it);
+        if (found == images_.end() || found->second.pinned) continue;
+        account_erase_locked(found->second.bytes, false);
+        it = lru_.erase(it);
+        images_.erase(found);
+        ++evictions_;
+        OBS_TRACE_INSTANT("cache", "evict");
+    }
+    for (auto sit = sessions_.begin(); bytes_ > budget_ && sit != sessions_.end();) {
+        if (sit->second.leased) {
+            ++sit;
+            continue;
+        }
+        account_erase_locked(sit->second.resident, false);
+        sit = sessions_.erase(sit);
+        ++evictions_;
+        OBS_TRACE_INSTANT("cache", "evict");
+    }
+}
+
+std::optional<decoded_cache::flight_result> decoded_cache::begin_flight(
+    const cache_key& k)
+{
+    std::shared_ptr<flight> f;
+    {
+        std::lock_guard lk{m_};
+        auto it = images_.find(k);
+        if (it != images_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+            ++hits_;
+            OBS_TRACE_INSTANT("cache", "hit");
+            return flight_result{it->second.img, nullptr, false};
+        }
+        auto fit = flights_.find(k);
+        if (fit == flights_.end()) {
+            ++misses_;
+            OBS_TRACE_INSTANT("cache", "miss");
+            flights_.emplace(k, std::make_shared<flight>());
+            return std::nullopt;  // caller leads
+        }
+        ++collapses_;
+        OBS_TRACE_INSTANT("cache", "collapse");
+        f = fit->second;
+    }
+    std::unique_lock fl{f->m};
+    f->cv.wait(fl, [&] { return f->done; });
+    return flight_result{f->img, f->err, true};
+}
+
+void decoded_cache::complete_flight(const cache_key& k, image_ptr img, bool pin)
+{
+    std::shared_ptr<flight> f;
+    {
+        std::lock_guard lk{m_};
+        auto fit = flights_.find(k);
+        if (fit != flights_.end()) {
+            f = std::move(fit->second);
+            flights_.erase(fit);
+        }
+        if (img && !images_.count(k)) {
+            const std::size_t sz = image_bytes(*img);
+            // Refuse the pin (not the entry) once pinned bytes alone would
+            // blow the budget: a pin-flood degrades to an ordinary full
+            // cache instead of unbounded growth.
+            const bool pinned = pin && pinned_bytes_ + sz <= budget_;
+            lru_.push_front(k);
+            images_.emplace(k, image_entry{img, sz, pinned, lru_.begin()});
+            account_insert_locked(sz, pinned);
+            ++inserts_;
+            evict_to_budget_locked();
+            OBS_TRACE_COUNTER("cache", "cache_bytes", bytes_);
+        }
+    }
+    if (f) {
+        std::lock_guard fl{f->m};
+        f->img = std::move(img);
+        f->done = true;
+        f->cv.notify_all();
+    }
+}
+
+void decoded_cache::abort_flight(const cache_key& k, std::exception_ptr err) noexcept
+{
+    std::shared_ptr<flight> f;
+    {
+        std::lock_guard lk{m_};
+        auto fit = flights_.find(k);
+        if (fit == flights_.end()) return;
+        f = std::move(fit->second);
+        flights_.erase(fit);
+    }
+    std::lock_guard fl{f->m};
+    f->err = std::move(err);
+    f->done = true;
+    f->cv.notify_all();
+}
+
+decoded_cache::image_ptr decoded_cache::peek(const cache_key& k)
+{
+    std::lock_guard lk{m_};
+    auto it = images_.find(k);
+    if (it == images_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++hits_;
+    return it->second.img;
+}
+
+void decoded_cache::insert(const cache_key& k, image_ptr img, bool pin)
+{
+    if (!img) return;
+    std::lock_guard lk{m_};
+    if (images_.count(k)) return;
+    const std::size_t sz = image_bytes(*img);
+    const bool pinned = pin && pinned_bytes_ + sz <= budget_;
+    lru_.push_front(k);
+    images_.emplace(k, image_entry{std::move(img), sz, pinned, lru_.begin()});
+    account_insert_locked(sz, pinned);
+    ++inserts_;
+    evict_to_budget_locked();
+    OBS_TRACE_COUNTER("cache", "cache_bytes", bytes_);
+}
+
+bool decoded_cache::set_pinned(const cache_key& k, bool pinned)
+{
+    std::lock_guard lk{m_};
+    auto it = images_.find(k);
+    if (it == images_.end()) return false;
+    image_entry& e = it->second;
+    if (e.pinned == pinned) return true;
+    if (pinned && pinned_bytes_ + e.bytes > budget_) return false;
+    e.pinned = pinned;
+    pinned ? pinned_bytes_ += e.bytes : pinned_bytes_ -= e.bytes;
+    if (!pinned) evict_to_budget_locked();
+    return true;
+}
+
+std::optional<decoded_cache::session_lease> decoded_cache::checkout_session(
+    std::uint64_t content_hash, std::span<const std::uint8_t> expect, int max_layers)
+{
+    std::lock_guard lk{m_};
+    auto it = sessions_.find(content_hash);
+    if (it == sessions_.end() || it->second.leased || !it->second.session) return std::nullopt;
+    session_entry& e = it->second;
+    if (e.session->layers_decoded() > max_layers)
+        return std::nullopt;  // deeper than the request: not bit-exact to resume
+    if (e.bytes.size() != expect.size() ||
+        !std::equal(e.bytes.begin(), e.bytes.end(), expect.begin()))
+        return std::nullopt;  // 64-bit collision or stale entry: never resume
+    e.leased = true;
+    ++session_resumes_;
+    OBS_TRACE_INSTANT("cache", "session_resume");
+    // The vector move keeps the heap buffer (and the session's references
+    // into it) stable; the entry keeps its byte accounting until return.
+    session_lease lease{std::move(e.bytes), std::move(*e.session)};
+    e.session.reset();
+    return lease;
+}
+
+void decoded_cache::deposit_session(std::uint64_t content_hash,
+                                    std::vector<std::uint8_t> bytes,
+                                    j2k::decode_session session)
+{
+    const std::size_t resident = bytes.size() + session.resident_bytes();
+    std::lock_guard lk{m_};
+    ++session_deposits_;
+    auto it = sessions_.find(content_hash);
+    if (it != sessions_.end()) {
+        session_entry& e = it->second;
+        if (e.leased) {
+            // Lease return (or a cold deposit racing one — same handling:
+            // the returning/incoming state replaces the checked-out slot).
+            account_erase_locked(e.resident, false);
+            e.bytes = std::move(bytes);
+            e.session.emplace(std::move(session));
+            e.resident = resident;
+            e.leased = false;
+            account_insert_locked(resident, false);
+        } else if (e.session &&
+                   session.layers_decoded() > e.session->layers_decoded()) {
+            account_erase_locked(e.resident, false);
+            e.bytes = std::move(bytes);
+            e.session.emplace(std::move(session));
+            e.resident = resident;
+            account_insert_locked(resident, false);
+        }
+        // else: resident prefix is at least as deep — drop the deposit.
+    } else {
+        session_entry e;
+        e.bytes = std::move(bytes);
+        e.session.emplace(std::move(session));
+        e.resident = resident;
+        account_insert_locked(resident, false);
+        sessions_.emplace(content_hash, std::move(e));
+    }
+    evict_to_budget_locked();
+    OBS_TRACE_COUNTER("cache", "cache_bytes", bytes_);
+}
+
+void decoded_cache::discard_session(std::uint64_t content_hash) noexcept
+{
+    std::lock_guard lk{m_};
+    auto it = sessions_.find(content_hash);
+    if (it == sessions_.end() || !it->second.leased) return;
+    account_erase_locked(it->second.resident, false);
+    sessions_.erase(it);
+}
+
+cache_stats decoded_cache::stats() const
+{
+    std::lock_guard lk{m_};
+    cache_stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.collapses = collapses_;
+    s.inserts = inserts_;
+    s.evictions = evictions_;
+    s.session_resumes = session_resumes_;
+    s.session_deposits = session_deposits_;
+    s.bytes = bytes_;
+    s.pinned_bytes = pinned_bytes_;
+    s.entries = images_.size();
+    s.session_entries = sessions_.size();
+    return s;
+}
+
+void decoded_cache::clear()
+{
+    std::lock_guard lk{m_};
+    for (auto& [k, e] : images_) account_erase_locked(e.bytes, e.pinned);
+    images_.clear();
+    lru_.clear();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->second.leased) {
+            ++it;  // dropped on return via deposit_session + eviction
+            continue;
+        }
+        account_erase_locked(it->second.resident, false);
+        it = sessions_.erase(it);
+    }
+}
+
+}  // namespace runtime

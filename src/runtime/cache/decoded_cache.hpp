@@ -1,0 +1,218 @@
+// runtime/cache/decoded_cache.hpp — process-wide content-addressed cache of
+// decoded results, with single-flight collapsing of concurrent identical
+// misses.
+//
+// Serving traffic is zipf-distributed: the same hot codestreams are decoded
+// over and over.  This cache sits between admission and the decode kernels as
+// its own byte-budgeted subsystem (the TLM discipline: a storage service
+// behind a clean transaction interface, not state smeared through the codec)
+// and holds two value kinds:
+//
+//   1. fully decoded images, keyed by (codestream FNV-1a hash, quality
+//      layers, discard levels, max passes[, ROI window — reserved]) — a hit
+//      answers a decode_all-shaped request with zero tier-1 work;
+//   2. resumable decode_session prefixes, keyed by content hash alone — a
+//      cached layer-k prefix serves a layer-(k+n) request at O(new layers)
+//      tier-1 cost, and an equal-depth prefix at synthesis-only cost.  A
+//      prefix *deeper* than the request is never resumed: tier-1 block state
+//      is cumulative and cannot be rolled back, so only an equal-or-shallower
+//      prefix reproduces the request bit-exactly.
+//
+// Concurrent identical misses collapse single-flight: the first requester
+// becomes the leader and decodes; the others block on the flight and share
+// the leader's published image (or its exception).  The leader never waits on
+// anyone, so a pool worker leading a flight always makes progress — waiters
+// can only queue behind a leader that is actively decoding, which is strictly
+// cheaper than the N redundant decodes they replace.
+//
+//   begin_flight(k) ──hit──────────────► shared image        (fast path)
+//        │ miss, flight open ──block──► leader's outcome     (collapsed)
+//        │ miss, no flight ───────────► nullopt: caller is leader, must
+//        ▼                               complete_flight / abort_flight
+//   [decode] ── complete_flight(k,img) ► waiters wake, entry inserted (LRU)
+//
+// Eviction is LRU over a byte budget.  Entries pinned by policy
+// (cache_policy::pin, the J2NE pin flag) and session entries currently
+// checked out are never evicted; pinned bytes still count against the budget
+// so a pin-flood degrades to "cache full", not OOM.
+//
+// Collision trust model: the content address is 64-bit FNV-1a of the whole
+// codestream.  Image hits trust the hash (~2^-64 accidental collision);
+// session checkouts additionally compare the stored bytes against the
+// request's before resuming, because resuming a wrong-content session would
+// silently produce plausible-looking garbage.
+#pragma once
+
+#include <j2k/image.hpp>
+#include <j2k/session.hpp>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace runtime {
+
+/// Cache key of one fully decoded image.  Extensible by design: the ROI
+/// window fields are reserved for region-of-interest serving (all-zero =
+/// full frame) so ROADMAP item 3 widens the key without a format break.
+struct cache_key {
+    std::uint64_t content_hash = 0;  ///< FNV-1a of the codestream bytes
+    std::int32_t layers = 0;         ///< normalised quality-layer depth (>= 1)
+    std::int32_t discard_levels = 0;
+    std::int32_t max_passes = 0;
+    std::int32_t roi_x = 0, roi_y = 0, roi_w = 0, roi_h = 0;  ///< reserved
+
+    [[nodiscard]] bool operator==(const cache_key&) const = default;
+};
+
+struct cache_key_hash {
+    [[nodiscard]] std::size_t operator()(const cache_key& k) const noexcept;
+};
+
+/// Point-in-time cache counters (all monotonic except the byte/entry gauges).
+struct cache_stats {
+    std::uint64_t hits = 0;       ///< served from a completed entry
+    std::uint64_t misses = 0;     ///< flights led (== decodes actually run)
+    std::uint64_t collapses = 0;  ///< requests that waited on a leader instead
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t session_resumes = 0;   ///< prefix checkouts that saved tier-1 work
+    std::uint64_t session_deposits = 0;
+    std::uint64_t bytes = 0;          ///< resident payload bytes (images + sessions)
+    std::uint64_t pinned_bytes = 0;   ///< subset of `bytes` exempt from eviction
+    std::uint64_t entries = 0;        ///< image entries resident
+    std::uint64_t session_entries = 0;
+};
+
+class decoded_cache {
+public:
+    using image_ptr = std::shared_ptr<const j2k::image>;
+
+    /// `byte_budget` bounds resident payload bytes (images by exact sample
+    /// storage, sessions by decode_session::resident_bytes()).  A single
+    /// entry larger than the whole budget is still admitted and evicted the
+    /// moment anything else arrives — refusing it would make the hottest
+    /// large image permanently uncacheable.
+    explicit decoded_cache(std::size_t byte_budget);
+    ~decoded_cache();
+
+    decoded_cache(const decoded_cache&) = delete;
+    decoded_cache& operator=(const decoded_cache&) = delete;
+
+    // ---- image entries + single-flight -----------------------------------
+
+    /// Outcome of begin_flight when the caller is *not* the leader.
+    struct flight_result {
+        image_ptr image;            ///< non-null unless the leader failed
+        std::exception_ptr error;   ///< the leader's exception, when it failed
+        bool collapsed = false;     ///< true: waited behind an in-flight leader
+    };
+
+    /// The single-flight entry point.  Returns a value when the request is
+    /// served from the cache (hit) or by an in-flight leader (collapsed wait,
+    /// possibly with the leader's error); returns nullopt when the caller has
+    /// become the leader and MUST follow up with exactly one complete_flight
+    /// or abort_flight for this key.
+    [[nodiscard]] std::optional<flight_result> begin_flight(const cache_key& k);
+
+    /// Leader success: publish to every waiter and insert the entry (subject
+    /// to the byte budget; `pin` exempts it from eviction).
+    void complete_flight(const cache_key& k, image_ptr img, bool pin = false);
+
+    /// Leader failure: every waiter receives `err`; nothing is cached, so the
+    /// next request for the key retries the decode.
+    void abort_flight(const cache_key& k, std::exception_ptr err) noexcept;
+
+    /// Plain lookup without flight membership (stats endpoints, tests).
+    /// Touches LRU recency and counts a hit; returns null on miss (which is
+    /// NOT counted — only flights count misses, keeping `misses` == decodes).
+    [[nodiscard]] image_ptr peek(const cache_key& k);
+
+    /// Insert without a flight (warm-up paths, tests).
+    void insert(const cache_key& k, image_ptr img, bool pin = false);
+
+    /// Flip an entry's pin.  Returns false when the key is not resident.
+    bool set_pinned(const cache_key& k, bool pinned);
+
+    // ---- resumable session prefixes --------------------------------------
+
+    /// An exclusive lease on a cached session prefix: the codestream bytes
+    /// the session references plus the session itself.  While leased, the
+    /// entry stays resident (and unevictable) but cannot be leased again —
+    /// a concurrent request for the same content decodes cold instead.
+    struct session_lease {
+        std::vector<std::uint8_t> bytes;  ///< stable storage `session` points into
+        j2k::decode_session session;
+    };
+
+    /// Check out the session prefix for `content_hash`, verifying the stored
+    /// bytes equal `expect` (collision paranoia: never resume a session over
+    /// different content).  Returns nullopt when absent, already leased,
+    /// mismatched, or deeper than `max_layers` (resuming a deeper prefix
+    /// cannot reproduce a shallower reconstruction bit-exactly).
+    [[nodiscard]] std::optional<session_lease> checkout_session(
+        std::uint64_t content_hash, std::span<const std::uint8_t> expect,
+        int max_layers = std::numeric_limits<int>::max());
+
+    /// Deposit (or return) a session prefix.  Keeps the deeper of the
+    /// deposited and any resident prefix for the hash.  The session must
+    /// reference `bytes`'s heap storage (vector moves keep it stable).
+    void deposit_session(std::uint64_t content_hash, std::vector<std::uint8_t> bytes,
+                         j2k::decode_session session);
+
+    /// Drop a leased prefix without returning it — the lease holder's
+    /// advance threw and the session is poisoned.  No-op for unleased hashes.
+    void discard_session(std::uint64_t content_hash) noexcept;
+
+    // ---- introspection ---------------------------------------------------
+
+    [[nodiscard]] cache_stats stats() const;
+    [[nodiscard]] std::size_t byte_budget() const noexcept { return budget_; }
+    /// Drop every unleased entry (leased sessions are dropped on return).
+    void clear();
+
+private:
+    struct image_entry;
+    struct session_entry;
+    struct flight;
+    using lru_list = std::list<cache_key>;
+
+    /// Evict unpinned image entries LRU-first until bytes_ <= budget_.
+    /// Session prefixes are evicted only after every unpinned image is gone:
+    /// a prefix regenerates O(L) tier-1 work, an image only O(synthesis).
+    void evict_to_budget_locked();
+    void account_insert_locked(std::size_t bytes, bool pinned);
+    void account_erase_locked(std::size_t bytes, bool pinned);
+
+    const std::size_t budget_;
+
+    mutable std::mutex m_;
+    std::unordered_map<cache_key, image_entry, cache_key_hash> images_;
+    std::unordered_map<cache_key, std::shared_ptr<flight>, cache_key_hash> flights_;
+    std::unordered_map<std::uint64_t, session_entry> sessions_;
+    lru_list lru_;  ///< front = most recent; back = eviction candidate
+
+    std::uint64_t bytes_ = 0;
+    std::uint64_t pinned_bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t collapses_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t session_resumes_ = 0;
+    std::uint64_t session_deposits_ = 0;
+};
+
+/// Exact resident payload bytes of one cached image (sample storage).
+[[nodiscard]] std::size_t image_bytes(const j2k::image& img) noexcept;
+
+}  // namespace runtime

@@ -1,0 +1,80 @@
+// runtime/hash.hpp — the repo's one FNV-1a implementation.
+//
+// Used as the content address of the decoded-result cache (hash of the raw
+// codestream bytes) and as the pixel digest of the golden corpus
+// (tests/j2k/test_golden.cpp, make_corpus.cpp), which previously each carried
+// their own copy.  64-bit FNV-1a: not cryptographic — collision resistance is
+// probabilistic (~2^-64 per pair), which is the documented trust model of the
+// cache key (see docs/RUNTIME.md).
+//
+// Header-only and j2k-free on purpose: `fnv1a_image` is a template over any
+// image-shaped type (width/height/components/bit_depth/comp(c).samples()), so
+// runtime_core keeps its no-j2k-dependency invariant while j2k-side tests and
+// the cache share the exact same byte-for-byte mixing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace runtime {
+
+inline constexpr std::uint64_t k_fnv1a_offset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t k_fnv1a_prime = 0x100000001B3ull;
+
+/// Incremental FNV-1a accumulator.
+class fnv1a {
+public:
+    /// Mix one byte.
+    constexpr void byte(std::uint8_t b) noexcept
+    {
+        h_ = (h_ ^ b) * k_fnv1a_prime;
+    }
+
+    /// Mix a byte range.
+    constexpr void bytes(std::span<const std::uint8_t> data) noexcept
+    {
+        for (const std::uint8_t b : data) byte(b);
+    }
+
+    /// Mix a 64-bit value as 8 little-endian bytes (the corpus convention).
+    constexpr void u64(std::uint64_t v) noexcept
+    {
+        for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+
+    [[nodiscard]] constexpr std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = k_fnv1a_offset;
+};
+
+/// FNV-1a of a byte range — the cache's content address for a codestream.
+[[nodiscard]] constexpr std::uint64_t fnv1a_bytes(
+    std::span<const std::uint8_t> data) noexcept
+{
+    fnv1a h;
+    h.bytes(data);
+    return h.value();
+}
+
+/// FNV-1a over an image's geometry and every sample, in the golden-corpus
+/// order: width, height, components, bit depth, then each component's samples
+/// row-major, every value mixed as 8 little-endian bytes.  Templated so this
+/// header needs no j2k dependency; instantiate with j2k::image (or anything
+/// with the same accessors).
+template <typename Image>
+[[nodiscard]] std::uint64_t fnv1a_image(const Image& img) noexcept
+{
+    fnv1a h;
+    h.u64(static_cast<std::uint64_t>(img.width()));
+    h.u64(static_cast<std::uint64_t>(img.height()));
+    h.u64(static_cast<std::uint64_t>(img.components()));
+    h.u64(static_cast<std::uint64_t>(img.bit_depth()));
+    for (int c = 0; c < img.components(); ++c)
+        for (const std::int32_t v : img.comp(c).samples())
+            h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+    return h.value();
+}
+
+}  // namespace runtime

@@ -79,7 +79,7 @@ metrics_snapshot service_metrics::snapshot() const
 
 std::string metrics_snapshot::dump() const
 {
-    char buf[3072];
+    char buf[4096];
     std::snprintf(
         buf, sizeof buf,
         "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu "
@@ -89,6 +89,8 @@ std::string metrics_snapshot::dump() const
         "queue: high_water=%llu\n"
         "progressive: jobs=%llu layers=%llu cancelled=%llu t1_bytes=%llu "
         "active_high_water=%llu\n"
+        "cache: hits=%llu misses=%llu collapses=%llu evictions=%llu "
+        "session_resumes=%llu bytes=%llu pinned=%llu entries=%llu sessions=%llu\n"
         "work: tiles_decoded=%llu tasks_stolen=%llu pool_submissions=%llu\n"
         "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
         "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
@@ -111,6 +113,15 @@ std::string metrics_snapshot::dump() const
         static_cast<unsigned long long>(progressive_cancelled),
         static_cast<unsigned long long>(t1_segment_bytes),
         static_cast<unsigned long long>(progressive_active_high_water),
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        static_cast<unsigned long long>(cache_collapses),
+        static_cast<unsigned long long>(cache_evictions),
+        static_cast<unsigned long long>(cache_session_resumes),
+        static_cast<unsigned long long>(cache_bytes),
+        static_cast<unsigned long long>(cache_pinned_bytes),
+        static_cast<unsigned long long>(cache_entries),
+        static_cast<unsigned long long>(cache_session_entries),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,
@@ -126,7 +137,7 @@ std::string metrics_snapshot::dump() const
 
 std::string metrics_snapshot::to_json() const
 {
-    char buf[3072];
+    char buf[4096];
     std::snprintf(
         buf, sizeof buf,
         "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
@@ -138,6 +149,9 @@ std::string metrics_snapshot::to_json() const
         "\"jobs_progressive\":%llu,\"layers_emitted\":%llu,"
         "\"progressive_cancelled\":%llu,\"t1_segment_bytes\":%llu,"
         "\"progressive_active_high_water\":%llu,"
+        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"collapses\":%llu,"
+        "\"evictions\":%llu,\"session_resumes\":%llu,\"bytes\":%llu,"
+        "\"pinned_bytes\":%llu,\"entries\":%llu,\"session_entries\":%llu},"
         "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,\"pool_submissions\":%llu,"
         "\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
         "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
@@ -162,6 +176,15 @@ std::string metrics_snapshot::to_json() const
         static_cast<unsigned long long>(progressive_cancelled),
         static_cast<unsigned long long>(t1_segment_bytes),
         static_cast<unsigned long long>(progressive_active_high_water),
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        static_cast<unsigned long long>(cache_collapses),
+        static_cast<unsigned long long>(cache_evictions),
+        static_cast<unsigned long long>(cache_session_resumes),
+        static_cast<unsigned long long>(cache_bytes),
+        static_cast<unsigned long long>(cache_pinned_bytes),
+        static_cast<unsigned long long>(cache_entries),
+        static_cast<unsigned long long>(cache_session_entries),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,

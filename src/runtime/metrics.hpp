@@ -51,6 +51,19 @@ struct metrics_snapshot {
     std::uint64_t t1_segment_bytes = 0;
     std::uint64_t progressive_active_high_water = 0;
 
+    // Decoded-result cache (all zero when the service runs without one; the
+    // live counters are owned by the cache itself and merged at snapshot
+    // time by decode_service::metrics()).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;     ///< flights led == decodes actually run
+    std::uint64_t cache_collapses = 0;  ///< requests folded into a leader's flight
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_session_resumes = 0;
+    std::uint64_t cache_bytes = 0;
+    std::uint64_t cache_pinned_bytes = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t cache_session_entries = 0;
+
     // Work.
     std::uint64_t tiles_decoded = 0;
     std::uint64_t tasks_stolen = 0;  ///< pool subtasks run by a non-owning worker

@@ -48,7 +48,9 @@ void append_frame(std::vector<std::uint8_t>& out, const request& r)
     request_header h;
     h.priority_raw = r.priority;
     h.format_raw = static_cast<std::uint8_t>(r.format);
-    h.flags = r.progressive ? k_flag_progressive : 0;
+    h.flags = static_cast<std::uint8_t>((r.progressive ? k_flag_progressive : 0) |
+                                        (r.cache_bypass ? k_flag_cache_bypass : 0) |
+                                        (r.cache_pin ? k_flag_cache_pin : 0));
     h.request_id = r.request_id;
     h.payload_len = static_cast<std::uint32_t>(r.codestream.size());
     const std::size_t base = out.size();

@@ -23,7 +23,9 @@ struct request {
     std::uint8_t priority = 1;  ///< 0 interactive, 1 batch
     result_format format = result_format::raw;
     std::uint32_t request_id = 0;
-    bool progressive = false;  ///< stream one response per quality layer
+    bool progressive = false;   ///< stream one response per quality layer
+    bool cache_bypass = false;  ///< decode without the server's result cache
+    bool cache_pin = false;     ///< pin the cached entry (exclusive with bypass)
 };
 
 /// One response off the wire.

@@ -50,7 +50,8 @@ std::optional<request_header> decode_request_header(std::span<const std::uint8_t
     if (h.priority_raw > 1) return fail("bad priority byte");
     if (h.format_raw > 1) return fail("bad format byte");
     h.flags = in[7];
-    if ((h.flags & ~k_flag_progressive) != 0) return fail("unknown flag bits");
+    if ((h.flags & ~k_flag_known_mask) != 0) return fail("unknown flag bits");
+    if (h.cache_bypass() && h.cache_pin()) return fail("bypass+pin flags conflict");
     h.request_id = get_u32(in.data() + 8);
     h.payload_len = get_u32(in.data() + 12);
     return h;

@@ -14,7 +14,8 @@
 //   u8  priority   0 = interactive, 1 = batch
 //   u8  format     0 = raw planar samples, 1 = PNM (PGM/PPM)
 //   u8  flags      bit 0 = progressive (stream one response per quality
-//                  layer); other bits must be 0
+//                  layer); bit 1 = cache bypass; bit 2 = cache pin
+//                  (bits 1+2 together, or any other bit, reject the frame)
 //   u32 request_id echoed verbatim in the response (pipelining correlation)
 //   u32 payload_len
 //   ... payload_len bytes of J2K codestream
@@ -92,8 +93,16 @@ enum class status : std::uint8_t {
     return "?";
 }
 
-/// Request flag bits (request header byte 7).
+/// Request flag bits (request header byte 7).  `cache_bypass` decodes without
+/// reading or populating the server's decoded-result cache; `cache_pin`
+/// exempts the inserted entry from eviction.  Setting both is contradictory
+/// and rejected as a bad frame.  Both are no-ops on a server running without
+/// a cache.
 inline constexpr std::uint8_t k_flag_progressive = 0x01;
+inline constexpr std::uint8_t k_flag_cache_bypass = 0x02;
+inline constexpr std::uint8_t k_flag_cache_pin = 0x04;
+inline constexpr std::uint8_t k_flag_known_mask =
+    k_flag_progressive | k_flag_cache_bypass | k_flag_cache_pin;
 
 struct request_header {
     std::uint8_t priority_raw = 1;  ///< runtime::priority as a byte
@@ -105,6 +114,14 @@ struct request_header {
     [[nodiscard]] bool progressive() const noexcept
     {
         return (flags & k_flag_progressive) != 0;
+    }
+    [[nodiscard]] bool cache_bypass() const noexcept
+    {
+        return (flags & k_flag_cache_bypass) != 0;
+    }
+    [[nodiscard]] bool cache_pin() const noexcept
+    {
+        return (flags & k_flag_cache_pin) != 0;
     }
 };
 

@@ -442,6 +442,9 @@ struct server::impl {
         OBS_TRACE_ASYNC_BEGIN("net", "frame", trace_id);
         decode_options opt;
         opt.prio = c.hdr.priority_raw == 0 ? priority::interactive : priority::batch;
+        opt.cache = c.hdr.cache_bypass()  ? cache_policy::bypass
+                    : c.hdr.cache_pin()   ? cache_policy::pin
+                                          : cache_policy::use;
         if (c.hdr.progressive()) {
             // Streaming requests are never coalesced: each one produces a
             // whole response sequence and holds a worker for its duration.

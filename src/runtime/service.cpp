@@ -1,5 +1,8 @@
 #include "service.hpp"
 
+#include "cache/decoded_cache.hpp"
+#include "hash.hpp"
+
 #include <j2k/image.hpp>
 #include <j2k/session.hpp>
 #include <obs/obs.hpp>
@@ -25,6 +28,8 @@ decode_service::decode_service(service_config cfg)
              cfg.policy,
              cfg.promote_after,
              level_capacities{cfg.interactive_capacity, cfg.batch_capacity}},
+      cache_{cfg.cache_bytes > 0 ? std::make_unique<decoded_cache>(cfg.cache_bytes)
+                                 : nullptr},
       pool_{std::make_unique<thread_pool>(cfg.workers)}
 {
 }
@@ -237,6 +242,10 @@ void decode_service::run_job(job& j)
         run_progressive_job(j);
         return;
     }
+    if (cache_ && j.opt.cache != cache_policy::bypass) {
+        run_cached_job(j);
+        return;
+    }
     OBS_TRACE_SCOPE("runtime", "decode_job");
     j2k::image img;
     try {
@@ -259,6 +268,95 @@ void decode_service::run_job(job& j)
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
+void decode_service::run_cached_job(job& j)
+{
+    OBS_TRACE_SCOPE("runtime", "decode_job");
+    decoded_cache::image_ptr shared;
+    try {
+        j2k::decoder dec{j.bytes};
+        dec.set_max_passes(j.opt.max_passes);
+        dec.set_max_quality_layers(j.opt.max_quality_layers);
+
+        // Normalised key: "all layers" requests (0 or >= stream depth) share
+        // one entry with explicit full-depth requests.
+        cache_key key;
+        key.content_hash = fnv1a_bytes(j.bytes);
+        const int total = dec.info().quality_layers;
+        const int cap = j.opt.max_quality_layers;
+        key.layers = (cap <= 0 || cap >= total) ? total : cap;
+        key.discard_levels = j.opt.discard_levels;
+        key.max_passes = j.opt.max_passes;
+
+        if (auto r = cache_->begin_flight(key)) {
+            if (r->error) std::rethrow_exception(r->error);
+            shared = std::move(r->image);
+        } else {
+            // This worker leads the flight: decode inline (never waiting on
+            // another job, so a leader always makes progress) and publish.
+            try {
+                auto img =
+                    std::make_shared<const j2k::image>(decode_leader(j, dec, key));
+                cache_->complete_flight(key, img, j.opt.cache == cache_policy::pin);
+                shared = std::move(img);
+            } catch (...) {
+                cache_->abort_flight(key, std::current_exception());
+                throw;
+            }
+        }
+    } catch (...) {
+        metrics_.on_failed();
+        OBS_TRACE_INSTANT("runtime", "job_failed");
+        settle(j, std::current_exception());
+        OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+        return;
+    }
+    metrics_.record_latency_us(
+        j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+    metrics_.on_completed();
+    settle(j, j2k::image{*shared});  // each caller gets its own copy
+    OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+}
+
+j2k::image decode_service::decode_leader(job& j, j2k::decoder& dec, const cache_key& key)
+{
+    // Layered full-quality requests go through a resumable session so the
+    // tier-1 prefix can be cached and extended; everything else (plain
+    // streams, reduced resolution, SNR-capped) uses the classic paths.
+    if (j.opt.discard_levels > 0) return dec.decode_reduced(j.opt.discard_levels);
+    const bool layered = dec.info().quality_layers > 1;
+    if (!layered || j.opt.max_passes != 0) return decode_tiled(dec);
+
+    if (auto lease = cache_->checkout_session(key.content_hash, j.bytes, key.layers)) {
+        try {
+            const std::uint64_t before = lease->session.tier1_segment_bytes();
+            lease->session.set_threads(pool_->size());
+            j2k::image img = lease->session.advance_to(key.layers);
+            metrics_.add_t1_segment_bytes(lease->session.tier1_segment_bytes() - before);
+            cache_->deposit_session(key.content_hash, std::move(lease->bytes),
+                                    std::move(lease->session));
+            return img;
+        } catch (...) {
+            cache_->discard_session(key.content_hash);  // poisoned: never return it
+            throw;
+        }
+    }
+
+    j2k::decode_session s{j.bytes};
+    s.set_threads(pool_->size());
+    j2k::image img = s.advance_to(key.layers);
+    metrics_.add_t1_segment_bytes(s.tier1_segment_bytes());
+    // Deposit the cold prefix only when the job owns its bytes: the session
+    // references the codestream storage, and a borrowed span (copy_input =
+    // false) would leave it pointing into caller memory.  The vector move
+    // keeps the heap buffer — and the session's references into it — stable.
+    if (!j.owned.empty() && j.owned.data() == j.bytes.data()) {
+        std::vector<std::uint8_t> bytes = std::move(j.owned);
+        j.bytes = {};
+        cache_->deposit_session(key.content_hash, std::move(bytes), std::move(s));
+    }
+    return img;
+}
+
 void decode_service::run_progressive_job(job& j)
 {
     OBS_TRACE_SCOPE("runtime", "progressive_job");
@@ -270,7 +368,7 @@ void decode_service::run_progressive_job(job& j)
         const int stream_layers = s.total_layers();
         const int cap = j.opt.max_quality_layers;
         const int total = cap > 0 && cap < stream_layers ? cap : stream_layers;
-        std::uint64_t prev_bytes = 0;
+        std::uint64_t prev_bytes = s.tier1_segment_bytes();
         for (int l = 1; l <= total; ++l) {
             // Per-refinement async span under the job's span tree; the j2k
             // stage spans (tier-1 / IQ / IDWT) nest inside it.
@@ -287,6 +385,17 @@ void decode_service::run_progressive_job(job& j)
                 OBS_TRACE_INSTANT("runtime", "progressive_cancelled");
                 break;
             }
+        }
+        // Even a cancelled stream leaves a valid layer-l prefix; deposit it so
+        // later full-quality submits resume instead of decoding cold.  Same
+        // ownership gate as the leader path: the session references the
+        // codestream storage, so only owned bytes may move into the cache.
+        if (cache_ && j.opt.cache != cache_policy::bypass && stream_layers > 1 &&
+            !j.owned.empty() && j.owned.data() == j.bytes.data()) {
+            const std::uint64_t chash = fnv1a_bytes(j.bytes);
+            std::vector<std::uint8_t> bytes = std::move(j.owned);
+            j.bytes = {};
+            cache_->deposit_session(chash, std::move(bytes), std::move(s));
         }
     } catch (...) {
         metrics_.on_failed();
@@ -363,6 +472,18 @@ metrics_snapshot decode_service::metrics() const
         std::max<std::uint64_t>(s.queue_depth_high_water, queue_.high_water());
     s.jobs_promoted = std::max(s.jobs_promoted, queue_.promoted());
     s.tasks_stolen = pool_->tasks_stolen();
+    if (cache_) {
+        const cache_stats cs = cache_->stats();
+        s.cache_hits = cs.hits;
+        s.cache_misses = cs.misses;
+        s.cache_collapses = cs.collapses;
+        s.cache_evictions = cs.evictions;
+        s.cache_session_resumes = cs.session_resumes;
+        s.cache_bytes = cs.bytes;
+        s.cache_pinned_bytes = cs.pinned_bytes;
+        s.cache_entries = cs.entries;
+        s.cache_session_entries = cs.session_entries;
+    }
     return s;
 }
 

@@ -38,6 +38,9 @@
 
 namespace runtime {
 
+class decoded_cache;  // cache/decoded_cache.hpp
+struct cache_key;
+
 /// Base class of every service-raised error (delivered through futures).
 class service_error : public std::runtime_error {
 public:
@@ -62,6 +65,14 @@ public:
     service_stopped() : service_error{"decode_service: service is shut down"} {}
 };
 
+/// Per-request policy toward the decoded-result cache (no-op when the
+/// service runs without one).
+enum class cache_policy : std::uint8_t {
+    use = 0,     ///< serve hits, join single-flight, insert on miss (default)
+    bypass = 1,  ///< always decode; neither read nor populate the cache
+    pin = 2,     ///< like `use`, but the inserted entry is exempt from eviction
+};
+
 /// Per-job decode knobs (mirror the j2k::decoder scalability controls).
 struct decode_options {
     int discard_levels = 0;      ///< resolution: decode at 1/2^n size
@@ -69,6 +80,8 @@ struct decode_options {
     int max_passes = 0;          ///< SNR: cap tier-1 passes per block (0 = all)
     /// Admission class: `interactive` jumps the batch backlog at the queue.
     priority prio = priority::batch;
+    /// Decoded-result cache policy for this job.
+    cache_policy cache = cache_policy::use;
 };
 
 struct service_config {
@@ -86,6 +99,11 @@ struct service_config {
     /// Copy the codestream into the job (safe default).  With false the
     /// caller guarantees the bytes outlive the returned future.
     bool copy_input = true;
+    /// Byte budget of the decoded-result cache (0 = no cache).  Hot
+    /// codestreams are served from cached images / resumed from cached
+    /// session prefixes, and concurrent identical misses collapse to one
+    /// decode (see cache/decoded_cache.hpp).
+    std::size_t cache_bytes = 0;
 };
 
 class decode_service {
@@ -177,7 +195,11 @@ public:
     [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
     [[nodiscard]] std::size_t queue_depth(priority p) const { return queue_.size(p); }
 
-    /// Point-in-time metrics (queue high-water merged in).
+    /// The decoded-result cache, or null when cache_bytes == 0.
+    [[nodiscard]] decoded_cache* cache() noexcept { return cache_.get(); }
+    [[nodiscard]] const decoded_cache* cache() const noexcept { return cache_.get(); }
+
+    /// Point-in-time metrics (queue high-water and cache stats merged in).
     [[nodiscard]] metrics_snapshot metrics() const;
 
 private:
@@ -208,7 +230,12 @@ private:
     /// Hand the pool one pump able to pop-and-run up to `n` queued jobs.
     void pump(std::size_t n);
     void run_job(job& j);
+    void run_cached_job(job& j);
     void run_progressive_job(job& j);
+    /// The single-flight leader's decode: through a resumable session for
+    /// layered streams (depositing the prefix for later requests), through
+    /// the classic tiled path otherwise.
+    j2k::image decode_leader(job& j, j2k::decoder& dec, const cache_key& key);
     void finish_one();
     void record_priority_depths();
     j2k::image decode_tiled(const j2k::decoder& dec);
@@ -222,6 +249,7 @@ private:
     bool stopped_ = false;
 
     two_level_queue<job_ptr> queue_;
+    std::unique_ptr<decoded_cache> cache_;  ///< null when cache_bytes == 0
     std::unique_ptr<thread_pool> pool_;  ///< last member: destroyed (joined) first
 };
 

@@ -7,6 +7,7 @@
 // The streams are produced from make_test_image (deterministic by seed), so
 // the corpus is fully reproducible from this source file alone.
 #include <j2k/j2k.hpp>
+#include <runtime/hash.hpp>
 
 #include <cstdio>
 #include <fstream>
@@ -15,24 +16,7 @@
 
 namespace {
 
-std::uint64_t fnv1a_image(const j2k::image& img)
-{
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    auto mix = [&](std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (i * 8)) & 0xFF;
-            h *= 0x100000001B3ull;
-        }
-    };
-    mix(static_cast<std::uint64_t>(img.width()));
-    mix(static_cast<std::uint64_t>(img.height()));
-    mix(static_cast<std::uint64_t>(img.components()));
-    mix(static_cast<std::uint64_t>(img.bit_depth()));
-    for (int c = 0; c < img.components(); ++c)
-        for (const std::int32_t v : img.comp(c).samples())
-            mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
-    return h;
-}
+using runtime::fnv1a_image;
 
 void emit(const std::string& dir, const char* name,
           const std::vector<std::uint8_t>& cs)

@@ -7,6 +7,7 @@
 // Regenerate corpus files and hashes with the `corpus_gen` tool when the
 // format changes intentionally (see corpus/README.md).
 #include <j2k/j2k.hpp>
+#include <runtime/hash.hpp>
 
 #include <gtest/gtest.h>
 
@@ -17,32 +18,14 @@
 
 namespace {
 
+using runtime::fnv1a_image;
+
 std::vector<std::uint8_t> load(const std::string& name)
 {
     const std::string path = std::string{J2K_CORPUS_DIR} + "/" + name;
     std::ifstream in{path, std::ios::binary};
     if (!in) throw std::runtime_error{"missing corpus file: " + path};
     return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
-}
-
-/// FNV-1a over geometry + every sample — must match make_corpus.cpp exactly.
-std::uint64_t fnv1a_image(const j2k::image& img)
-{
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    auto mix = [&](std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (i * 8)) & 0xFF;
-            h *= 0x100000001B3ull;
-        }
-    };
-    mix(static_cast<std::uint64_t>(img.width()));
-    mix(static_cast<std::uint64_t>(img.height()));
-    mix(static_cast<std::uint64_t>(img.components()));
-    mix(static_cast<std::uint64_t>(img.bit_depth()));
-    for (int c = 0; c < img.components(); ++c)
-        for (const std::int32_t v : img.comp(c).samples())
-            mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
-    return h;
 }
 
 struct golden {

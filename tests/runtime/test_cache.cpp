@@ -1,0 +1,379 @@
+// decoded_cache — shared FNV-1a vectors, LRU eviction and byte accounting,
+// pin semantics, single-flight collapsing (API-level and through the
+// service), and session-prefix resume bit-exactness against the golden
+// corpus.
+#include <runtime/cache/decoded_cache.hpp>
+
+#include <runtime/hash.hpp>
+#include <runtime/service.hpp>
+
+#include <j2k/j2k.hpp>
+#include <j2k/session.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using runtime::cache_key;
+using runtime::cache_policy;
+using runtime::decode_options;
+using runtime::decode_service;
+using runtime::decoded_cache;
+using runtime::fnv1a_bytes;
+using runtime::fnv1a_image;
+using runtime::image_bytes;
+using runtime::service_config;
+
+std::vector<std::uint8_t> load_corpus(const std::string& name)
+{
+    const std::string path = std::string{J2K_CORPUS_DIR} + "/" + name;
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw std::runtime_error{"missing corpus file: " + path};
+    return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+std::vector<std::uint8_t> make_stream(int w, int h, int comps, int tile,
+                                      int layers = 1)
+{
+    j2k::codec_params p;
+    p.tile_width = tile;
+    p.tile_height = tile;
+    p.quality_layers = layers;
+    return j2k::encode(j2k::make_test_image(w, h, comps), p);
+}
+
+decoded_cache::image_ptr make_image(int w, int h)
+{
+    return std::make_shared<const j2k::image>(j2k::image{w, h, 1, 8});
+}
+
+cache_key key_of(std::uint64_t content, int layers = 1)
+{
+    cache_key k;
+    k.content_hash = content;
+    k.layers = layers;
+    return k;
+}
+
+// ---- shared FNV-1a ---------------------------------------------------------
+
+TEST(Fnv1a, MatchesPublishedTestVectors)
+{
+    // Official FNV-1a 64-bit vectors (draft-eastlake-fnv).
+    EXPECT_EQ(fnv1a_bytes({}), 0xCBF29CE484222325ull);
+    const std::uint8_t a[] = {'a'};
+    EXPECT_EQ(fnv1a_bytes(a), 0xAF63DC4C8601EC8Cull);
+    const std::uint8_t foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+    EXPECT_EQ(fnv1a_bytes(foobar), 0x85944171F73967E8ull);
+}
+
+TEST(Fnv1a, ImageDigestMatchesGoldenCorpusHash)
+{
+    // The image digest is the same function test_golden.cpp pins — the
+    // dedup must not have changed a single mixed byte.
+    const j2k::image img = j2k::decode(load_corpus("gray_53.ojk"));
+    EXPECT_EQ(fnv1a_image(img), 0xEE1435E1050DF733ull);
+}
+
+// ---- LRU + byte accounting -------------------------------------------------
+
+TEST(DecodedCache, EvictsColdestFirstAndAccountsBytes)
+{
+    // 16×16×1 @ 4 B/sample = 1024 bytes per entry; budget fits two.
+    decoded_cache cache{2048};
+    const auto img = make_image(16, 16);
+    ASSERT_EQ(image_bytes(*img), 1024u);
+
+    cache.insert(key_of(1), img);
+    cache.insert(key_of(2), img);
+    EXPECT_EQ(cache.stats().bytes, 2048u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    cache.insert(key_of(3), img);  // evicts 1 (coldest)
+    EXPECT_EQ(cache.stats().bytes, 2048u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.peek(key_of(1)), nullptr);
+    EXPECT_NE(cache.peek(key_of(2)), nullptr);
+
+    // peek touched 2, so 3 is now the eviction candidate.
+    cache.insert(key_of(4), img);
+    EXPECT_EQ(cache.peek(key_of(3)), nullptr);
+    EXPECT_NE(cache.peek(key_of(2)), nullptr);
+    EXPECT_NE(cache.peek(key_of(4)), nullptr);
+}
+
+TEST(DecodedCache, PinnedEntriesSurviveEvictionUntilUnpinned)
+{
+    decoded_cache cache{2048};
+    const auto img = make_image(16, 16);
+
+    cache.insert(key_of(1), img, /*pin=*/true);
+    cache.insert(key_of(2), img);
+    cache.insert(key_of(3), img);  // over budget: 2 (unpinned, coldest) goes
+    EXPECT_NE(cache.peek(key_of(1)), nullptr);
+    EXPECT_EQ(cache.peek(key_of(2)), nullptr);
+    EXPECT_EQ(cache.stats().pinned_bytes, 1024u);
+
+    // Unpinning makes 1 ordinary again; the next pressure evicts by recency —
+    // the peek above touched 1, so 3 is now the coldest unpinned entry.
+    EXPECT_TRUE(cache.set_pinned(key_of(1), false));
+    EXPECT_EQ(cache.stats().pinned_bytes, 0u);
+    cache.insert(key_of(4), img);
+    EXPECT_EQ(cache.peek(key_of(3)), nullptr);
+    EXPECT_NE(cache.peek(key_of(1)), nullptr);  // unpinned but recently touched
+}
+
+TEST(DecodedCache, PinIsRefusedOncePinnedBytesWouldExceedBudget)
+{
+    // A pin-flood degrades to an ordinary full cache: the third pin is
+    // inserted unpinned instead of growing without bound.
+    decoded_cache cache{2048};
+    const auto img = make_image(16, 16);
+    cache.insert(key_of(1), img, true);
+    cache.insert(key_of(2), img, true);
+    cache.insert(key_of(3), img, true);
+    EXPECT_EQ(cache.stats().pinned_bytes, 2048u);
+    EXPECT_LE(cache.stats().bytes, 2048u);
+}
+
+// ---- single-flight ---------------------------------------------------------
+
+TEST(DecodedCache, ConcurrentIdenticalMissesCollapseToOneLeader)
+{
+    decoded_cache cache{1u << 20};
+    const cache_key k = key_of(42);
+    constexpr int n = 8;
+
+    std::atomic<int> leaders{0};
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    std::vector<decoded_cache::image_ptr> got(n);
+    for (int i = 0; i < n; ++i) {
+        threads.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load()) std::this_thread::yield();
+            if (auto r = cache.begin_flight(k)) {
+                got[static_cast<std::size_t>(i)] = r->image;
+            } else {
+                leaders.fetch_add(1);
+                // Give waiters time to pile up behind the flight.
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                auto img = make_image(16, 16);
+                cache.complete_flight(k, img);
+                got[static_cast<std::size_t>(i)] = img;
+            }
+        });
+    }
+    while (ready.load() < n) std::this_thread::yield();
+    go.store(true);
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(leaders.load(), 1);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);  // flights led == decodes actually run
+    EXPECT_EQ(s.hits + s.collapses, static_cast<std::uint64_t>(n - 1));
+    for (const auto& p : got) EXPECT_NE(p, nullptr);
+}
+
+TEST(DecodedCache, AbortedFlightPropagatesErrorAndRetriesNextTime)
+{
+    decoded_cache cache{1u << 20};
+    const cache_key k = key_of(7);
+
+    ASSERT_FALSE(cache.begin_flight(k).has_value());  // this thread leads
+    std::thread waiter{[&] {
+        const auto r = cache.begin_flight(k);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->image, nullptr);
+        EXPECT_NE(r->error, nullptr);
+    }};
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cache.abort_flight(k, std::make_exception_ptr(std::runtime_error{"boom"}));
+    waiter.join();
+
+    // Nothing was cached; the next request becomes a fresh leader.
+    EXPECT_FALSE(cache.begin_flight(k).has_value());
+    cache.complete_flight(k, make_image(8, 8));
+    EXPECT_NE(cache.peek(k), nullptr);
+}
+
+TEST(DecodeService, ConcurrentIdenticalSubmitsDecodeExactlyOnce)
+{
+    // Acceptance-criteria shape: N identical requests in flight at once,
+    // exactly one decode.  `misses` counts flight leaders, so the proof holds
+    // for any interleaving (later arrivals either collapse or hit).
+    const auto cs = make_stream(64, 64, 1, 32);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+
+    decode_service svc{{.workers = 4, .cache_bytes = 16u << 20}};
+    constexpr int n = 16;
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < n; ++i) futs.push_back(svc.submit(cs));
+    for (auto& f : futs) EXPECT_EQ(f.get(), serial);
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 1u);
+    EXPECT_EQ(m.cache_hits + m.cache_collapses, static_cast<std::uint64_t>(n - 1));
+}
+
+// ---- service integration ---------------------------------------------------
+
+TEST(DecodeService, BypassPolicyNeitherReadsNorPopulatesTheCache)
+{
+    const auto cs = make_stream(64, 64, 1, 32);
+    decode_service svc{{.workers = 2, .cache_bytes = 16u << 20}};
+
+    decode_options bypass;
+    bypass.cache = cache_policy::bypass;
+    (void)svc.submit(cs, bypass).get();
+    auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 0u);
+    EXPECT_EQ(m.cache_entries, 0u);
+
+    (void)svc.submit(cs).get();  // default policy populates
+    (void)svc.submit(cs).get();  // ... and the repeat hits
+    m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 1u);
+    EXPECT_EQ(m.cache_hits, 1u);
+}
+
+TEST(DecodeService, PinPolicyPinsTheInsertedEntry)
+{
+    const auto cs = make_stream(64, 64, 1, 32);
+    decode_service svc{{.workers = 2, .cache_bytes = 16u << 20}};
+    decode_options pin;
+    pin.cache = cache_policy::pin;
+    (void)svc.submit(cs, pin).get();
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_entries, 1u);
+    EXPECT_GT(m.cache_pinned_bytes, 0u);
+    EXPECT_EQ(m.cache_pinned_bytes, m.cache_bytes);
+}
+
+TEST(DecodeService, DistinctOptionsGetDistinctEntriesButNormalisedDepthShares)
+{
+    const auto cs = make_stream(64, 64, 1, 32, /*layers=*/3);
+    decode_service svc{{.workers = 2, .cache_bytes = 16u << 20}};
+
+    (void)svc.submit(cs).get();  // layers = 0 → normalised to 3
+    decode_options full;
+    full.max_quality_layers = 3;  // explicit full depth: same entry
+    (void)svc.submit(cs, full).get();
+    decode_options one;
+    one.max_quality_layers = 1;  // different reconstruction: own entry
+    (void)svc.submit(cs, one).get();
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 2u);
+    EXPECT_EQ(m.cache_hits, 1u);
+    EXPECT_EQ(m.cache_entries, 2u);
+}
+
+// ---- session-prefix resume -------------------------------------------------
+
+TEST(DecodeService, PrefixResumeIsBitExactAgainstGoldenCorpus)
+{
+    // layered_53.ojk: 3 quality layers.  Decode depth 1 (deposits a depth-1
+    // prefix), then full depth — the full decode must resume the prefix and
+    // still match both the direct decoder and the committed golden hash.
+    const auto cs = load_corpus("layered_53.ojk");
+    decode_service svc{{.workers = 2, .cache_bytes = 32u << 20}};
+
+    decode_options one;
+    one.max_quality_layers = 1;
+    j2k::decoder ref1{cs};
+    ref1.set_max_quality_layers(1);
+    EXPECT_EQ(svc.submit(cs, one).get(), ref1.decode_all());
+
+    const j2k::image full = svc.submit(cs).get();
+    EXPECT_EQ(full, j2k::decoder{cs}.decode_all());
+    EXPECT_EQ(fnv1a_image(full), 0xAA4C7851D4825229ull);
+
+    const auto m = svc.metrics();
+    EXPECT_GE(m.cache_session_resumes, 1u);
+    EXPECT_GE(m.cache_session_entries, 1u);
+}
+
+TEST(DecodedCache, DeeperPrefixNeverServesAShallowerRequest)
+{
+    // Tier-1 block state is cumulative: resuming a depth-3 session for a
+    // depth-1 request would return the depth-3 image.  The checkout must
+    // refuse; an equal-depth checkout is fine (synthesis-only resume).
+    const auto cs = make_stream(64, 64, 1, 32, /*layers=*/3);
+    const std::uint64_t h = fnv1a_bytes(cs);
+    decoded_cache cache{32u << 20};
+
+    std::vector<std::uint8_t> owned = cs;
+    j2k::decode_session s{owned};
+    const j2k::image full = s.advance_to(3);
+    cache.deposit_session(h, std::move(owned), std::move(s));
+
+    EXPECT_FALSE(cache.checkout_session(h, cs, /*max_layers=*/1).has_value());
+
+    auto lease = cache.checkout_session(h, cs, /*max_layers=*/3);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->session.layers_decoded(), 3);
+    EXPECT_EQ(lease->session.advance_to(3), full);  // no new tier-1 work
+    cache.deposit_session(h, std::move(lease->bytes), std::move(lease->session));
+    EXPECT_EQ(cache.stats().session_entries, 1u);
+}
+
+TEST(DecodedCache, CheckoutVerifiesContentBytesNotJustTheHash)
+{
+    const auto cs = make_stream(64, 64, 1, 32, /*layers=*/3);
+    decoded_cache cache{32u << 20};
+    std::vector<std::uint8_t> owned = cs;
+    j2k::decode_session s{owned};
+    (void)s.advance_to(1);
+    const std::uint64_t h = fnv1a_bytes(cs);
+    cache.deposit_session(h, std::move(owned), std::move(s));
+
+    // Same (forged) hash, different bytes: the memcmp guard must refuse —
+    // resuming a wrong-content session would produce plausible garbage.
+    const auto other = make_stream(64, 64, 1, 32, /*layers=*/3 + 1);
+    EXPECT_FALSE(cache.checkout_session(h, other, 3).has_value());
+    EXPECT_TRUE(cache.checkout_session(h, cs, 3).has_value());
+}
+
+TEST(DecodeService, ProgressiveJobDepositsItsPrefixForLaterSubmits)
+{
+    const auto cs = make_stream(64, 64, 3, 32, /*layers=*/3);
+    decode_service svc{{.workers = 2, .cache_bytes = 32u << 20}};
+
+    std::promise<void> done;
+    int layers_seen = 0;
+    svc.submit_progressive(std::vector<std::uint8_t>{cs}, {},
+                           [&](decode_service::layer_event&& ev, std::exception_ptr err) {
+                               EXPECT_EQ(err, nullptr);
+                               ++layers_seen;
+                               if (ev.last) done.set_value();
+                               return true;
+                           });
+    done.get_future().wait();
+    EXPECT_EQ(layers_seen, 3);
+
+    // The deposit happens after the last layer callback returns, on the
+    // decoding worker — poll briefly instead of racing it.
+    auto m = svc.metrics();
+    for (int i = 0; i < 400 && m.cache_session_entries == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        m = svc.metrics();
+    }
+    EXPECT_GE(m.cache_session_entries, 1u);
+
+    // A later full-depth submit resumes the deposited complete prefix at
+    // synthesis-only cost and stays bit-exact.
+    EXPECT_EQ(svc.submit(cs).get(), j2k::decoder{cs}.decode_all());
+    m = svc.metrics();
+    EXPECT_GE(m.cache_session_resumes, 1u);
+}
+
+}  // namespace

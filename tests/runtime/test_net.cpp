@@ -75,17 +75,27 @@ TEST(NetProtocol, RequestHeaderRoundTripsAndValidates)
     corrupt(4, 99);    // version
     corrupt(5, 2);     // priority
     corrupt(6, 7);     // format
-    corrupt(7, 0x02);  // unknown flag bit
-    corrupt(7, 0xFE);  // all unknown flag bits
+    corrupt(7, 0x08);  // unknown flag bit
+    corrupt(7, 0xF8);  // all unknown flag bits
+    corrupt(7, net::k_flag_cache_bypass | net::k_flag_cache_pin);  // contradictory
 
-    // Bit 0 of byte 7 is the progressive flag — valid, not a violation.
-    std::uint8_t prog[net::k_header_size];
-    std::memcpy(prog, buf, sizeof prog);
-    prog[7] = net::k_flag_progressive;
-    const auto ph = net::decode_request_header(prog);
-    ASSERT_TRUE(ph);
-    EXPECT_TRUE(ph->progressive());
+    // Bits 0-2 of byte 7 are the progressive / cache-bypass / cache-pin
+    // flags — valid (bypass and pin individually, never together).
+    auto accept = [&](std::uint8_t flags) {
+        std::uint8_t ok[net::k_header_size];
+        std::memcpy(ok, buf, sizeof ok);
+        ok[7] = flags;
+        const auto fh = net::decode_request_header(ok);
+        ASSERT_TRUE(fh);
+        EXPECT_EQ(fh->flags, flags);
+    };
+    accept(net::k_flag_progressive);
+    accept(net::k_flag_cache_bypass);
+    accept(net::k_flag_cache_pin);
+    accept(net::k_flag_progressive | net::k_flag_cache_pin);
     EXPECT_FALSE(back->progressive());
+    EXPECT_FALSE(back->cache_bypass());
+    EXPECT_FALSE(back->cache_pin());
 }
 
 TEST(NetProtocol, LayerHeaderRoundTripsAndValidates)
