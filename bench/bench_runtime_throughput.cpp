@@ -11,7 +11,9 @@
 //     "mixed_priority": { "interactive": {"count":..,"p50_us":..,"p99_us":..},
 //                         "batch": {...}, "promotions":.., "steals":.. },
 //     "zipf": { "cold_jobs_per_sec":.., "cached_jobs_per_sec":..,
-//               "throughput_ratio":.., "hit_rate":.., "hashes_ok":true } }
+//               "throughput_ratio":.., "hit_rate":.., "hashes_ok":true },
+//     "ops_scrape": { "base_jobs_per_sec":.., "scraped_jobs_per_sec":..,
+//                     "ratio":.., "scrapes":.. } }
 //
 // The mixed-priority phase floods one small worker pool with batch jobs and a
 // trickle of interactive arrivals; the acceptance signal is interactive p99
@@ -21,6 +23,10 @@
 // codestreams with the decoded-result cache off, then on; the acceptance
 // signal is a throughput ratio >= 2 at a hit rate >= 0.8 with every response
 // matching its direct-decode digest (hashes_ok).
+//
+// The ops_scrape phase runs a hot cached workload undisturbed and again with
+// a live ops server scraped over HTTP at 10 Hz; the acceptance signal is
+// ratio (scraped / base) > 0.95 — observing the service costs under 5%.
 //
 // The whole run is recorded by the obs span tracer (when compiled in) and
 // dumped to a Chrome trace-event file — argv[2], default
@@ -32,12 +38,17 @@
 #include <j2k/j2k.hpp>
 
 #include <runtime/hash.hpp>
+#include <runtime/ops/http_client.hpp>
+#include <runtime/ops/ops_server.hpp>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <future>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -186,6 +197,73 @@ runtime::metrics_snapshot run_mixed_priority(const std::vector<std::uint8_t>& cs
     return svc.metrics();
 }
 
+/// Ops-plane scrape overhead: the same Zipf cached-serving workload twice —
+/// undisturbed, then with a live ops server being scraped over HTTP at 10 Hz
+/// (Prometheus cadence is usually slower; 10 Hz is the hostile case).  The
+/// acceptance signal is throughput_ratio (scraped / base) close to 1 — CI
+/// gates on > 0.95, i.e. observing the service costs < 5% of its throughput.
+struct scrape_result {
+    double base_jps = 0.0;
+    double scraped_jps = 0.0;
+    std::uint64_t scrapes = 0;
+    std::uint64_t scrape_bytes = 0;
+};
+
+scrape_result run_ops_scrape(const std::vector<std::uint8_t>& cs, int jobs)
+{
+    scrape_result sr;
+    for (const bool scraped : {false, true}) {
+        runtime::decode_service svc{{.workers = 4,
+                                     .queue_capacity = 256,
+                                     .policy = runtime::backpressure::block,
+                                     .copy_input = false,
+                                     .cache_bytes = 64u << 20}};
+        std::unique_ptr<runtime::ops::ops_server> ops;
+        std::thread scraper;
+        std::atomic<bool> stop{false};
+        if (scraped) {
+            runtime::ops::ops_config oc;
+            oc.aggregate_interval_ms = 100;
+            ops = std::make_unique<runtime::ops::ops_server>(svc, oc);
+            ops->start();
+            const std::uint16_t port = ops->port();
+            scraper = std::thread([&sr, &stop, port] {
+                while (!stop.load(std::memory_order_relaxed)) {
+                    try {
+                        const auto r =
+                            runtime::ops::http_get("127.0.0.1", port, "/metrics");
+                        if (r.status == 200) {
+                            ++sr.scrapes;
+                            sr.scrape_bytes += r.body.size();
+                        }
+                    } catch (const std::exception&) {
+                        // Scrape failures must not abort the measurement.
+                    }
+                    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+                }
+            });
+        }
+        svc.submit(cs).get();  // warm-up
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::future<j2k::image>> futs;
+        futs.reserve(static_cast<std::size_t>(jobs));
+        for (int i = 0; i < jobs; ++i) futs.push_back(svc.submit(cs));
+        for (auto& f : futs) (void)f.get();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double jps = static_cast<double>(jobs) /
+                           std::chrono::duration<double>(t1 - t0).count();
+        if (scraped) {
+            sr.scraped_jps = jps;
+            stop.store(true, std::memory_order_relaxed);
+            scraper.join();
+            ops->stop();
+        } else {
+            sr.base_jps = jps;
+        }
+    }
+    return sr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -262,6 +340,17 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(z.collapses),
                     static_cast<unsigned long long>(z.session_resumes),
                     z.hashes_ok ? "true" : "false");
+    }
+
+    {
+        const scrape_result sr = run_ops_scrape(cs, std::max(128, jobs * 4));
+        std::printf(",\"ops_scrape\":{\"jobs\":%d,\"scrape_hz\":10,"
+                    "\"base_jobs_per_sec\":%.2f,\"scraped_jobs_per_sec\":%.2f,"
+                    "\"ratio\":%.3f,\"scrapes\":%llu,\"scrape_bytes\":%llu}",
+                    std::max(128, jobs * 4), sr.base_jps, sr.scraped_jps,
+                    sr.base_jps > 0 ? sr.scraped_jps / sr.base_jps : 0.0,
+                    static_cast<unsigned long long>(sr.scrapes),
+                    static_cast<unsigned long long>(sr.scrape_bytes));
     }
 
     if (tracing) {

@@ -3,9 +3,11 @@
 //
 // Modes:
 //   decode_server                       demo: in-process server + client, 5 phases
-//   decode_server serve [port] [--cache-bytes N]
+//   decode_server serve [port] [--cache-bytes N] [--ops-port P]
 //                                       run a server until stdin closes; N > 0
-//                                       enables the decoded-result cache
+//                                       enables the decoded-result cache, P
+//                                       adds the HTTP ops plane (/metrics,
+//                                       /healthz, /readyz, /trace) on P
 //   decode_server client <port> <file>  decode one .ojk file, save out.pnm
 //   decode_server client <port> <file> --stream
 //                                       progressive: one frame per quality
@@ -26,6 +28,7 @@
 #include <obs/trace.hpp>
 #include <runtime/net/client.hpp>
 #include <runtime/net/server.hpp>
+#include <runtime/ops/ops_server.hpp>
 
 #include <j2k/j2k.hpp>
 
@@ -34,7 +37,9 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -49,7 +54,7 @@ std::vector<std::uint8_t> demo_stream(int w, int h, int comps, int tile)
     return j2k::encode(j2k::make_test_image(w, h, comps), p);
 }
 
-int run_serve(std::uint16_t port, std::size_t cache_bytes)
+int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port)
 {
     net::server_config cfg;
     cfg.port = port;
@@ -60,10 +65,45 @@ int run_serve(std::uint16_t port, std::size_t cache_bytes)
     srv.start();
     std::printf("decode_server listening on 127.0.0.1:%u (^D to stop)%s\n",
                 srv.port(), cache_bytes ? " [result cache on]" : "");
+
+    std::unique_ptr<runtime::ops::ops_server> ops;
+    if (ops_port >= 0) {
+        // The rolling per-stage windows are fed from trace spans, so the ops
+        // plane arms the tracer for the life of the serve.
+        obs::tracer::instance().set_enabled(true);
+        runtime::ops::ops_config ocfg;
+        ocfg.port = static_cast<std::uint16_t>(ops_port);
+        ops = std::make_unique<runtime::ops::ops_server>(srv.service(), ocfg);
+        ops->set_extra_counters([&srv] {
+            const auto st = srv.stats();
+            return std::vector<std::pair<std::string, std::uint64_t>>{
+                {"net_connections_accepted_total", st.connections_accepted},
+                {"net_connections_open", st.connections_open},
+                {"net_frames_in_total", st.frames_in},
+                {"net_responses_out_total", st.responses_out},
+                {"net_bytes_in_total", st.bytes_in},
+                {"net_bytes_out_total", st.bytes_out},
+                {"net_batches_total", st.batches},
+                {"net_batched_jobs_total", st.batched_jobs},
+                {"net_bad_frames_total", st.bad_frames},
+                {"net_progressive_streams_total", st.progressive_streams},
+                {"net_layer_frames_out_total", st.layer_frames_out},
+                {"net_streams_cancelled_total", st.streams_cancelled},
+            };
+        });
+        ops->start();
+        std::printf("ops plane on http://127.0.0.1:%u  "
+                    "(/metrics /healthz /readyz /trace)\n",
+                    ops->port());
+    }
+
     // Serve until stdin closes.
     for (int c = std::getchar(); c != EOF; c = std::getchar()) {
     }
+    // Stop the decode front-end first: /readyz flips to 503 the moment the
+    // service starts draining, while the ops plane keeps answering.
     srv.stop();
+    if (ops) ops->stop();
     const auto st = srv.stats();
     std::printf("served %llu frames on %llu connections (%llu bytes in, %llu out)\n",
                 static_cast<unsigned long long>(st.frames_in),
@@ -292,13 +332,16 @@ int main(int argc, char** argv)
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
         std::uint16_t port = 0;
         std::size_t cache_bytes = 0;
+        int ops_port = -1;  // < 0 → no ops plane
         for (int i = 2; i < argc; ++i) {
             if (std::strcmp(argv[i], "--cache-bytes") == 0 && i + 1 < argc)
                 cache_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+            else if (std::strcmp(argv[i], "--ops-port") == 0 && i + 1 < argc)
+                ops_port = std::atoi(argv[++i]);
             else
                 port = static_cast<std::uint16_t>(std::atoi(argv[i]));
         }
-        return run_serve(port, cache_bytes);
+        return run_serve(port, cache_bytes, ops_port);
     }
     if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
         return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3],

@@ -5,6 +5,40 @@
 
 namespace obs {
 
+std::string prometheus_name(std::string_view name)
+{
+    auto ok = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_' || c == ':';
+    };
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (name.empty() || (name.front() >= '0' && name.front() <= '9')) out += '_';
+    for (const char c : name) out += ok(c) ? c : '_';
+    return out;
+}
+
+std::string json_quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
 namespace {
 
 int bucket_of(std::uint64_t v) noexcept
@@ -126,12 +160,17 @@ std::string registry::expose_text() const
 
 std::string registry::expose_json() const
 {
+    // Names are free-form user input to the registry; they cross the JSON
+    // boundary exactly here, so this is where they get escaped (a name with
+    // a quote or control character must not break the document).
     std::lock_guard lk{m_};
     std::string out = "{\"counters\":{";
-    char buf[256];
+    char buf[192];
     bool first = true;
     for (const auto& [name, c] : counters_) {
-        std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+        if (!first) out += ',';
+        out += json_quote(name);
+        std::snprintf(buf, sizeof buf, ":%llu",
                       static_cast<unsigned long long>(c->value()));
         out += buf;
         first = false;
@@ -139,8 +178,10 @@ std::string registry::expose_json() const
     out += "},\"gauges\":{";
     first = true;
     for (const auto& [name, g] : gauges_) {
-        std::snprintf(buf, sizeof buf, "%s\"%s\":{\"value\":%lld,\"max\":%lld}",
-                      first ? "" : ",", name.c_str(), static_cast<long long>(g->value()),
+        if (!first) out += ',';
+        out += json_quote(name);
+        std::snprintf(buf, sizeof buf, ":{\"value\":%lld,\"max\":%lld}",
+                      static_cast<long long>(g->value()),
                       static_cast<long long>(g->max()));
         out += buf;
         first = false;
@@ -149,10 +190,11 @@ std::string registry::expose_json() const
     first = true;
     for (const auto& [name, h] : histograms_) {
         const auto d = h->snapshot();
+        if (!first) out += ',';
+        out += json_quote(name);
         std::snprintf(buf, sizeof buf,
-                      "%s\"%s\":{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,"
+                      ":{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,"
                       "\"p95\":%.1f,\"p99\":%.1f,\"max\":%llu}",
-                      first ? "" : ",", name.c_str(),
                       static_cast<unsigned long long>(d.count), d.mean(),
                       d.quantile(0.50), d.quantile(0.95), d.quantile(0.99),
                       static_cast<unsigned long long>(d.max));

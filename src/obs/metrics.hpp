@@ -19,8 +19,20 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace obs {
+
+/// Sanitise a metric name for Prometheus text exposition, once, at the
+/// boundary: every character outside [a-zA-Z0-9_:] becomes '_', and a name
+/// whose first character may not lead a Prometheus identifier (digit, or
+/// empty input) gains a '_' prefix.  Registry names are free-form; anything
+/// that leaves the process over /metrics goes through here.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// JSON string-escape (quotes added) — exposition helpers share this so a
+/// hostile instrument name can never break the emitted JSON.
+[[nodiscard]] std::string json_quote(std::string_view s);
 
 /// Monotonically increasing event count.
 class counter {

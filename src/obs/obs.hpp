@@ -1,8 +1,10 @@
 // obs/obs.hpp — umbrella header for the observability layer: span tracing
-// (trace.hpp), metrics (metrics.hpp), and the helper that couples the two.
+// (trace.hpp), metrics (metrics.hpp), rolling per-stage aggregation
+// (rolling.hpp), and the helper that couples tracing to metrics.
 #pragma once
 
 #include "metrics.hpp"
+#include "rolling.hpp"
 #include "trace.hpp"
 
 #include <chrono>

@@ -105,6 +105,11 @@ void tracer::set_thread_name(std::string_view name)
 
 std::vector<trace_event> tracer::collect() const
 {
+    return collect_since(0);
+}
+
+std::vector<trace_event> tracer::collect_since(std::uint64_t since_ns) const
+{
     std::vector<std::shared_ptr<detail::event_ring>> rings;
     {
         std::lock_guard lk{rings_m_};
@@ -112,6 +117,12 @@ std::vector<trace_event> tracer::collect() const
     }
     std::vector<trace_event> evs;
     for (const auto& r : rings) r->drain(evs);
+    if (since_ns > 0)
+        evs.erase(std::remove_if(evs.begin(), evs.end(),
+                                 [since_ns](const trace_event& ev) {
+                                     return ev.ts_ns < since_ns;
+                                 }),
+                  evs.end());
     std::stable_sort(evs.begin(), evs.end(),
                      [](const trace_event& a, const trace_event& b) {
                          return a.ts_ns < b.ts_ns;
@@ -158,6 +169,41 @@ void write_ts_us(std::ostream& os, std::uint64_t ns)
     // Microseconds with nanosecond resolution, without float rounding.
     os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
        << static_cast<char>('0' + (ns % 100) / 10) << static_cast<char>('0' + ns % 10);
+}
+
+/// One trace event as a Chrome trace-event JSON object (no separator).
+void write_event(std::ostream& os, const trace_event& ev)
+{
+    const char* ph = nullptr;
+    switch (ev.type) {
+    case event_type::begin: ph = "B"; break;
+    case event_type::end: ph = "E"; break;
+    case event_type::instant: ph = "i"; break;
+    case event_type::counter: ph = "C"; break;
+    case event_type::async_begin: ph = "b"; break;
+    case event_type::async_end: ph = "e"; break;
+    }
+    os << "{\"ph\":\"" << ph << "\",\"name\":";
+    json_escape(os, ev.name);
+    os << ",\"cat\":";
+    json_escape(os, ev.category ? ev.category : "default");
+    os << ",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
+    write_ts_us(os, ev.ts_ns);
+    switch (ev.type) {
+    case event_type::instant:
+        os << ",\"s\":\"t\"";
+        break;
+    case event_type::counter:
+        os << ",\"args\":{\"value\":" << ev.value << '}';
+        break;
+    case event_type::async_begin:
+    case event_type::async_end:
+        os << ",\"id\":\"" << static_cast<std::uint64_t>(ev.value) << '"';
+        break;
+    default:
+        break;
+    }
+    os << '}';
 }
 
 }  // namespace
@@ -208,41 +254,40 @@ std::size_t tracer::write_json(std::ostream& os) const
 
     std::size_t written = 0;
     for (const trace_event& ev : kept) {
-        const char* ph = nullptr;
-        switch (ev.type) {
-        case event_type::begin: ph = "B"; break;
-        case event_type::end: ph = "E"; break;
-        case event_type::instant: ph = "i"; break;
-        case event_type::counter: ph = "C"; break;
-        case event_type::async_begin: ph = "b"; break;
-        case event_type::async_end: ph = "e"; break;
-        }
         sep();
-        os << "{\"ph\":\"" << ph << "\",\"name\":";
-        json_escape(os, ev.name);
-        os << ",\"cat\":";
-        json_escape(os, ev.category ? ev.category : "default");
-        os << ",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
-        write_ts_us(os, ev.ts_ns);
-        switch (ev.type) {
-        case event_type::instant:
-            os << ",\"s\":\"t\"";
-            break;
-        case event_type::counter:
-            os << ",\"args\":{\"value\":" << ev.value << '}';
-            break;
-        case event_type::async_begin:
-        case event_type::async_end:
-            os << ",\"id\":\"" << static_cast<std::uint64_t>(ev.value) << '"';
-            break;
-        default:
-            break;
-        }
-        os << '}';
+        write_event(os, ev);
         ++written;
     }
     os << "\n]}\n";
     return written;
+}
+
+tracer::tail_result tracer::write_json_tail(std::ostream& os,
+                                            std::uint64_t since_ns) const
+{
+    // Metadata first, so a tail joined mid-run labels its tracks; repeating
+    // these across chunks is harmless (the viewer just re-applies them).
+    os << R"({"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"osss_jpeg2000"}})"
+       << ",\n";
+    {
+        std::lock_guard lk{rings_m_};
+        for (const auto& r : rings_) {
+            if (const char* tn = r->thread_name()) {
+                os << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << r->tid()
+                   << R"(,"args":{"name":)";
+                json_escape(os, tn);
+                os << "}},\n";
+            }
+        }
+    }
+    // No B-depth filtering here: an E whose B went out in an earlier chunk is
+    // legitimate in a tail, and the concatenated stream reconstructs fine.
+    const std::vector<trace_event> evs = collect_since(since_ns);
+    for (const trace_event& ev : evs) {
+        write_event(os, ev);
+        os << ",\n";
+    }
+    return {evs.size(), next_cursor(evs, since_ns)};
 }
 
 std::size_t tracer::write_json_file(const std::string& path) const

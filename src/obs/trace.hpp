@@ -209,6 +209,39 @@ public:
     /// Collect the raw events (mainly for tests).
     [[nodiscard]] std::vector<trace_event> collect() const;
 
+    /// Cursor drain: every resident event with ts_ns >= since_ns, oldest
+    /// first.  Drains are NON-DESTRUCTIVE — events stay in their rings until
+    /// overwritten by ring wrap — so any number of cursor consumers (live
+    /// /trace tails, the rolling aggregator) and the end-of-run
+    /// write_json_file() coexist: none of them can steal events from another,
+    /// and the only loss mode is the pre-existing ring overwrite.  Use
+    /// next_cursor() on the result to advance: batches from a monotonically
+    /// advancing cursor are disjoint by construction.
+    [[nodiscard]] std::vector<trace_event> collect_since(std::uint64_t since_ns) const;
+
+    /// The cursor that makes the next collect_since() disjoint from a batch
+    /// just collected: max timestamp + 1, or `prev` for an empty batch.
+    [[nodiscard]] static std::uint64_t next_cursor(const std::vector<trace_event>& batch,
+                                                   std::uint64_t prev) noexcept
+    {
+        return batch.empty() ? prev : batch.back().ts_ns + 1;
+    }
+
+    struct tail_result {
+        std::size_t events = 0;          ///< events written to the stream
+        std::uint64_t next_since_ns = 0; ///< pass as since_ns of the next tail
+    };
+
+    /// Streaming tail: write the events at/after `since_ns` as Chrome
+    /// trace-event *array elements* — one JSON object per line, each followed
+    /// by a comma, no enclosing brackets.  A consumer that prepends "[" to
+    /// the first chunk and concatenates subsequent chunks gets the JSON
+    /// Array Format, which Perfetto loads as-is (the trailing comma and the
+    /// missing "]" are explicitly tolerated by that format).  Thread-name
+    /// metadata records are re-emitted in every chunk so a tail joined
+    /// mid-run still labels its tracks.
+    tail_result write_json_tail(std::ostream& os, std::uint64_t since_ns) const;
+
     struct stats {
         std::size_t threads = 0;      ///< rings registered so far
         std::uint64_t pushed = 0;     ///< events ever emitted

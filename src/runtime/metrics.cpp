@@ -1,8 +1,45 @@
 #include "metrics.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 namespace runtime {
+
+namespace {
+
+// Captured at static initialisation — close enough to process start for an
+// uptime metric, and free of any clock syscall on the read path's hot side.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+double process_uptime_s() noexcept
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         g_process_start)
+        .count();
+}
+
+const char* build_type() noexcept
+{
+#ifdef RUNTIME_BUILD_TYPE
+    return RUNTIME_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+const char* compiler_version() noexcept
+{
+#if defined(__clang_version__)
+    return "clang " __clang_version__;
+#elif defined(__VERSION__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
 
 service_metrics::service_metrics()
     : submitted_{reg_.get_counter("jobs_submitted")},
@@ -82,6 +119,8 @@ std::string metrics_snapshot::dump() const
     char buf[4096];
     std::snprintf(
         buf, sizeof buf,
+        "process: uptime=%.1fs pool_threads=%d tracing_armed=%d build=%s "
+        "compiler=\"%s\"\n"
         "jobs: submitted=%llu completed=%llu failed=%llu rejected=%llu dropped=%llu "
         "promoted=%llu batched=%llu\n"
         "shed by priority: interactive rejected=%llu dropped=%llu | "
@@ -96,6 +135,7 @@ std::string metrics_snapshot::dump() const
         "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
         "latency interactive [us]: n=%llu p50=%.0f p99=%.0f\n"
         "latency batch [us]: n=%llu p50=%.0f p99=%.0f\n",
+        uptime_s, pool_threads, tracing_armed ? 1 : 0, build, compiler,
         static_cast<unsigned long long>(jobs_submitted),
         static_cast<unsigned long long>(jobs_completed),
         static_cast<unsigned long long>(jobs_failed),
@@ -137,10 +177,18 @@ std::string metrics_snapshot::dump() const
 
 std::string metrics_snapshot::to_json() const
 {
+    // Build/compiler strings come from macros and can in principle hold any
+    // characters, so they go through the shared JSON escaper.
+    char proc[512];
+    std::snprintf(proc, sizeof proc,
+                  "{\"process\":{\"uptime_s\":%.3f,\"pool_threads\":%d,"
+                  "\"tracing_armed\":%s,\"build_type\":%s,\"compiler\":%s},",
+                  uptime_s, pool_threads, tracing_armed ? "true" : "false",
+                  obs::json_quote(build).c_str(), obs::json_quote(compiler).c_str());
     char buf[4096];
     std::snprintf(
         buf, sizeof buf,
-        "{\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
+        "\"jobs_submitted\":%llu,\"jobs_completed\":%llu,\"jobs_failed\":%llu,"
         "\"jobs_rejected\":%llu,\"jobs_dropped\":%llu,\"jobs_promoted\":%llu,"
         "\"jobs_batched\":%llu,"
         "\"shed_interactive\":{\"rejected\":%llu,\"dropped\":%llu},"
@@ -195,7 +243,7 @@ std::string metrics_snapshot::to_json() const
         latency_by_priority[0].p50_us, latency_by_priority[0].p99_us,
         static_cast<unsigned long long>(latency_by_priority[1].count),
         latency_by_priority[1].p50_us, latency_by_priority[1].p99_us);
-    return buf;
+    return std::string{proc} + buf;
 }
 
 }  // namespace runtime

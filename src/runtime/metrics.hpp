@@ -21,8 +21,25 @@ namespace runtime {
 /// Log2-bucketed histogram (promoted to obs::; alias kept for existing users).
 using latency_histogram = obs::log2_histogram;
 
+/// Seconds since the process (strictly: this translation unit's static
+/// initialisation) started — the uptime every exposition surface reports.
+[[nodiscard]] double process_uptime_s() noexcept;
+
+/// Compile-time build description ("RelWithDebInfo" etc.; "unknown" when the
+/// build system did not say) and the compiler version string.
+[[nodiscard]] const char* build_type() noexcept;
+[[nodiscard]] const char* compiler_version() noexcept;
+
 /// Point-in-time copy of every service metric.
 struct metrics_snapshot {
+    // Process metadata (filled by decode_service::metrics(); zero/empty in a
+    // bare service_metrics::snapshot()).
+    double uptime_s = 0.0;
+    int pool_threads = 0;
+    bool tracing_armed = false;      ///< obs tracer armed at snapshot time
+    const char* build = "";          ///< build type (static string)
+    const char* compiler = "";       ///< compiler version (static string)
+
     // Admission.
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;

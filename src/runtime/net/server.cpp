@@ -1,5 +1,7 @@
 #include "server.hpp"
 
+#include "poller.hpp"
+
 #include <j2k/codestream.hpp>
 #include <j2k/pnm.hpp>
 #include <obs/obs.hpp>
@@ -18,138 +20,15 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
-
-#if defined(__linux__)
-#include <sys/epoll.h>
-#define RUNTIME_NET_HAVE_EPOLL 1
-#else
-#define RUNTIME_NET_HAVE_EPOLL 0
-#endif
 
 namespace runtime::net {
 
 namespace {
 
-[[noreturn]] void throw_errno(const char* what)
-{
-    throw std::system_error{errno, std::generic_category(), what};
-}
-
-void set_nonblocking(int fd)
-{
-    const int flags = ::fcntl(fd, F_GETFL, 0);
-    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-        throw_errno("fcntl(O_NONBLOCK)");
-}
-
-/// One readiness event delivered by a poller.
-struct ready_event {
-    std::uint64_t id = 0;
-    bool readable = false;
-    bool writable = false;
-    bool hangup = false;
-};
-
-/// Readiness-notification backend: epoll where available, poll(2) otherwise.
-/// Level-triggered in both cases, so a partially drained socket re-fires.
-class poller {
-public:
-    virtual ~poller() = default;
-    virtual void add(int fd, std::uint64_t id, bool want_write) = 0;
-    virtual void update(int fd, std::uint64_t id, bool want_write) = 0;
-    virtual void remove(int fd) = 0;
-    virtual void wait(std::vector<ready_event>& out, int timeout_ms) = 0;
-};
-
-#if RUNTIME_NET_HAVE_EPOLL
-class epoll_poller final : public poller {
-public:
-    epoll_poller()
-    {
-        fd_ = ::epoll_create1(0);
-        if (fd_ < 0) throw_errno("epoll_create1");
-    }
-    ~epoll_poller() override { ::close(fd_); }
-
-    void add(int fd, std::uint64_t id, bool want_write) override
-    {
-        epoll_event ev{};
-        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
-        ev.data.u64 = id;
-        if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
-    }
-    void update(int fd, std::uint64_t id, bool want_write) override
-    {
-        epoll_event ev{};
-        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
-        ev.data.u64 = id;
-        if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) throw_errno("epoll_ctl(MOD)");
-    }
-    void remove(int fd) override { ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }
-
-    void wait(std::vector<ready_event>& out, int timeout_ms) override
-    {
-        epoll_event evs[64];
-        const int n = ::epoll_wait(fd_, evs, 64, timeout_ms);
-        for (int i = 0; i < n; ++i) {
-            ready_event e;
-            e.id = evs[i].data.u64;
-            e.readable = (evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
-            e.writable = (evs[i].events & EPOLLOUT) != 0;
-            e.hangup = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
-            out.push_back(e);
-        }
-    }
-
-private:
-    int fd_ = -1;
-};
-#endif
-
-/// Portable fallback: rebuilds the pollfd set per wait.  O(connections) per
-/// iteration, fine at the scales the fallback serves.
-class poll_poller final : public poller {
-public:
-    void add(int fd, std::uint64_t id, bool want_write) override
-    {
-        fds_[fd] = entry{id, want_write};
-    }
-    void update(int fd, std::uint64_t id, bool want_write) override
-    {
-        fds_[fd] = entry{id, want_write};
-    }
-    void remove(int fd) override { fds_.erase(fd); }
-
-    void wait(std::vector<ready_event>& out, int timeout_ms) override
-    {
-        std::vector<pollfd> pfds;
-        pfds.reserve(fds_.size());
-        for (const auto& [fd, e] : fds_)
-            pfds.push_back({fd, static_cast<short>(POLLIN | (e.want_write ? POLLOUT : 0)),
-                            0});
-        const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-        if (n <= 0) return;
-        for (const pollfd& p : pfds) {
-            if (p.revents == 0) continue;
-            ready_event e;
-            e.id = fds_[p.fd].id;
-            e.readable = (p.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
-            e.writable = (p.revents & POLLOUT) != 0;
-            e.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
-            out.push_back(e);
-        }
-    }
-
-private:
-    struct entry {
-        std::uint64_t id = 0;
-        bool want_write = false;
-    };
-    std::unordered_map<int, entry> fds_;
-};
+// poller / ready_event / set_nonblocking / throw_errno moved to poller.hpp —
+// the HTTP ops plane (ops/ops_server.cpp) drives the same backends.
 
 constexpr std::uint64_t k_listener_id = 0;
 constexpr std::uint64_t k_wake_id = 1;
@@ -253,14 +132,7 @@ struct server::impl {
         set_nonblocking(wake_rd_);
         set_nonblocking(wake_wr_);  // a full pipe must never block a worker
 
-#if RUNTIME_NET_HAVE_EPOLL
-        if (!cfg_.use_poll)
-            poller_ = std::make_unique<epoll_poller>();
-        else
-            poller_ = std::make_unique<poll_poller>();
-#else
-        poller_ = std::make_unique<poll_poller>();
-#endif
+        poller_ = make_poller(cfg_.use_poll);
         poller_->add(listen_fd_, k_listener_id, false);
         poller_->add(wake_rd_, k_wake_id, false);
 

@@ -1,0 +1,103 @@
+#include "http.hpp"
+
+#include <cstdio>
+
+namespace runtime::ops {
+
+http_parser::state http_parser::feed(std::string_view chunk)
+{
+    if (state_ != state::partial) return state_;
+    buf_.append(chunk.data(), chunk.size());
+    if (buf_.size() > max_bytes_) {
+        state_ = state::too_large;
+        return state_;
+    }
+    const auto end = buf_.find("\r\n\r\n");
+    if (end == std::string::npos) return state_;
+    const auto line_end = buf_.find("\r\n");  // first line of the header block
+    state_ = parse_request_line(std::string_view{buf_}.substr(0, line_end), req_)
+                 ? state::complete
+                 : state::bad;
+    return state_;
+}
+
+bool parse_request_line(std::string_view line, http_request& out)
+{
+    // METHOD SP request-target SP HTTP-version — exactly two spaces.
+    const auto sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0) return false;
+    const auto sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+    if (line.find(' ', sp2 + 1) != std::string_view::npos) return false;
+    const std::string_view version = line.substr(sp2 + 1);
+    if (version.substr(0, 5) != "HTTP/") return false;
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (target.empty() || target.front() != '/') return false;
+    out.method.assign(line.substr(0, sp1));
+    const auto q = target.find('?');
+    if (q == std::string_view::npos) {
+        out.path.assign(target);
+        out.query.clear();
+    } else {
+        out.path.assign(target.substr(0, q));
+        out.query.assign(target.substr(q + 1));
+    }
+    return true;
+}
+
+std::string_view query_param(std::string_view query, std::string_view key)
+{
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        auto amp = query.find('&', pos);
+        if (amp == std::string_view::npos) amp = query.size();
+        const std::string_view pair = query.substr(pos, amp - pos);
+        const auto eq = pair.find('=');
+        const std::string_view k = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+        if (k == key)
+            return eq == std::string_view::npos ? std::string_view{}
+                                                : pair.substr(eq + 1);
+        pos = amp + 1;
+    }
+    return {};
+}
+
+const char* status_reason(int status) noexcept
+{
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 431: return "Request Header Fields Too Large";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+std::string make_response(int status, std::string_view content_type,
+                          std::string_view body,
+                          const std::vector<std::string>& extra_headers)
+{
+    char head[256];
+    const int n = std::snprintf(head, sizeof head,
+                                "HTTP/1.1 %d %s\r\n"
+                                "Content-Type: %.*s\r\n"
+                                "Content-Length: %zu\r\n"
+                                "Connection: close\r\n",
+                                status, status_reason(status),
+                                static_cast<int>(content_type.size()),
+                                content_type.data(), body.size());
+    std::string out;
+    out.reserve(static_cast<std::size_t>(n) + body.size() + 64);
+    out.assign(head, static_cast<std::size_t>(n));
+    for (const auto& h : extra_headers) {
+        out += h;
+        out += "\r\n";
+    }
+    out += "\r\n";
+    out.append(body.data(), body.size());
+    return out;
+}
+
+}  // namespace runtime::ops

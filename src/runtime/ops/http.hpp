@@ -1,0 +1,74 @@
+// runtime/ops/http.hpp — the minimum of HTTP/1.1 the ops plane needs: an
+// incremental GET-request parser and a response serialiser.
+//
+// This is deliberately not a general HTTP implementation.  The ops server
+// speaks to curl, Prometheus scrapers, and browsers on a loopback port; every
+// request it cares about is a header-only GET, and every response closes the
+// connection.  The parser therefore accumulates bytes until the header
+// terminator (CRLF CRLF), parses the request line, splits path from query
+// string, and stops — bodies, chunked encoding, and keep-alive are out of
+// scope by design, and anything malformed maps to a 4xx status the caller
+// turns into a response.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace runtime::ops {
+
+/// One parsed request line (headers are skipped — nothing in the ops plane
+/// keys off them).
+struct http_request {
+    std::string method;  ///< "GET", "HEAD", ... (verbatim, case-sensitive)
+    std::string path;    ///< decoded-free path component ("/metrics")
+    std::string query;   ///< raw query string without the '?' ("since_ns=5")
+};
+
+/// Incremental request parser.  Feed it whatever the socket produced — one
+/// byte at a time or a whole request — and check state() after each feed.
+class http_parser {
+public:
+    enum class state {
+        partial,    ///< header terminator not seen yet; keep feeding
+        complete,   ///< request() is valid
+        bad,        ///< malformed request line → 400
+        too_large,  ///< header block exceeded max_bytes → 431
+    };
+
+    explicit http_parser(std::size_t max_bytes = 8 * 1024) : max_bytes_{max_bytes} {}
+
+    /// Consume a chunk.  Returns the (possibly newly advanced) state; once
+    /// the parser leaves `partial` further feeds are no-ops.
+    state feed(std::string_view chunk);
+
+    [[nodiscard]] state current() const noexcept { return state_; }
+    [[nodiscard]] const http_request& request() const noexcept { return req_; }
+
+private:
+    std::size_t max_bytes_;
+    std::string buf_;
+    http_request req_;
+    state state_ = state::partial;
+};
+
+/// Parse just a request line ("GET /a/b?x=1 HTTP/1.1").  Exposed for tests;
+/// http_parser uses it internally.  Returns false on malformation.
+[[nodiscard]] bool parse_request_line(std::string_view line, http_request& out);
+
+/// First value of `key` in a query string ("a=1&b=2"), or empty if absent.
+/// No percent-decoding — ops query values are plain integers.
+[[nodiscard]] std::string_view query_param(std::string_view query, std::string_view key);
+
+/// Serialise a complete response.  Always emits Content-Length and
+/// `Connection: close`; extra_headers entries are verbatim "Name: value"
+/// lines (no CRLF).
+[[nodiscard]] std::string make_response(int status, std::string_view content_type,
+                                        std::string_view body,
+                                        const std::vector<std::string>& extra_headers = {});
+
+/// Canonical reason phrase for the handful of statuses the ops plane emits.
+[[nodiscard]] const char* status_reason(int status) noexcept;
+
+}  // namespace runtime::ops

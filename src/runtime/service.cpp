@@ -468,6 +468,11 @@ void decode_service::shutdown()
 metrics_snapshot decode_service::metrics() const
 {
     metrics_snapshot s = metrics_.snapshot();
+    s.uptime_s = process_uptime_s();
+    s.pool_threads = pool_->size();
+    s.tracing_armed = obs::tracing_enabled();
+    s.build = build_type();
+    s.compiler = compiler_version();
     s.queue_depth_high_water =
         std::max<std::uint64_t>(s.queue_depth_high_water, queue_.high_water());
     s.jobs_promoted = std::max(s.jobs_promoted, queue_.promoted());

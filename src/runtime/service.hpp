@@ -191,6 +191,15 @@ public:
     /// Idempotent; also called by the destructor.
     void shutdown();
 
+    /// True once shutdown() has begun (admission is closed).  A readiness
+    /// probe keyed on this flips *before* in-flight jobs finish, so load
+    /// balancers stop routing while the drain is still graceful.
+    [[nodiscard]] bool draining() const
+    {
+        std::lock_guard lk{drain_m_};
+        return stopped_;
+    }
+
     [[nodiscard]] int workers() const noexcept { return pool_->size(); }
     [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
     [[nodiscard]] std::size_t queue_depth(priority p) const { return queue_.size(p); }
@@ -243,7 +252,7 @@ private:
     service_config cfg_;
     service_metrics metrics_;
 
-    std::mutex drain_m_;
+    mutable std::mutex drain_m_;
     std::condition_variable drained_cv_;
     std::size_t in_flight_ = 0;  ///< admitted but not yet completed/failed
     bool stopped_ = false;

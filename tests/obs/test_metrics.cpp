@@ -72,6 +72,46 @@ TEST(Registry, JsonExposition)
     EXPECT_NE(json.find("\"count\":1"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Name hygiene at the exposition boundary (registry names are free-form).
+
+TEST(NameHygiene, PrometheusNameSanitisesOnce)
+{
+    EXPECT_EQ(obs::prometheus_name("jobs_submitted"), "jobs_submitted");
+    EXPECT_EQ(obs::prometheus_name("ns:sub_system"), "ns:sub_system");
+    EXPECT_EQ(obs::prometheus_name("latency.p99-us"), "latency_p99_us");
+    EXPECT_EQ(obs::prometheus_name("queue depth"), "queue_depth");
+    EXPECT_EQ(obs::prometheus_name("naïve"), "na__ve");  // multibyte → per byte
+    // A leading digit may not start a Prometheus identifier.
+    EXPECT_EQ(obs::prometheus_name("2xx_responses"), "_2xx_responses");
+    EXPECT_EQ(obs::prometheus_name(""), "_");
+    EXPECT_EQ(obs::prometheus_name("\"evil\nname\\"), "_evil_name_");
+}
+
+TEST(NameHygiene, JsonQuoteEscapesHostileStrings)
+{
+    EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
+    EXPECT_EQ(obs::json_quote("with \"quotes\""), "\"with \\\"quotes\\\"\"");
+    EXPECT_EQ(obs::json_quote("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(obs::json_quote(std::string_view{"tab\tnl\n", 7}), "\"tab\\u0009nl\\u000a\"");
+}
+
+TEST(NameHygiene, HostileRegistryNamesCannotBreakJsonExposition)
+{
+    obs::registry r;
+    r.get_counter("ok_name").add(1);
+    r.get_counter("quote\"inject\":9999,\"x").add(2);
+    r.get_gauge("line\nbreak").set(3);
+    r.get_histogram("back\\slash").observe(4);
+    const std::string json = r.expose_json();
+    // The quote is escaped, so the injected ":9999" stays inside the string.
+    EXPECT_NE(json.find("quote\\\"inject\\\":9999,\\\"x"), std::string::npos);
+    EXPECT_NE(json.find("line\\u000abreak"), std::string::npos);
+    EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+    // No raw control characters survive into the document.
+    for (const char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+}
+
 TEST(Histogram, EmptyQuantileIsZero)
 {
     const obs::log2_histogram h;

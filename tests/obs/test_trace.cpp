@@ -353,6 +353,98 @@ TEST(TraceJson, WriteJsonFileRoundTrips)
     EXPECT_THROW(tr.write_json_file("/nonexistent-dir/x.trace.json"), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Cursor drains (the ops plane's /trace tail and rolling aggregation feed).
+
+TEST(TraceCursor, SuccessiveBatchesAreDisjoint)
+{
+    auto& tr = obs::tracer::instance();
+    tr.instant("test", "cursor_a");
+    tr.instant("test", "cursor_a");
+    const auto batch1 = tr.collect_since(0);
+    const std::uint64_t cursor = obs::tracer::next_cursor(batch1, 0);
+    ASSERT_FALSE(batch1.empty());
+    EXPECT_EQ(cursor, batch1.back().ts_ns + 1);
+
+    // Separate the phases by more than the clock granularity so the second
+    // batch's events cannot share a timestamp with the first batch's newest.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    tr.instant("test", "cursor_b");
+    const auto batch2 = tr.collect_since(cursor);
+    for (const auto& e : batch2) EXPECT_GE(e.ts_ns, cursor);
+    const auto in_batch = [](const std::vector<obs::trace_event>& b, const char* name) {
+        return std::count_if(b.begin(), b.end(), [&](const obs::trace_event& e) {
+            return e.name && std::string_view{e.name} == name;
+        });
+    };
+    EXPECT_EQ(in_batch(batch1, "cursor_a"), 2);
+    EXPECT_EQ(in_batch(batch2, "cursor_a"), 0);  // disjoint: not re-delivered
+    EXPECT_EQ(in_batch(batch2, "cursor_b"), 1);
+
+    // Empty follow-up leaves the cursor unchanged.
+    const auto batch3 = tr.collect_since(obs::tracer::next_cursor(batch2, cursor));
+    const std::uint64_t c3 = obs::tracer::next_cursor(batch3, 12345);
+    if (batch3.empty()) {
+        EXPECT_EQ(c3, 12345u);
+    }
+}
+
+// Satellite of the ops plane: drains never consume.  A cursor tail and the
+// end-of-run full dump must each see every event, with no cross-stealing.
+TEST(TraceCursor, DrainsAreNonDestructiveAcrossConsumers)
+{
+    auto& tr = obs::tracer::instance();
+    tr.instant("test", "coexist_ev");
+    // Consumer 1: cursor tail reads it.
+    const auto tail1 = tr.collect_since(0);
+    const auto seen = std::count_if(
+        tail1.begin(), tail1.end(), [](const obs::trace_event& e) {
+            return e.name && std::string_view{e.name} == "coexist_ev";
+        });
+    EXPECT_EQ(seen, 1);
+    // Consumer 2: the full JSON dump still contains it afterwards.
+    std::stringstream ss;
+    tr.write_json(ss);
+    EXPECT_NE(ss.str().find("coexist_ev"), std::string::npos);
+    // Consumer 3: a second cursor pass from zero sees it again too.
+    const auto tail2 = tr.collect_since(0);
+    const auto seen2 = std::count_if(
+        tail2.begin(), tail2.end(), [](const obs::trace_event& e) {
+            return e.name && std::string_view{e.name} == "coexist_ev";
+        });
+    EXPECT_EQ(seen2, 1);
+}
+
+TEST(TraceCursor, TailChunksConcatenateIntoLoadableJson)
+{
+    auto& tr = obs::tracer::instance();
+    tr.instant("test", "tail_c1");
+    std::stringstream chunk1;
+    const auto r1 = tr.write_json_tail(chunk1, 0);
+    EXPECT_GT(r1.events, 0u);
+    EXPECT_GT(r1.next_since_ns, 0u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    tr.instant("test", "tail_c2");
+    std::stringstream chunk2;
+    const auto r2 = tr.write_json_tail(chunk2, r1.next_since_ns);
+    EXPECT_GT(r2.events, 0u);
+    EXPECT_GT(r2.next_since_ns, r1.next_since_ns);
+
+    // The second chunk must not repeat the first chunk's events (metadata
+    // records are re-emitted by design).
+    EXPECT_EQ(chunk2.str().find("tail_c1"), std::string::npos);
+    EXPECT_NE(chunk2.str().find("tail_c2"), std::string::npos);
+
+    // Chrome JSON Array Format: "[" + chunks tolerates the trailing comma and
+    // missing "]"; closing it by hand must yield strictly valid JSON.
+    std::string concat = "[\n" + chunk1.str() + chunk2.str();
+    const auto comma = concat.find_last_of(',');
+    ASSERT_NE(comma, std::string::npos);
+    concat = concat.substr(0, comma) + "\n]";
+    EXPECT_TRUE(json_parser{concat}.valid()) << concat.substr(0, 400);
+}
+
 TEST(Tracer, InternReturnsStablePointers)
 {
     auto& tr = obs::tracer::instance();
