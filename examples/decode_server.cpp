@@ -3,7 +3,7 @@
 //
 // Modes:
 //   decode_server                       demo: in-process server + client, 5 phases
-//   decode_server serve [port] [--cache-bytes N] [--ops-port P]
+//   decode_server serve [port] [--cache-bytes N] [--ops-port P] [--shards S]
 //                                       run a server until stdin closes; N > 0
 //                                       enables the decoded-result cache, P
 //                                       adds the HTTP ops plane (/metrics,
@@ -54,17 +54,20 @@ std::vector<std::uint8_t> demo_stream(int w, int h, int comps, int tile)
     return j2k::encode(j2k::make_test_image(w, h, comps), p);
 }
 
-int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port)
+int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port,
+              std::size_t shards)
 {
     net::server_config cfg;
     cfg.port = port;
     cfg.service.workers = 0;  // hardware concurrency
     cfg.service.queue_capacity = 64;
     cfg.service.cache_bytes = cache_bytes;
+    cfg.shards = shards;  // 0 = auto (one per hardware thread)
     net::server srv{cfg};
     srv.start();
-    std::printf("decode_server listening on 127.0.0.1:%u (^D to stop)%s\n",
-                srv.port(), cache_bytes ? " [result cache on]" : "");
+    std::printf("decode_server listening on 127.0.0.1:%u (%zu shard%s, ^D to stop)%s\n",
+                srv.port(), srv.shards(), srv.shards() == 1 ? "" : "s",
+                cache_bytes ? " [result cache on]" : "");
 
     std::unique_ptr<runtime::ops::ops_server> ops;
     if (ops_port >= 0) {
@@ -76,9 +79,10 @@ int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port)
         ops = std::make_unique<runtime::ops::ops_server>(srv.service(), ocfg);
         ops->set_extra_counters([&srv] {
             const auto st = srv.stats();
-            return std::vector<std::pair<std::string, std::uint64_t>>{
+            std::vector<std::pair<std::string, std::uint64_t>> out{
                 {"net_connections_accepted_total", st.connections_accepted},
                 {"net_connections_open", st.connections_open},
+                {"net_accepts_failed_total", st.accepts_failed},
                 {"net_frames_in_total", st.frames_in},
                 {"net_responses_out_total", st.responses_out},
                 {"net_bytes_in_total", st.bytes_in},
@@ -86,10 +90,33 @@ int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port)
                 {"net_batches_total", st.batches},
                 {"net_batched_jobs_total", st.batched_jobs},
                 {"net_bad_frames_total", st.bad_frames},
+                {"net_slow_reader_closed_total", st.slow_reader_closed},
                 {"net_progressive_streams_total", st.progressive_streams},
                 {"net_layer_frames_out_total", st.layer_frames_out},
                 {"net_streams_cancelled_total", st.streams_cancelled},
             };
+            // Per-shard breakdown (the aggregates above stay label-free for
+            // dashboard compatibility); only worth the exposition bytes when
+            // there is more than one shard.
+            if (srv.shards() > 1) {
+                for (std::size_t i = 0; i < srv.shards(); ++i) {
+                    const auto ss = srv.stats(i);
+                    const std::string lbl =
+                        "{shard=\"" + std::to_string(i) + "\"}";
+                    out.emplace_back("net_connections_accepted_total" + lbl,
+                                     ss.connections_accepted);
+                    out.emplace_back("net_frames_in_total" + lbl, ss.frames_in);
+                    out.emplace_back("net_responses_out_total" + lbl,
+                                     ss.responses_out);
+                    out.emplace_back("net_bytes_in_total" + lbl, ss.bytes_in);
+                    out.emplace_back("net_bytes_out_total" + lbl, ss.bytes_out);
+                    out.emplace_back("net_accepts_failed_total" + lbl,
+                                     ss.accepts_failed);
+                    out.emplace_back("net_slow_reader_closed_total" + lbl,
+                                     ss.slow_reader_closed);
+                }
+            }
+            return out;
         });
         ops->start();
         std::printf("ops plane on http://127.0.0.1:%u  "
@@ -332,16 +359,19 @@ int main(int argc, char** argv)
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
         std::uint16_t port = 0;
         std::size_t cache_bytes = 0;
-        int ops_port = -1;  // < 0 → no ops plane
+        int ops_port = -1;       // < 0 → no ops plane
+        std::size_t shards = 1;  // 0 = auto (one per hardware thread)
         for (int i = 2; i < argc; ++i) {
             if (std::strcmp(argv[i], "--cache-bytes") == 0 && i + 1 < argc)
                 cache_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
             else if (std::strcmp(argv[i], "--ops-port") == 0 && i + 1 < argc)
                 ops_port = std::atoi(argv[++i]);
+            else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+                shards = static_cast<std::size_t>(std::atoll(argv[++i]));
             else
                 port = static_cast<std::uint16_t>(std::atoi(argv[i]));
         }
-        return run_serve(port, cache_bytes, ops_port);
+        return run_serve(port, cache_bytes, ops_port, shards);
     }
     if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
         return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3],

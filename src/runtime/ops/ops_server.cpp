@@ -4,7 +4,9 @@
 #include "http.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +16,7 @@
 #include <unordered_map>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -45,6 +48,47 @@ std::string label_escape(std::string_view v)
         }
     }
     return out;
+}
+
+void log_sockopt_failure(const char* what)
+{
+    std::fprintf(stderr, "runtime::ops: setsockopt(%s) failed: %s\n", what,
+                 std::strerror(errno));
+}
+
+/// True when `s` is a well-formed Prometheus label block — `{key="value",...}`
+/// with keys matching [a-zA-Z_][a-zA-Z0-9_]* and values free of raw '"', '\'
+/// and newlines.  Extras carrying one (e.g. `net_frames_in_total{shard="0"}`)
+/// pass it through to exposition verbatim; anything else falls back to
+/// whole-name sanitisation.
+bool valid_label_block(std::string_view s)
+{
+    if (s.size() < 2 || s.front() != '{' || s.back() != '}') return false;
+    std::size_t i = 1;
+    const std::size_t end = s.size() - 1;
+    while (i < end) {
+        const std::size_t key_start = i;
+        if (!(std::isalpha(static_cast<unsigned char>(s[i])) || s[i] == '_'))
+            return false;
+        while (i < end &&
+               (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_'))
+            ++i;
+        if (i == key_start || i >= end || s[i] != '=') return false;
+        if (++i >= end || s[i] != '"') return false;
+        ++i;
+        while (i < end && s[i] != '"') {
+            if (s[i] == '\\' || s[i] == '\n') return false;
+            ++i;
+        }
+        if (i >= end) return false;  // unterminated value
+        ++i;                         // past closing quote
+        if (i < end) {
+            if (s[i] != ',') return false;
+            ++i;
+            if (i == end) return false;  // trailing comma
+        }
+    }
+    return s.size() > 2;  // reject the empty block
 }
 
 bool parse_u64(std::string_view s, std::uint64_t& out)
@@ -103,7 +147,8 @@ struct ops_server::impl {
         listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (listen_fd_ < 0) net::throw_errno("socket");
         const int one = 1;
-        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0)
+            log_sockopt_failure("SO_REUSEADDR");
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(cfg_.port);
@@ -122,8 +167,18 @@ struct ops_server::impl {
         }
         net::set_nonblocking(listen_fd_);
         socklen_t alen = sizeof addr;
-        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+        if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) < 0) {
+            // Without the bound address, port() would report garbage.
+            const int err = errno;
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw std::system_error{err, std::generic_category(), "getsockname"};
+        }
         port_ = ntohs(addr.sin_port);
+
+        // Emergency reserve fd, released to shed a pending connection when
+        // accept() hits EMFILE/ENFILE (see accept_ready).
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
         poller_ = net::make_poller(cfg_.use_poll);
         poller_->add(listen_fd_, k_listener_id, false);
@@ -201,6 +256,10 @@ struct ops_server::impl {
             ::close(c->fd);
         }
         conns_.clear();
+        if (reserve_fd_ >= 0) {
+            ::close(reserve_fd_);
+            reserve_fd_ = -1;
+        }
     }
 
     void accept_ready()
@@ -208,12 +267,37 @@ struct ops_server::impl {
         for (;;) {
             const int fd = ::accept(listen_fd_, nullptr, nullptr);
             if (fd < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return;
                 if (errno == EINTR) continue;
-                return;  // EAGAIN or transient failure; keep serving
+                accepts_failed_.fetch_add(1, std::memory_order_relaxed);
+                if (errno == EMFILE || errno == ENFILE) {
+                    // Out of fds with a connection still queued: returning
+                    // would leave the level-triggered poller re-firing in a
+                    // hot loop.  Release the reserve fd, accept + close the
+                    // pending connection, re-arm.
+                    if (reserve_fd_ >= 0) {
+                        ::close(reserve_fd_);
+                        reserve_fd_ = -1;
+                    }
+                    const int shed = ::accept(listen_fd_, nullptr, nullptr);
+                    if (shed >= 0) ::close(shed);
+                    reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+                    if (shed < 0) {
+                        // Could not even shed (system-wide exhaustion):
+                        // bounded backoff beats a hot spin.
+                        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                        return;
+                    }
+                    continue;
+                }
+                // ECONNABORTED and friends: that one connection is gone but
+                // the listener is healthy — keep draining the queue.
+                continue;
             }
             net::set_nonblocking(fd);
             const int one = 1;
-            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0)
+                log_sockopt_failure("TCP_NODELAY");
             auto c = std::make_unique<connection>(cfg_.max_request_bytes);
             c->fd = fd;
             c->id = next_conn_id_++;
@@ -492,14 +576,30 @@ struct ops_server::impl {
         emitf("%s_trace_events_overwritten_total %llu\n", P, u(ts.overwritten));
 
         // Front-end extras (names sanitised here, at the exposition boundary).
+        // A name may carry a label block — `family{shard="0"}` — in which case
+        // the family is sanitised as a metric name and a well-formed block
+        // passes through verbatim; malformed blocks degrade to whole-name
+        // sanitisation rather than emitting broken exposition.
         if (extra_) {
-            for (const auto& [name, v] : extra_())
-                emitf("%s_%s %llu\n", P, obs::prometheus_name(name).c_str(), u(v));
+            for (const auto& [name, v] : extra_()) {
+                const std::size_t brace = name.find('{');
+                if (brace != std::string::npos &&
+                    valid_label_block(std::string_view{name}.substr(brace))) {
+                    emitf("%s_%s%s %llu\n", P,
+                          obs::prometheus_name(name.substr(0, brace)).c_str(),
+                          name.substr(brace).c_str(), u(v));
+                } else {
+                    emitf("%s_%s %llu\n", P, obs::prometheus_name(name).c_str(),
+                          u(v));
+                }
+            }
         }
 
         // Ops plane self-observation.
         emitf("%s_ops_requests_total %llu\n", P,
               u(requests_.load(std::memory_order_relaxed)));
+        emitf("%s_ops_accepts_failed_total %llu\n", P,
+              u(accepts_failed_.load(std::memory_order_relaxed)));
         emitf("%s_ops_bad_requests_total %llu\n", P,
               u(bad_requests_.load(std::memory_order_relaxed)));
         emitf("%s_ops_not_found_total %llu\n", P,
@@ -596,6 +696,7 @@ struct ops_server::impl {
     std::uint64_t last_drain_ns_ = 0;
 
     int listen_fd_ = -1;
+    int reserve_fd_ = -1;  ///< emergency fd released to shed at EMFILE
     std::uint16_t port_ = 0;
     std::unique_ptr<net::poller> poller_;
     std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns_;
@@ -606,6 +707,7 @@ struct ops_server::impl {
     bool running_ = false;
 
     std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> accepts_failed_{0};
     std::atomic<std::uint64_t> bad_requests_{0};
     std::atomic<std::uint64_t> not_found_{0};
     std::atomic<std::uint64_t> scrapes_{0};
@@ -640,6 +742,7 @@ ops_server::stats_snapshot ops_server::stats() const noexcept
 {
     stats_snapshot s;
     s.requests = impl_->requests_.load(std::memory_order_relaxed);
+    s.accepts_failed = impl_->accepts_failed_.load(std::memory_order_relaxed);
     s.bad_requests = impl_->bad_requests_.load(std::memory_order_relaxed);
     s.not_found = impl_->not_found_.load(std::memory_order_relaxed);
     s.scrapes = impl_->scrapes_.load(std::memory_order_relaxed);

@@ -53,7 +53,9 @@ public:
     using ready_probe = std::function<bool()>;
     /// Extra (name, value) counters merged into /metrics — the process wires
     /// front-end stats (e.g. net::server::stats()) in through this without
-    /// the ops plane depending on the front-end type.
+    /// the ops plane depending on the front-end type.  A name may carry a
+    /// Prometheus label block (`net_frames_in_total{shard="0"}`): the family
+    /// is sanitised and a well-formed block is exposed verbatim.
     using counter_fn =
         std::function<std::vector<std::pair<std::string, std::uint64_t>>()>;
 
@@ -81,6 +83,7 @@ public:
 
     struct stats_snapshot {
         std::uint64_t requests = 0;        ///< complete requests parsed
+        std::uint64_t accepts_failed = 0;  ///< accept() errors incl. fd exhaustion
         std::uint64_t bad_requests = 0;    ///< 400/431 responses
         std::uint64_t not_found = 0;       ///< 404 responses
         std::uint64_t scrapes = 0;         ///< /metrics hits

@@ -8,13 +8,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace {
@@ -602,6 +610,382 @@ TEST(NetStreaming, ProgressiveAndPlainRequestsInterleaveOnOneConnection)
     EXPECT_EQ(frames, 3);
     const auto r = cli.decode({cs, 0, net::result_format::raw, 2});
     ASSERT_TRUE(r.ok()) << r.message();
+}
+
+// ---- fd exhaustion ---------------------------------------------------------
+
+/// Highest fd number currently open in this process (via /proc/self/fd).
+int max_open_fd()
+{
+    int maxfd = 2;
+    DIR* d = ::opendir("/proc/self/fd");
+    if (!d) return 1024;
+    while (const dirent* e = ::readdir(d)) {
+        const int fd = std::atoi(e->d_name);
+        if (fd > maxfd) maxfd = fd;
+    }
+    ::closedir(d);
+    return maxfd;
+}
+
+/// RAII RLIMIT_NOFILE clamp.
+struct scoped_nofile_limit {
+    rlimit saved{};
+    explicit scoped_nofile_limit(rlim_t cur)
+    {
+        EXPECT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+        rlimit lim = saved;
+        lim.rlim_cur = cur;
+        EXPECT_EQ(::setrlimit(RLIMIT_NOFILE, &lim), 0);
+    }
+    ~scoped_nofile_limit() { ::setrlimit(RLIMIT_NOFILE, &saved); }
+};
+
+TEST(NetServer, FdExhaustionShedsPendingConnectionsInsteadOfSpinning)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    net::server srv{quiet_config()};
+    srv.start();
+
+    // Prove the server works, then clamp the fd table just above current
+    // usage and fill every remaining slot (and any numbering holes) with
+    // /dev/null.  Freeing exactly one slot lets this thread create one client
+    // socket — after which the table is full again, so the server's accept()
+    // hits EMFILE and must shed through its emergency reserve fd rather than
+    // hot-spin on the level-triggered listener.  No other thread allocates
+    // fds meanwhile, so the transiently-freed reserve slot cannot be stolen.
+    {
+        net::client warm{"127.0.0.1", srv.port()};
+        const auto r = warm.decode({cs, 0, net::result_format::raw, 1});
+        ASSERT_TRUE(r.ok()) << r.message();
+    }
+    // The server frees the warm connection's fd asynchronously; fill only
+    // once it has, or that slot reopens mid-test and the accept succeeds.
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (srv.stats().connections_open != 0 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_EQ(srv.stats().connections_open, 0u);
+    }
+    {
+        scoped_nofile_limit clamp{static_cast<rlim_t>(max_open_fd() + 8)};
+        std::vector<int> fillers;
+        for (;;) {
+            const int f = ::open("/dev/null", O_RDONLY);
+            if (f < 0) {
+                ASSERT_EQ(errno, EMFILE);
+                break;
+            }
+            fillers.push_back(f);
+        }
+        ASSERT_FALSE(fillers.empty());
+        ::close(fillers.back());  // one slot for the client socket below
+        fillers.pop_back();
+
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(srv.port());
+        ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+        // The shed path accepts the pending connection on the reserve slot
+        // and closes it immediately: a clean EOF, not a hang in the backlog.
+        const timeval tv{5, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        char b;
+        EXPECT_EQ(::recv(fd, &b, 1, 0), 0);
+        ::close(fd);
+        EXPECT_GE(srv.stats().accepts_failed, 1u);
+        for (const int f : fillers) ::close(f);
+    }
+
+    // With the limit restored the server must serve normally again — the
+    // reserve was re-armed and the loop never wedged.
+    net::client after{"127.0.0.1", srv.port()};
+    const auto r = after.decode({cs, 0, net::result_format::raw, 2});
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(net::decode_image_raw(r.payload), serial);
+}
+
+// ---- slow-reader outbound cap ----------------------------------------------
+
+TEST(NetServer, SlowReaderIsDisconnectedAtTheOutboundCap)
+{
+    // A multi-layer stream against a client that never reads: kernel-side
+    // buffering fills, the per-connection outbound queue grows past the cap,
+    // and the server must disconnect rather than queue without bound.  The
+    // raw ~64 KiB layer frames dwarf the 32 KiB cap, so the first delivery
+    // that cannot be fully flushed into the kernel trips it.
+    const auto cs = make_stream(256, 256, 1, 64, j2k::wavelet::w5_3, 4);
+    auto cfg = quiet_config();
+    cfg.max_outbound_bytes = 32 * 1024;
+    // Pin the server-side send buffer: with autotuning the kernel happily
+    // absorbs the whole stream on loopback and the user-space queue never
+    // grows.  A fixed SO_SNDBUF makes the cap the true backlog ceiling.
+    cfg.sndbuf_bytes = 8 * 1024;
+    net::server srv{cfg};
+    srv.start();
+
+    // Raw client socket: SO_RCVBUF must be locked down *before* connect so
+    // receive-buffer autotuning (tcp_rmem grows to tens of MB on modern
+    // kernels) cannot absorb the whole stream on the kernel's side.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const int rcvbuf = 4 * 1024;
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf), 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(srv.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+    net::request_header h;
+    h.priority_raw = 0;
+    h.format_raw = 0;
+    h.flags = net::k_flag_progressive;
+    h.request_id = 9;
+    h.payload_len = static_cast<std::uint32_t>(cs.size());
+    std::vector<std::uint8_t> wire(net::k_header_size);
+    net::encode_request_header(h, wire.data());
+    wire.insert(wire.end(), cs.begin(), cs.end());
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, 0);
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+
+    // Do not read.  The cap must fire within the deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (srv.stats().slow_reader_closed == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(srv.stats().slow_reader_closed, 1u);
+
+    // The connection was closed server-side: draining what the kernel
+    // already buffered ends in EOF (or RST), never a complete stream.
+    const timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    std::vector<char> sink(64 * 1024);
+    std::size_t drained = 0;
+    for (;;) {
+        const ssize_t n = ::recv(fd, sink.data(), sink.size(), 0);
+        if (n <= 0) break;
+        drained += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    EXPECT_LT(drained, 4u * 64 * 1024);  // nowhere near the full stream
+
+    // The server stays healthy for other clients.
+    const auto quick = make_stream(64, 64, 1, 64);
+    net::client cli2{"127.0.0.1", srv.port()};
+    const auto ok = cli2.decode({quick, 0, net::result_format::raw, 10});
+    ASSERT_TRUE(ok.ok()) << ok.message();
+}
+
+// ---- multi-shard front-end -------------------------------------------------
+
+TEST(NetSharded, ConnectionsSpreadAcrossShardsAndAllDecodeCorrectly)
+{
+    const auto cs = make_stream(128, 128, 3, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    auto cfg = quiet_config();
+    cfg.shards = 4;
+    net::server srv{cfg};
+    srv.start();
+    EXPECT_EQ(srv.shards(), 4u);
+
+    // Enough distinct connections that the kernel's 4-tuple hash spreading
+    // them all onto one shard is vanishingly unlikely (4^-15).
+    constexpr int conns = 16;
+    for (int i = 0; i < conns; ++i) {
+        net::client cli{"127.0.0.1", srv.port()};
+        const auto id = static_cast<std::uint32_t>(i + 1);
+        const auto r = cli.decode({cs, static_cast<std::uint8_t>(i % 2),
+                                   net::result_format::raw, id});
+        ASSERT_TRUE(r.ok()) << r.message();
+        EXPECT_EQ(r.request_id, id);
+        EXPECT_EQ(net::decode_image_raw(r.payload), serial);
+    }
+
+    const auto total = srv.stats();
+    EXPECT_EQ(total.connections_accepted, static_cast<std::uint64_t>(conns));
+    EXPECT_EQ(total.frames_in, static_cast<std::uint64_t>(conns));
+    EXPECT_EQ(total.responses_out, static_cast<std::uint64_t>(conns));
+    int shards_hit = 0;
+    for (std::size_t i = 0; i < srv.shards(); ++i)
+        if (srv.stats(i).connections_accepted > 0) ++shards_hit;
+    EXPECT_GT(shards_hit, 1);
+}
+
+TEST(NetSharded, ProgressiveStreamingWorksOnEveryShard)
+{
+    const int layers = 3;
+    const auto cs = make_stream(96, 96, 1, 48, j2k::wavelet::w5_3, layers);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    auto cfg = quiet_config();
+    cfg.shards = 2;
+    net::server srv{cfg};
+    srv.start();
+
+    for (int i = 0; i < 6; ++i) {  // several conns → both shards see streams
+        net::client cli{"127.0.0.1", srv.port()};
+        int frames = 0;
+        net::request r;
+        r.codestream = cs;
+        r.format = net::result_format::raw;
+        r.request_id = static_cast<std::uint32_t>(i + 1);
+        const auto fin = cli.decode_progressive(
+            r, [&](const net::layer_frame& lf) {
+                ++frames;
+                EXPECT_EQ(lf.layer, frames);
+                EXPECT_EQ(lf.total, layers);
+            });
+        ASSERT_EQ(fin.st, net::status::streaming) << fin.message();
+        EXPECT_EQ(frames, layers);
+        const auto last = net::split_layer_frame(fin);
+        ASSERT_TRUE(last);
+        EXPECT_EQ(net::decode_image_raw(last->image), serial);
+    }
+    EXPECT_EQ(srv.stats().progressive_streams, 6u);
+}
+
+TEST(NetSharded, AutoShardCountServesTraffic)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    auto cfg = quiet_config();
+    cfg.shards = 0;  // resolve from hardware concurrency
+    net::server srv{cfg};
+    srv.start();
+    EXPECT_GE(srv.shards(), 1u);
+    net::client cli{"127.0.0.1", srv.port()};
+    const auto r = cli.decode({cs, 0, net::result_format::raw, 1});
+    ASSERT_TRUE(r.ok()) << r.message();
+}
+
+TEST(NetSharded, PollFallbackAndTornFramesServeOnShardedServer)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    auto cfg = quiet_config();
+    cfg.shards = 2;
+    cfg.use_poll = true;
+    net::server srv{cfg};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+
+    net::request_header h;
+    h.priority_raw = 0;
+    h.format_raw = 0;
+    h.request_id = 77;
+    h.payload_len = static_cast<std::uint32_t>(cs.size());
+    std::vector<std::uint8_t> wire(net::k_header_size);
+    net::encode_request_header(h, wire.data());
+    wire.insert(wire.end(), cs.begin(), cs.end());
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        const std::size_t n = std::min<std::size_t>(199, wire.size() - off);
+        ASSERT_EQ(::send(cli.fd(), wire.data() + off, n, 0),
+                  static_cast<ssize_t>(n));
+        off += n;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto r = cli.recv();
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.request_id, 77u);
+    EXPECT_EQ(net::decode_image_raw(r.payload), serial);
+}
+
+TEST(NetSharded, DrainUnderLoadLosesNoInFlightResponse)
+{
+    const auto cs = make_stream(128, 128, 3, 64);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+    auto cfg = quiet_config();
+    cfg.shards = 2;
+    cfg.service.queue_capacity = 64;
+    net::server srv{cfg};
+    srv.start();
+
+    // Several clients each put one request on the wire; once every frame has
+    // been parsed (and therefore admitted or shed), stop() runs concurrently
+    // with the clients waiting.  Every client must get a complete, typed
+    // response frame — an admitted job's result, or a clean shed/stopped
+    // status — never a torn frame or silent EOF.
+    constexpr int clients = 6;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0}, typed{0}, torn{0};
+    std::vector<net::client> clis;
+    clis.reserve(clients);
+    for (int t = 0; t < clients; ++t)
+        clis.emplace_back("127.0.0.1", srv.port());
+    for (int t = 0; t < clients; ++t)
+        clis[t].send({cs, 1, net::result_format::raw,
+                      static_cast<std::uint32_t>(t + 1)});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (srv.stats().frames_in < clients &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_EQ(srv.stats().frames_in, static_cast<std::uint64_t>(clients));
+
+    for (int t = 0; t < clients; ++t)
+        threads.emplace_back([&, t] {
+            try {
+                const auto r = clis[t].recv();
+                if (r.ok() && net::decode_image_raw(r.payload) == serial)
+                    ok.fetch_add(1);
+                else if (r.st == net::status::shed ||
+                         r.st == net::status::stopped)
+                    typed.fetch_add(1);
+                else
+                    torn.fetch_add(1);
+            } catch (const std::exception&) {
+                torn.fetch_add(1);
+            }
+        });
+    srv.stop();
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(ok.load() + typed.load(), clients);
+    EXPECT_EQ(torn.load(), 0);
+    // The drain flushed every queued response before closing.
+    EXPECT_EQ(srv.stats().responses_out, static_cast<std::uint64_t>(clients));
+}
+
+TEST(NetSharded, PerShardStatsSumToAggregate)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    auto cfg = quiet_config();
+    cfg.shards = 3;
+    net::server srv{cfg};
+    srv.start();
+    for (int i = 0; i < 9; ++i) {
+        net::client cli{"127.0.0.1", srv.port()};
+        const auto r = cli.decode({cs, 0, net::result_format::raw,
+                                   static_cast<std::uint32_t>(i + 1)});
+        ASSERT_TRUE(r.ok()) << r.message();
+    }
+    srv.stop();
+    const auto total = srv.stats();
+    std::uint64_t conns = 0, frames = 0, bytes_in = 0, bytes_out = 0;
+    for (std::size_t i = 0; i < srv.shards(); ++i) {
+        const auto s = srv.stats(i);
+        conns += s.connections_accepted;
+        frames += s.frames_in;
+        bytes_in += s.bytes_in;
+        bytes_out += s.bytes_out;
+    }
+    EXPECT_EQ(conns, total.connections_accepted);
+    EXPECT_EQ(frames, total.frames_in);
+    EXPECT_EQ(bytes_in, total.bytes_in);
+    EXPECT_EQ(bytes_out, total.bytes_out);
+    EXPECT_EQ(frames, 9u);
+    // Out-of-range shard index answers zeros, not UB.
+    EXPECT_EQ(srv.stats(99).frames_in, 0u);
 }
 
 }  // namespace

@@ -18,7 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <arpa/inet.h>
@@ -454,6 +458,97 @@ TEST(OpsServer, MetricsTextRenderableWithoutSockets)
     const std::string json = ops.metrics_json();
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
+}
+
+TEST(OpsServer, LabeledExtraCountersExposeCleanlyAndMalformedOnesAreSanitised)
+{
+    runtime::decode_service svc{ops_fixture::make_cfg()};
+    runtime::ops::ops_server ops{svc};  // render directly, no socket needed
+    ops.set_extra_counters([] {
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"net_frames_in_total", 12},
+            {"net_frames_in_total{shard=\"0\"}", 7},
+            {"net_frames_in_total{shard=\"1\",zone=\"a\"}", 5},
+            // Malformed blocks must degrade to whole-name sanitisation,
+            // never reach exposition raw.
+            {"weird metric{shard=0}", 3},           // unquoted value
+            {"trailing{shard=\"2\",}", 2},          // trailing comma
+            {"unterminated{shard=\"3", 1},          // no closing brace
+        };
+    });
+    const std::string text = ops.metrics_text();
+    EXPECT_NE(text.find("j2k_net_frames_in_total 12\n"), std::string::npos);
+    EXPECT_NE(text.find("j2k_net_frames_in_total{shard=\"0\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("j2k_net_frames_in_total{shard=\"1\",zone=\"a\"} 5\n"),
+              std::string::npos);
+    EXPECT_EQ(text.find("weird metric"), std::string::npos);
+    EXPECT_EQ(text.find("{shard=0}"), std::string::npos);
+    EXPECT_EQ(text.find("{shard=\"2\",}"), std::string::npos);
+    EXPECT_EQ(text.find("{shard=\"3"), std::string::npos);
+    // The sanitised fallbacks still carry the value.
+    EXPECT_NE(text.find("j2k_weird_metric_shard_0_ 3\n"), std::string::npos);
+}
+
+TEST(OpsServer, FdExhaustionShedsConnectionsAndCountsAcceptsFailed)
+{
+    ops_fixture f;
+    EXPECT_EQ(f.get("/healthz").status, 200);
+    EXPECT_EQ(f.ops.stats().accepts_failed, 0u);
+    // The server closes the finished /healthz connection on its own loop;
+    // let that fd actually free before taking a census of the table.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Clamp the fd table just above current usage and fill every remaining
+    // slot, then free exactly one for a client socket: the ops listener's
+    // accept() hits EMFILE and must shed through its reserve fd (clean EOF)
+    // rather than hot-spin on the level-triggered listener.
+    rlimit saved{};
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+    {
+        int maxfd = 2;
+        DIR* d = ::opendir("/proc/self/fd");
+        ASSERT_NE(d, nullptr);
+        while (const dirent* e = ::readdir(d)) {
+            const int fd = std::atoi(e->d_name);
+            if (fd > maxfd) maxfd = fd;
+        }
+        ::closedir(d);
+        rlimit lim = saved;
+        lim.rlim_cur = static_cast<rlim_t>(maxfd + 8);
+        ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lim), 0);
+    }
+    std::vector<int> fillers;
+    for (;;) {
+        const int fd = ::open("/dev/null", O_RDONLY);
+        if (fd < 0) break;
+        fillers.push_back(fd);
+    }
+    ASSERT_FALSE(fillers.empty());
+    ::close(fillers.back());
+    fillers.pop_back();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(f.ops.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    const timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char b;
+    EXPECT_EQ(::recv(fd, &b, 1, 0), 0);  // shed: accepted then closed
+    ::close(fd);
+    for (const int g : fillers) ::close(g);
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+    EXPECT_GE(f.ops.stats().accepts_failed, 1u);
+    // The plane serves normally once the pressure is gone, and the failure
+    // shows up in its own exposition.
+    const auto m = f.get("/metrics");
+    EXPECT_EQ(m.status, 200);
+    EXPECT_NE(m.body.find("j2k_ops_accepts_failed_total "), std::string::npos);
 }
 
 }  // namespace
