@@ -1,5 +1,7 @@
 #include "color.hpp"
 
+#include "kernels.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -55,15 +57,7 @@ void rct_inverse(image& img)
     auto& y = img.comp(0).samples();
     auto& u = img.comp(1).samples();
     auto& v = img.comp(2).samples();
-    for (std::size_t i = 0; i < y.size(); ++i) {
-        const std::int32_t Y = y[i], U = u[i], V = v[i];
-        const std::int32_t G = Y - ((U + V) >> 2);
-        const std::int32_t R = V + G;
-        const std::int32_t B = U + G;
-        y[i] = R;
-        u[i] = G;
-        v[i] = B;
-    }
+    kernels().rct_inverse(y.data(), u.data(), v.data(), y.size());
 }
 
 void ict_forward(image& img)
@@ -89,15 +83,9 @@ void ict_inverse(image& img)
     auto& y = img.comp(0).samples();
     auto& cb = img.comp(1).samples();
     auto& cr = img.comp(2).samples();
-    for (std::size_t i = 0; i < y.size(); ++i) {
-        const double Y = y[i], Cb = cb[i], Cr = cr[i];
-        const double R = Y + 1.402 * Cr;
-        const double G = Y - 0.344136 * Cb - 0.714136 * Cr;
-        const double B = Y + 1.772 * Cb;
-        y[i] = static_cast<std::int32_t>(std::lround(R));
-        cb[i] = static_cast<std::int32_t>(std::lround(G));
-        cr[i] = static_cast<std::int32_t>(std::lround(B));
-    }
+    // Rounding is kernel_round_away (same round-half-away-from-zero as the
+    // previous lround, in the branch-free form both dispatch paths share).
+    kernels().ict_inverse(y.data(), cb.data(), cr.data(), y.size());
 }
 
 }  // namespace j2k

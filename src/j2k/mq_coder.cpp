@@ -1,5 +1,8 @@
 #include "mq_coder.hpp"
 
+#include "kernels.hpp"
+
+#include <algorithm>
 #include <array>
 #include <stdexcept>
 
@@ -28,11 +31,38 @@ constexpr std::array<mq_state, 47> k_states{{
     {0x0001, 45, 43, 0}, {0x5601, 46, 46, 0},
 }};
 
+/// Leading zeros within 8 bits (8 for 0) — the two halves of a 16-bit
+/// leading-zero count without a hardware LZCNT dependency.
+constexpr std::array<std::uint8_t, 256> make_lz8()
+{
+    std::array<std::uint8_t, 256> t{};
+    t[0] = 8;
+    for (int i = 1; i < 256; ++i) {
+        int lz = 0;
+        for (int b = 7; b >= 0 && (i & (1 << b)) == 0; --b) ++lz;
+        t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(lz);
+    }
+    return t;
+}
+
+constexpr auto k_lz8 = make_lz8();
+
 }  // namespace
 
 const mq_state& mq_table(std::uint8_t index) noexcept
 {
     return k_states[index];
+}
+
+mq_mode default_mq_mode() noexcept
+{
+    return kernels().mq_fast ? mq_mode::fast : mq_mode::reference;
+}
+
+int mq_renorm_shift(std::uint32_t a) noexcept
+{
+    const std::uint32_t hi = (a >> 8) & 0xFF;
+    return hi ? k_lz8[hi] : 8 + k_lz8[a & 0xFF];
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +238,27 @@ void mq_decoder::renorm()
     } while ((a_ & 0x8000) == 0);
 }
 
+/// Batch renormalisation.  RENORMD shifts A and C left until bit 15 of A is
+/// set, calling BYTEIN whenever CT hits zero.  The total shift depends only
+/// on A at entry (a LUT lookup), and BYTEIN only adds bits *below* the
+/// positions already being shifted out, so performing the shifts in chunks of
+/// min(remaining, CT) visits exactly the same BYTEIN boundaries with exactly
+/// the same register contents as the one-bit-at-a-time reference loop.
+/// A is nonzero here: the LPS path sets a_ = qe >= 1, and on the MPS path
+/// a_ - qe >= 0x8000 - 0x5601 after the subtraction in decode().
+void mq_decoder::renorm_fast()
+{
+    int s = mq_renorm_shift(a_);
+    while (s > 0) {
+        if (ct_ == 0) byte_in();
+        const int k = std::min(s, ct_);
+        a_ <<= k;
+        c_ <<= k;
+        ct_ -= k;
+        s -= k;
+    }
+}
+
 int mq_decoder::mps_exchange(mq_context& cx)
 {
     const mq_state& s = k_states[cx.index];
@@ -248,12 +299,18 @@ int mq_decoder::decode(mq_context& cx)
     int d;
     if (((c_ >> 16) & 0xFFFF) < s.qe) {
         d = lps_exchange(cx);
-        renorm();
+        if (mode_ == mq_mode::fast)
+            renorm_fast();
+        else
+            renorm();
     } else {
         c_ -= static_cast<std::uint32_t>(s.qe) << 16;
         if ((a_ & 0x8000) == 0) {
             d = mps_exchange(cx);
-            renorm();
+            if (mode_ == mq_mode::fast)
+                renorm_fast();
+            else
+                renorm();
         } else {
             d = cx.mps;
         }

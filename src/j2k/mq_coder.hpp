@@ -38,6 +38,22 @@ struct mq_state {
 /// The 47-state table (shared by encoder and decoder).
 [[nodiscard]] const mq_state& mq_table(std::uint8_t index) noexcept;
 
+/// Decoder renormalisation strategy.
+enum class mq_mode : std::uint8_t {
+    reference,  ///< Annex C flow chart: one shift per loop iteration
+    fast,       ///< batch renormalisation: leading-zero LUT, chunked shifts
+};
+
+/// What a freshly constructed decoder uses: `fast` when the active kernel
+/// table opts in (see kernel_table::mq_fast), else `reference`.
+[[nodiscard]] mq_mode default_mq_mode() noexcept;
+
+/// Number of left shifts that bring bit 15 of the 16-bit interval register
+/// up, i.e. the total shift one RENORMD performs for this `a`.  LUT-based;
+/// requires 1 <= a <= 0x7FFF (always true at renorm entry).  Exposed so tests
+/// can sweep it exhaustively against the iterative definition.
+[[nodiscard]] int mq_renorm_shift(std::uint32_t a) noexcept;
+
 /// MQ encoder producing a byte vector.
 class mq_encoder {
 public:
@@ -73,9 +89,14 @@ private:
 /// MQ decoder reading from a byte span (not owned; must outlive the decoder).
 class mq_decoder {
 public:
-    explicit mq_decoder(std::span<const std::uint8_t> data) { init(data); }
+    explicit mq_decoder(std::span<const std::uint8_t> data,
+                        mq_mode mode = default_mq_mode())
+        : mode_{mode}
+    {
+        init(data);
+    }
 
-    /// (Re)start decoding from `data`.
+    /// (Re)start decoding from `data` (keeps the current mode).
     void init(std::span<const std::uint8_t> data);
 
     /// Decode one binary decision in context `cx`.
@@ -85,9 +106,17 @@ public:
     /// execution-time model charges per-decision work to the arith stage).
     [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
 
+    /// Renormalisation strategy.  Both modes are bit-exact by construction
+    /// (the fast path performs the same shifts with the same BYTEIN
+    /// boundaries, just in chunks); the setter exists so tests and the fuzzer
+    /// can pin either side regardless of the kernel dispatch.
+    void set_mode(mq_mode m) noexcept { mode_ = m; }
+    [[nodiscard]] mq_mode mode() const noexcept { return mode_; }
+
 private:
     void byte_in();
     void renorm();
+    void renorm_fast();
     [[nodiscard]] int mps_exchange(mq_context& cx);
     [[nodiscard]] int lps_exchange(mq_context& cx);
 
@@ -97,6 +126,7 @@ private:
     std::uint32_t a_ = 0;
     int ct_ = 0;
     std::uint64_t decisions_ = 0;
+    mq_mode mode_ = mq_mode::reference;
 };
 
 }  // namespace j2k

@@ -1,5 +1,7 @@
 #include "quant.hpp"
 
+#include "kernels.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -41,7 +43,7 @@ void dequantize_buffer(const std::vector<std::int32_t>& in, std::vector<double>&
 {
     if (step <= 0.0) throw std::invalid_argument{"dequantize_buffer: step must be > 0"};
     out.resize(in.size());
-    for (std::size_t i = 0; i < in.size(); ++i) out[i] = dequantize_value(in[i], step);
+    kernels().dequant(in.data(), out.data(), step, in.size());
 }
 
 }  // namespace j2k

@@ -9,10 +9,10 @@ namespace j2k {
 
 namespace {
 
-void scatter_block(plane& p, int x0, int y0, int w, int h, const std::vector<std::int32_t>& in)
+void scatter_block(plane& p, int x0, int y0, int w, int h, const std::int32_t* in)
 {
     for (int y = 0; y < h; ++y) {
-        const std::int32_t* s = in.data() + static_cast<std::ptrdiff_t>(y) * w;
+        const std::int32_t* s = in + static_cast<std::ptrdiff_t>(y) * w;
         std::copy(s, s + w, p.row(y0 + y) + x0);
     }
 }
@@ -36,6 +36,9 @@ struct decode_session::impl {
     int threads = 1;
     int current = 0;     ///< layers consumed so far
     bool poisoned = false;
+    /// Backs per-advance transients only (see session.hpp) — never the
+    /// persistent block slots, which may outlive any job-scoped arena.
+    std::pmr::memory_resource* scratch = nullptr;
     /// Segment payload bytes handed to the MQ decoders so far.  Plain streams
     /// decode through decoder::entropy_decode and are not tracked here (a
     /// plain stream has no layer segments — the counter stays 0).
@@ -104,18 +107,19 @@ struct decode_session::impl {
             tc.rect = tr;
             for (int c = 0; c < info.components; ++c)
                 tc.comps.emplace_back(tr.width, tr.height);
-            std::vector<std::int32_t> blk;
+            std::pmr::vector<std::int32_t> blk{
+                scratch ? scratch : std::pmr::get_default_resource()};
             for (const auto& s : slots[static_cast<std::size_t>(t)]) {
                 blk.resize(static_cast<std::size_t>(s.w) * s.h);
                 s.t1.read(blk.data());
                 scatter_block(tc.comps[static_cast<std::size_t>(s.comp)], s.x0, s.y0,
-                              s.w, s.h, blk);
+                              s.w, s.h, blk.data());
             }
         } else {
-            tc = dec.entropy_decode(t, stats ? &stats->t1 : nullptr);
+            tc = dec.entropy_decode(t, stats ? &stats->t1 : nullptr, scratch);
         }
         const tile_wavelet tw = dec.dequantize(tc);
-        const tile_pixels tp = dec.idwt(tw);
+        const tile_pixels tp = dec.idwt(tw, scratch);
         for (int c = 0; c < info.components; ++c)
             insert_tile(img.comp(c), tp.comps[static_cast<std::size_t>(c)], tr);
         if (stats) {
@@ -162,6 +166,11 @@ bool decode_session::complete() const noexcept
 void decode_session::set_threads(int threads) noexcept
 {
     impl_->threads = threads < 1 ? 1 : threads;
+}
+
+void decode_session::set_scratch_arena(std::pmr::memory_resource* mr) noexcept
+{
+    impl_->scratch = mr;
 }
 
 std::uint64_t decode_session::tier1_segment_bytes() const noexcept

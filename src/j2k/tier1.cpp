@@ -66,21 +66,31 @@ sc_info sc_context(int hc, int vc) noexcept
     return {13, 1};
 }
 
-/// Per-sample coder state shared by encoder and decoder.
+[[nodiscard]] std::pmr::memory_resource* mr_of(std::pmr::memory_resource* mr) noexcept
+{
+    return mr ? mr : std::pmr::get_default_resource();
+}
+
+/// Per-sample coder state shared by encoder and decoder.  The vectors come
+/// from `mr` so a decode job can back them with its arena; defaulting to the
+/// heap keeps encoder paths and persistent session decoders unchanged.
 struct block_state {
     int w;
     int h;
     band orient;
-    std::vector<std::uint32_t> mag;   // encoder: |coeff|; decoder: accumulated
-    std::vector<std::uint8_t> sign;   // 1 = negative
-    std::vector<std::uint8_t> sig;    // significant
-    std::vector<std::uint8_t> became; // became significant in current plane
-    std::vector<std::uint8_t> visited;// coded in SPP of current plane
-    std::vector<std::uint8_t> refined;// has had ≥1 refinement pass
+    std::pmr::vector<std::uint32_t> mag;   // encoder: |coeff|; decoder: accumulated
+    std::pmr::vector<std::uint8_t> sign;   // 1 = negative
+    std::pmr::vector<std::uint8_t> sig;    // significant
+    std::pmr::vector<std::uint8_t> became; // became significant in current plane
+    std::pmr::vector<std::uint8_t> visited;// coded in SPP of current plane
+    std::pmr::vector<std::uint8_t> refined;// has had ≥1 refinement pass
     std::array<mq_context, k_num_ctx> cx{};
 
-    block_state(int width, int height, band o)
-        : w{width}, h{height}, orient{o}
+    block_state(int width, int height, band o,
+                std::pmr::memory_resource* mr = nullptr)
+        : w{width}, h{height}, orient{o},
+          mag{mr_of(mr)}, sign{mr_of(mr)}, sig{mr_of(mr)}, became{mr_of(mr)},
+          visited{mr_of(mr)}, refined{mr_of(mr)}
     {
         const auto n = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
         mag.assign(n, 0);
@@ -425,14 +435,15 @@ struct tier1_block_decoder::state {
     int num_planes = 0;
     int segments = 0;
 
-    state(int w, int h, int planes, band orient)
-        : bs{w, h, orient}, seq{pass_sequence(planes)}, num_planes{planes}
+    state(int w, int h, int planes, band orient, std::pmr::memory_resource* mr)
+        : bs{w, h, orient, mr}, seq{pass_sequence(planes)}, num_planes{planes}
     {
     }
 };
 
 tier1_block_decoder::tier1_block_decoder(int width, int height, int num_planes,
-                                         band orient)
+                                         band orient,
+                                         std::pmr::memory_resource* mr)
 {
     if (width <= 0 || height <= 0)
         throw std::invalid_argument{"tier1_block_decoder: empty block"};
@@ -440,7 +451,7 @@ tier1_block_decoder::tier1_block_decoder(int width, int height, int num_planes,
     // codestream error so hostile inputs stay inside the decode error contract.
     if (num_planes < 0 || num_planes > 31)
         throw codestream_error{"tier1_block_decoder: implausible plane count"};
-    st_ = std::make_unique<state>(width, height, num_planes, orient);
+    st_ = std::make_unique<state>(width, height, num_planes, orient, mr);
 }
 
 tier1_block_decoder::~tier1_block_decoder() = default;
@@ -488,7 +499,8 @@ void tier1_block_decoder::read(std::int32_t* out) const
 }
 
 void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
-                          band orient, int layers, tier1_stats* stats)
+                          band orient, int layers, tier1_stats* stats,
+                          std::pmr::memory_resource* mr)
 {
     if (cb.width <= 0 || cb.height <= 0)
         throw std::invalid_argument{"tier1_decode_layered: empty block"};
@@ -496,7 +508,7 @@ void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
     // One batch decode is the resumable decoder fed every segment in turn —
     // a single code path keeps the incremental session bit-exact by
     // construction (num_planes validation happens in the constructor).
-    tier1_block_decoder dec{cb.width, cb.height, cb.num_planes, orient};
+    tier1_block_decoder dec{cb.width, cb.height, cb.num_planes, orient, mr};
     if (cb.num_planes == 0) {
         std::fill(out, out + n, 0);
         return;
@@ -513,7 +525,8 @@ void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
 }
 
 void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,
-                  tier1_stats* stats, int max_passes)
+                  tier1_stats* stats, int max_passes,
+                  std::pmr::memory_resource* mr)
 {
     if (cb.width <= 0 || cb.height <= 0)
         throw std::invalid_argument{"tier1_decode: empty block"};
@@ -525,7 +538,7 @@ void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,
         std::fill(out, out + n, 0);
         return;
     }
-    block_state st{cb.width, cb.height, orient};
+    block_state st{cb.width, cb.height, orient, mr};
     mq_decoder dec{std::span<const std::uint8_t>{cb.data}};
     engine<decode_io> eng{st, decode_io{&dec}};
     std::uint64_t passes = 0;

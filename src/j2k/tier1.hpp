@@ -85,10 +85,13 @@ struct layered_codeblock {
     const std::vector<int>& passes_per_layer);
 
 /// Decode the first `layers` segments (0 = all); exact for full decodes,
-/// progressively coarser for prefixes.
+/// progressively coarser for prefixes.  `mr`, when non-null, supplies the
+/// decoder's per-block scratch (significance maps, magnitudes, contexts) —
+/// pass a per-job arena to keep the hot path allocation-free.
 void tier1_decode_layered(const layered_codeblock& cb, std::int32_t* out,
                           band orient, int layers = 0,
-                          tier1_stats* stats = nullptr);
+                          tier1_stats* stats = nullptr,
+                          std::pmr::memory_resource* mr = nullptr);
 
 /// Resumable layer-by-layer decoder for one code block.  The coder state
 /// (accumulated magnitudes, signs, significance map, MQ contexts, position in
@@ -101,7 +104,11 @@ class tier1_block_decoder {
 public:
     /// `num_planes` is stream data: implausible values throw codestream_error
     /// (empty geometry stays std::invalid_argument, as for tier1_decode).
-    tier1_block_decoder(int width, int height, int num_planes, band orient);
+    /// `mr` backs the per-block coder state; leave it null (heap) for
+    /// decoders that outlive a decode job — session slots deposited into the
+    /// result cache must never reference a job-scoped arena.
+    tier1_block_decoder(int width, int height, int num_planes, band orient,
+                        std::pmr::memory_resource* mr = nullptr);
     ~tier1_block_decoder();
 
     tier1_block_decoder(tier1_block_decoder&&) noexcept;
@@ -135,6 +142,7 @@ private:
 /// SNR-scalability mechanism of EBCOT: fewer passes yield a coarser (but
 /// valid) reconstruction from a prefix of the codeword.  0 decodes all.
 void tier1_decode(const codeblock& cb, std::int32_t* out, band orient,
-                  tier1_stats* stats = nullptr, int max_passes = 0);
+                  tier1_stats* stats = nullptr, int max_passes = 0,
+                  std::pmr::memory_resource* mr = nullptr);
 
 }  // namespace j2k

@@ -130,6 +130,9 @@ std::string metrics_snapshot::dump() const
         "active_high_water=%llu\n"
         "cache: hits=%llu misses=%llu collapses=%llu evictions=%llu "
         "session_resumes=%llu bytes=%llu pinned=%llu entries=%llu sessions=%llu\n"
+        "kernels: isa=%s mq_fast=%d\n"
+        "arena: capacity=%llu leases=%llu dry=%llu fallback_allocs=%llu "
+        "high_water=%llu\n"
         "work: tiles_decoded=%llu tasks_stolen=%llu pool_submissions=%llu\n"
         "stage wall time [ms]: entropy=%.2f iq=%.2f idwt=%.2f finish=%.2f\n"
         "latency [us]: n=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n"
@@ -161,7 +164,12 @@ std::string metrics_snapshot::dump() const
         static_cast<unsigned long long>(cache_bytes),
         static_cast<unsigned long long>(cache_pinned_bytes),
         static_cast<unsigned long long>(cache_entries),
-        static_cast<unsigned long long>(cache_session_entries),
+        static_cast<unsigned long long>(cache_session_entries), kernel_isa,
+        mq_fast ? 1 : 0, static_cast<unsigned long long>(arena_capacity_bytes),
+        static_cast<unsigned long long>(arena_leases),
+        static_cast<unsigned long long>(arena_dry_acquires),
+        static_cast<unsigned long long>(arena_fallback_allocs),
+        static_cast<unsigned long long>(arena_high_water_bytes),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,
@@ -200,6 +208,9 @@ std::string metrics_snapshot::to_json() const
         "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"collapses\":%llu,"
         "\"evictions\":%llu,\"session_resumes\":%llu,\"bytes\":%llu,"
         "\"pinned_bytes\":%llu,\"entries\":%llu,\"session_entries\":%llu},"
+        "\"kernel_isa\":%s,\"mq_fast\":%s,"
+        "\"arena\":{\"capacity_bytes\":%llu,\"leases\":%llu,\"dry_acquires\":%llu,"
+        "\"fallback_allocs\":%llu,\"high_water_bytes\":%llu},"
         "\"tiles_decoded\":%llu,\"tasks_stolen\":%llu,\"pool_submissions\":%llu,"
         "\"entropy_ms\":%.3f,\"iq_ms\":%.3f,\"idwt_ms\":%.3f,"
         "\"finish_ms\":%.3f,\"latency_count\":%llu,\"latency_mean_us\":%.1f,"
@@ -233,6 +244,12 @@ std::string metrics_snapshot::to_json() const
         static_cast<unsigned long long>(cache_pinned_bytes),
         static_cast<unsigned long long>(cache_entries),
         static_cast<unsigned long long>(cache_session_entries),
+        obs::json_quote(kernel_isa).c_str(), mq_fast ? "true" : "false",
+        static_cast<unsigned long long>(arena_capacity_bytes),
+        static_cast<unsigned long long>(arena_leases),
+        static_cast<unsigned long long>(arena_dry_acquires),
+        static_cast<unsigned long long>(arena_fallback_allocs),
+        static_cast<unsigned long long>(arena_high_water_bytes),
         static_cast<unsigned long long>(tiles_decoded),
         static_cast<unsigned long long>(tasks_stolen),
         static_cast<unsigned long long>(pool_submissions), entropy_ms, iq_ms, idwt_ms,

@@ -40,6 +40,16 @@ struct metrics_snapshot {
     const char* build = "";          ///< build type (static string)
     const char* compiler = "";       ///< compiler version (static string)
 
+    // Kernel dispatch + per-job arena pool (filled by decode_service::
+    // metrics(); empty/zero in a bare service_metrics::snapshot()).
+    const char* kernel_isa = "";     ///< resolved SIMD tier: "scalar" / "avx2"
+    bool mq_fast = false;            ///< MQ batch-renorm fast path engaged
+    std::uint64_t arena_capacity_bytes = 0;  ///< per-arena size (0 = pooling off)
+    std::uint64_t arena_leases = 0;          ///< jobs that requested an arena
+    std::uint64_t arena_dry_acquires = 0;    ///< acquire() found the pool empty
+    std::uint64_t arena_fallback_allocs = 0; ///< scratch spills to the heap
+    std::uint64_t arena_high_water_bytes = 0;
+
     // Admission.
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;

@@ -514,6 +514,20 @@ struct ops_server::impl {
         emitf("%s_cache_entries %llu\n", P, u(s.cache_entries));
         emitf("%s_cache_session_entries %llu\n", P, u(s.cache_session_entries));
 
+        // Kernel dispatch (an info-style gauge: the selected ISA as a label)
+        // and the per-job arena pool.
+        emitf("# TYPE %s_kernel_dispatch gauge\n%s_kernel_dispatch{isa=\"%s\"} 1\n",
+              P, P, s.kernel_isa);
+        emitf("# TYPE %s_mq_fast_path gauge\n%s_mq_fast_path %d\n", P, P,
+              s.mq_fast ? 1 : 0);
+        emitf("# TYPE %s_arena_leases_total counter\n%s_arena_leases_total %llu\n",
+              P, P, u(s.arena_leases));
+        emitf("%s_arena_dry_acquires_total %llu\n", P, u(s.arena_dry_acquires));
+        emitf("%s_arena_fallback_allocs_total %llu\n", P, u(s.arena_fallback_allocs));
+        emitf("# TYPE %s_arena_capacity_bytes gauge\n%s_arena_capacity_bytes %llu\n",
+              P, P, u(s.arena_capacity_bytes));
+        emitf("%s_arena_high_water_bytes %llu\n", P, u(s.arena_high_water_bytes));
+
         // Work + cumulative stage wall time.
         emitf("%s_tiles_decoded_total %llu\n", P, u(s.tiles_decoded));
         emitf("%s_tasks_stolen_total %llu\n", P, u(s.tasks_stolen));

@@ -4,6 +4,7 @@
 #include "hash.hpp"
 
 #include <j2k/image.hpp>
+#include <j2k/kernels.hpp>
 #include <j2k/session.hpp>
 #include <obs/obs.hpp>
 
@@ -32,6 +33,11 @@ decode_service::decode_service(service_config cfg)
                                  : nullptr},
       pool_{std::make_unique<thread_pool>(cfg.workers)}
 {
+    // One arena per worker: jobs in flight never exceed the worker count, so
+    // with the pool sized this way acquire() never runs dry in steady state.
+    if (cfg_.arena_bytes > 0)
+        arenas_ = std::make_unique<arena_pool>(
+            static_cast<std::size_t>(pool_->size()), cfg_.arena_bytes);
 }
 
 decode_service::~decode_service()
@@ -208,8 +214,13 @@ void decode_service::pump(std::size_t n)
     // coalesced batch passes its size, so a burst of small jobs costs one pool
     // submission.  Extra pump capacity left behind by evictions finds an empty
     // queue and returns — the invariant is pump capacity >= queued jobs.
+    //
+    // Pumps are *root* tasks: a popped job can park on a single-flight cache
+    // entry, so one must never start from a parallel_for helping loop — the
+    // flight's leader is below that loop on the same stack, and a nested
+    // waiter there deadlocks the pool.
     metrics_.on_pool_submission();
-    pool_->submit([this, n] {
+    pool_->submit_root([this, n] {
         for (std::size_t i = 0; i < n; ++i) {
             auto popped = queue_.try_pop();
             if (!popped) break;
@@ -249,11 +260,14 @@ void decode_service::run_job(job& j)
     OBS_TRACE_SCOPE("runtime", "decode_job");
     j2k::image img;
     try {
+        const arena_pool::lease scratch = acquire_arena();
         j2k::decoder dec{j.bytes};
         dec.set_max_passes(j.opt.max_passes);
         dec.set_max_quality_layers(j.opt.max_quality_layers);
-        img = j.opt.discard_levels > 0 ? dec.decode_reduced(j.opt.discard_levels)
-                                       : decode_tiled(dec);
+        img = j.opt.discard_levels > 0
+                  ? dec.decode_reduced(j.opt.discard_levels, nullptr,
+                                       scratch.resource())
+                  : decode_tiled(dec, scratch.resource());
     } catch (...) {
         metrics_.on_failed();
         OBS_TRACE_INSTANT("runtime", "job_failed");
@@ -273,6 +287,7 @@ void decode_service::run_cached_job(job& j)
     OBS_TRACE_SCOPE("runtime", "decode_job");
     decoded_cache::image_ptr shared;
     try {
+        const arena_pool::lease scratch = acquire_arena();
         j2k::decoder dec{j.bytes};
         dec.set_max_passes(j.opt.max_passes);
         dec.set_max_quality_layers(j.opt.max_quality_layers);
@@ -294,8 +309,8 @@ void decode_service::run_cached_job(job& j)
             // This worker leads the flight: decode inline (never waiting on
             // another job, so a leader always makes progress) and publish.
             try {
-                auto img =
-                    std::make_shared<const j2k::image>(decode_leader(j, dec, key));
+                auto img = std::make_shared<const j2k::image>(
+                    decode_leader(j, dec, key, scratch.resource()));
                 cache_->complete_flight(key, img, j.opt.cache == cache_policy::pin);
                 shared = std::move(img);
             } catch (...) {
@@ -317,21 +332,27 @@ void decode_service::run_cached_job(job& j)
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
-j2k::image decode_service::decode_leader(job& j, j2k::decoder& dec, const cache_key& key)
+j2k::image decode_service::decode_leader(job& j, j2k::decoder& dec, const cache_key& key,
+                                         std::pmr::memory_resource* mr)
 {
     // Layered full-quality requests go through a resumable session so the
     // tier-1 prefix can be cached and extended; everything else (plain
     // streams, reduced resolution, SNR-capped) uses the classic paths.
-    if (j.opt.discard_levels > 0) return dec.decode_reduced(j.opt.discard_levels);
+    if (j.opt.discard_levels > 0)
+        return dec.decode_reduced(j.opt.discard_levels, nullptr, mr);
     const bool layered = dec.info().quality_layers > 1;
-    if (!layered || j.opt.max_passes != 0) return decode_tiled(dec);
+    if (!layered || j.opt.max_passes != 0) return decode_tiled(dec, mr);
 
     if (auto lease = cache_->checkout_session(key.content_hash, j.bytes, key.layers)) {
         try {
             const std::uint64_t before = lease->session.tier1_segment_bytes();
             lease->session.set_threads(pool_->size());
+            lease->session.set_scratch_arena(mr);
             j2k::image img = lease->session.advance_to(key.layers);
             metrics_.add_t1_segment_bytes(lease->session.tier1_segment_bytes() - before);
+            // The session outlives this job in the cache; it must not keep a
+            // pointer to the job-scoped arena (reset at lease return).
+            lease->session.set_scratch_arena(nullptr);
             cache_->deposit_session(key.content_hash, std::move(lease->bytes),
                                     std::move(lease->session));
             return img;
@@ -343,13 +364,17 @@ j2k::image decode_service::decode_leader(job& j, j2k::decoder& dec, const cache_
 
     j2k::decode_session s{j.bytes};
     s.set_threads(pool_->size());
+    s.set_scratch_arena(mr);
     j2k::image img = s.advance_to(key.layers);
     metrics_.add_t1_segment_bytes(s.tier1_segment_bytes());
     // Deposit the cold prefix only when the job owns its bytes: the session
     // references the codestream storage, and a borrowed span (copy_input =
     // false) would leave it pointing into caller memory.  The vector move
     // keeps the heap buffer — and the session's references into it — stable.
+    // Detach the scratch arena first: the cached session outlives this job's
+    // lease.
     if (!j.owned.empty() && j.owned.data() == j.bytes.data()) {
+        s.set_scratch_arena(nullptr);
         std::vector<std::uint8_t> bytes = std::move(j.owned);
         j.bytes = {};
         cache_->deposit_session(key.content_hash, std::move(bytes), std::move(s));
@@ -364,7 +389,9 @@ void decode_service::run_progressive_job(job& j)
     OBS_TRACE_COUNTER("runtime", "progressive_active",
                       metrics_.instruments().get_gauge("progressive_active").value());
     try {
+        const arena_pool::lease scratch = acquire_arena();
         j2k::decode_session s{j.bytes};
+        s.set_scratch_arena(scratch.resource());
         const int stream_layers = s.total_layers();
         const int cap = j.opt.max_quality_layers;
         const int total = cap > 0 && cap < stream_layers ? cap : stream_layers;
@@ -392,6 +419,7 @@ void decode_service::run_progressive_job(job& j)
         // codestream storage, so only owned bytes may move into the cache.
         if (cache_ && j.opt.cache != cache_policy::bypass && stream_layers > 1 &&
             !j.owned.empty() && j.owned.data() == j.bytes.data()) {
+            s.set_scratch_arena(nullptr);  // cached session outlives the lease
             const std::uint64_t chash = fnv1a_bytes(j.bytes);
             std::vector<std::uint8_t> bytes = std::move(j.owned);
             j.bytes = {};
@@ -413,7 +441,8 @@ void decode_service::run_progressive_job(job& j)
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
-j2k::image decode_service::decode_tiled(const j2k::decoder& dec)
+j2k::image decode_service::decode_tiled(const j2k::decoder& dec,
+                                        std::pmr::memory_resource* mr)
 {
     const auto& info = dec.info();
     const auto grid = dec.tiles();
@@ -430,7 +459,7 @@ j2k::image decode_service::decode_tiled(const j2k::decoder& dec)
         j2k::tile_coeffs tc;
         {
             obs::stage_timer st{nullptr, nullptr, metrics_.stage_entropy_ns()};
-            tc = dec.entropy_decode(t);
+            tc = dec.entropy_decode(t, nullptr, mr);
         }
         j2k::tile_wavelet tw;
         {
@@ -440,7 +469,7 @@ j2k::image decode_service::decode_tiled(const j2k::decoder& dec)
         j2k::tile_pixels tp;
         {
             obs::stage_timer st{nullptr, nullptr, metrics_.stage_idwt_ns()};
-            tp = dec.idwt(tw);
+            tp = dec.idwt(tw, mr);
         }
         for (int c = 0; c < info.components; ++c)
             j2k::insert_tile(img.comp(c), tp.comps[static_cast<std::size_t>(c)],
@@ -470,6 +499,15 @@ metrics_snapshot decode_service::metrics() const
     metrics_snapshot s = metrics_.snapshot();
     s.uptime_s = process_uptime_s();
     s.pool_threads = pool_->size();
+    s.kernel_isa = j2k::kernel_isa_name(j2k::active_kernel_isa());
+    s.mq_fast = j2k::kernels().mq_fast;
+    if (arenas_) {
+        s.arena_capacity_bytes = arenas_->bytes_each();
+        s.arena_leases = arenas_->leases();
+        s.arena_dry_acquires = arenas_->dry_acquires();
+        s.arena_fallback_allocs = arenas_->fallback_allocs();
+        s.arena_high_water_bytes = arenas_->high_water();
+    }
     s.tracing_armed = obs::tracing_enabled();
     s.build = build_type();
     s.compiler = compiler_version();

@@ -47,7 +47,7 @@ void thread_pool::submit(task t)
         deques_[static_cast<std::size_t>(tl_worker)]->push(new task{std::move(t)});
     } else {
         std::lock_guard lk{inject_m_};
-        injected_.push_back(std::move(t));
+        injected_.push_back({std::move(t), /*root=*/false});
     }
     pending_.fetch_add(1, std::memory_order_release);
     {
@@ -58,7 +58,23 @@ void thread_pool::submit(task t)
     wake_cv_.notify_one();
 }
 
-bool thread_pool::pop_or_steal(int self, task& out)
+void thread_pool::submit_root(task t)
+{
+    // Always the injection queue, even from a worker: anything on a worker's
+    // own deque is fair game for a helping loop, and a root task must never
+    // start inside one (it may block on another job — see the header).
+    {
+        std::lock_guard lk{inject_m_};
+        injected_.push_back({std::move(t), /*root=*/true});
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard lk{wake_m_};
+    }
+    wake_cv_.notify_one();
+}
+
+bool thread_pool::pop_or_steal(int self, task& out, bool allow_root)
 {
     // Own deque first, from the bottom: the most recently spawned subtask has
     // the hottest working set.
@@ -70,14 +86,26 @@ bool thread_pool::pop_or_steal(int self, task& out)
             return true;
         }
     }
-    // Then the injection queue: the oldest externally submitted job.
+    // Then the injection queue: the oldest externally submitted job.  Helpers
+    // (allow_root == false) take the oldest *non-root* entry and leave root
+    // jobs for a worker's top-level loop.
     {
         std::lock_guard lk{inject_m_};
-        if (!injected_.empty()) {
-            out = std::move(injected_.front());
-            injected_.pop_front();
-            pending_.fetch_sub(1, std::memory_order_relaxed);
-            return true;
+        if (allow_root) {
+            if (!injected_.empty()) {
+                out = std::move(injected_.front().fn);
+                injected_.pop_front();
+                pending_.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+            }
+        } else {
+            for (auto it = injected_.begin(); it != injected_.end(); ++it) {
+                if (it->root) continue;
+                out = std::move(it->fn);
+                injected_.erase(it);
+                pending_.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+            }
         }
     }
     // Steal from the top of a victim, scanning from a rotating start so
@@ -103,7 +131,7 @@ bool thread_pool::try_run_one()
 {
     task t;
     const int self = (tl_pool == this) ? tl_worker : -1;
-    if (!pop_or_steal(self, t)) return false;
+    if (!pop_or_steal(self, t, /*allow_root=*/false)) return false;
     executed_.fetch_add(1, std::memory_order_relaxed);
     t();
     return true;
@@ -118,7 +146,7 @@ void thread_pool::worker_loop(int index)
 #endif
     task t;
     for (;;) {
-        if (pop_or_steal(index, t)) {
+        if (pop_or_steal(index, t, /*allow_root=*/true)) {
             executed_.fetch_add(1, std::memory_order_relaxed);
             t();
             t = nullptr;

@@ -18,6 +18,12 @@
 // with.  The calling thread *helps* — it executes pending tasks while it
 // waits — so calling it from inside a pool task (nested fan-out) cannot
 // deadlock, and a pool of one worker degrades to clean inline execution.
+//
+// Helping has one carve-out: *root* tasks (`submit_root`) — whole jobs that
+// may themselves block on another job's result, like a decode parked on a
+// single-flight cache entry.  A helper that picked one up mid-job could end
+// up waiting, on its own stack, for the very fan-out it was helping to
+// finish.  Root tasks therefore start only from a worker's top-level loop.
 #pragma once
 
 #include "work_deque.hpp"
@@ -54,6 +60,15 @@ public:
     /// injection queue.
     void submit(task t);
 
+    /// Enqueue a *root* task: one that may block waiting on the result of
+    /// another pool task (e.g. a whole decode job parked on a single-flight
+    /// cache entry).  Root tasks only ever start from a worker's top-level
+    /// loop — never from inside a `parallel_for` helping loop — so a task
+    /// that is itself mid-job can never nest a second job on its stack and
+    /// then block on work buried beneath its own frames.  They always go to
+    /// the shared injection queue, even when submitted from a worker.
+    void submit_root(task t);
+
     /// Run `fn(0) .. fn(n-1)`, returning when all have finished.  Subtasks
     /// are claimed dynamically, so uneven iterations balance across workers.
     /// `max_concurrency` > 0 additionally caps how many threads (including
@@ -64,7 +79,9 @@ public:
     void parallel_for(int n, const std::function<void(int)>& fn, int max_concurrency = 0);
 
     /// Execute one pending task if any is available.  Returns false when
-    /// every deque was empty.  Exposed so blocked threads can help.
+    /// every deque was empty.  Exposed so blocked threads can help.  Helpers
+    /// skip root tasks (see `submit_root`): running a blocking job from a
+    /// helping loop would stack it on top of the very work it waits for.
     bool try_run_one();
 
     /// Tasks executed since construction (all workers + helpers).
@@ -86,13 +103,18 @@ public:
 
 private:
     void worker_loop(int index);
-    bool pop_or_steal(int self, task& out);
+    bool pop_or_steal(int self, task& out, bool allow_root);
+
+    struct injected_task {
+        task fn;
+        bool root = false;  ///< only a worker's top-level loop may run it
+    };
 
     std::vector<std::unique_ptr<work_deque<task>>> deques_;
     std::vector<std::thread> workers_;
 
     std::mutex inject_m_;
-    std::deque<task> injected_;  ///< external submissions (admission path)
+    std::deque<injected_task> injected_;  ///< external submissions (admission path)
 
     std::mutex wake_m_;
     std::condition_variable wake_cv_;

@@ -224,6 +224,27 @@ TEST(DecodeService, ConcurrentIdenticalSubmitsDecodeExactlyOnce)
     EXPECT_EQ(m.cache_hits + m.cache_collapses, static_cast<std::uint64_t>(n - 1));
 }
 
+TEST(DecodeService, PumpsNeverNestInsideAFlightLeader)
+{
+    // Regression: a pump picked up by a flight leader's parallel_for helping
+    // loop became a *nested* waiter on the leader's own flight — parked on
+    // the leader's own stack, deadlocking the pool.  Pumps are root tasks now
+    // (thread_pool::submit_root), so a leader fanning tiles out can never
+    // start a second job mid-decode.  Hammer the window: identical submits
+    // racing one multi-tile leader, repeated with fresh content each round.
+    decode_service svc{{.workers = 2, .cache_bytes = 64u << 20}};
+    for (int round = 0; round < 6; ++round) {
+        const auto cs = make_stream(64 + 8 * round, 64, 1, 16);  // >= 16 tiles
+        const j2k::image serial = j2k::decoder{cs}.decode_all();
+        std::vector<std::future<j2k::image>> futs;
+        futs.reserve(12);
+        for (int i = 0; i < 12; ++i) futs.push_back(svc.submit(cs));
+        for (auto& f : futs) EXPECT_EQ(f.get(), serial);
+    }
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 6u);  // one leader per round, no duplicate decodes
+}
+
 // ---- service integration ---------------------------------------------------
 
 TEST(DecodeService, BypassPolicyNeitherReadsNorPopulatesTheCache)

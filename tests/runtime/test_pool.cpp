@@ -173,6 +173,37 @@ TEST(ThreadPool, ExternalHelperStealsFromWorkerDeque)
     gate.store(true);
 }
 
+TEST(ThreadPool, RootTasksOnlyRunAtWorkerTopLevel)
+{
+    // A root task (submit_root) may block on another pool task's result, so
+    // helpers must refuse it even when it is the only work available; only a
+    // worker's top-level loop may start it.
+    thread_pool pool{1};
+    std::atomic<bool> gate{false};
+    std::promise<void> parked;
+    pool.submit([&] {
+        parked.set_value();
+        while (!gate.load()) std::this_thread::yield();
+    });
+    parked.get_future().wait();
+
+    std::atomic<int> root_ran{0};
+    pool.submit_root([&] { root_ran.fetch_add(1); });
+    EXPECT_FALSE(pool.try_run_one());  // helper refuses the root task
+    EXPECT_EQ(root_ran.load(), 0);
+
+    // A plain task queued *behind* the root one is still helper-visible.
+    std::atomic<int> plain_ran{0};
+    pool.submit([&] { plain_ran.fetch_add(1); });
+    while (!pool.try_run_one()) std::this_thread::yield();
+    EXPECT_EQ(plain_ran.load(), 1);
+    EXPECT_EQ(root_ran.load(), 0);
+
+    gate.store(true);  // unpark: the worker's top-level loop picks it up
+    while (root_ran.load() == 0) std::this_thread::yield();
+    EXPECT_EQ(root_ran.load(), 1);
+}
+
 TEST(ThreadPool, FanOutFromWorkerIsBalancedByStealing)
 {
     // A single submitted job fanning out across the pool: with more work
