@@ -12,6 +12,10 @@
 //   decode_server client <port> <file> --stream
 //                                       progressive: one frame per quality
 //                                       layer, saved as out_L<k>.pnm
+//   decode_server client <port> <file> --codec ccsds123
+//                                       decode under another registered codec
+//                                       (multispectral cubes save as out.raw,
+//                                       the J2NE raw image framing)
 //
 // The demo drives the whole admission path end to end:
 //   1. pipelined burst — 16 small requests in one write: the event loop
@@ -30,6 +34,9 @@
 #include <runtime/net/server.hpp>
 #include <runtime/ops/ops_server.hpp>
 
+#include <ccsds/ccsds123.hpp>
+#include <codec/backend.hpp>
+#include <j2k/backend.hpp>
 #include <j2k/j2k.hpp>
 
 #include <cmath>
@@ -151,7 +158,8 @@ int run_serve(std::uint16_t port, std::size_t cache_bytes, int ops_port,
     return 0;
 }
 
-int run_client(std::uint16_t port, const char* path, bool stream)
+int run_client(std::uint16_t port, const char* path, bool stream,
+               const char* codec_name)
 {
     std::ifstream in{path, std::ios::binary};
     if (!in) {
@@ -160,7 +168,52 @@ int run_client(std::uint16_t port, const char* path, bool stream)
     }
     const std::vector<std::uint8_t> cs{std::istreambuf_iterator<char>{in},
                                        std::istreambuf_iterator<char>{}};
+
+    // Resolve --codec through the same registry the server consults; the
+    // wire byte is what actually crosses the socket.
+    std::uint8_t codec_id = j2k::k_codec_wire_id;
+    if (codec_name != nullptr) {
+        (void)j2k::ensure_backend_registered();
+        (void)ccsds::ensure_backend_registered();
+        const codec::backend* be = codec::find_backend(codec_name);
+        if (be == nullptr) {
+            std::fprintf(stderr, "unknown codec '%s' (registered:", codec_name);
+            for (const codec::backend* b : codec::backends())
+                std::fprintf(stderr, " %.*s", int(b->name().size()),
+                             b->name().data());
+            std::fprintf(stderr, ")\n");
+            return 1;
+        }
+        codec_id = be->wire_id();
+    }
+
     net::client cli{"127.0.0.1", port};
+    if (codec_id != j2k::k_codec_wire_id) {
+        // Other codecs decode whole cubes over the raw framing (PNM cannot
+        // carry a 200-band image); streaming is a per-codec capability the
+        // server enforces, so the flag combination is simply not offered.
+        net::request r;
+        r.codestream = cs;
+        r.format = net::result_format::raw;
+        r.request_id = 1;
+        r.codec = codec_id;
+        const auto resp = cli.decode(r);
+        if (!resp.ok()) {
+            std::fprintf(stderr, "decode failed: %s (%s)\n",
+                         net::status_name(resp.st), resp.message().c_str());
+            return 1;
+        }
+        const auto img = net::decode_image_raw(resp.payload);
+        std::ofstream out{"out.raw", std::ios::binary};
+        out.write(reinterpret_cast<const char*>(resp.payload.data()),
+                  static_cast<std::streamsize>(resp.payload.size()));
+        std::printf("decoded %s (%s) -> out.raw: %dx%d, %d band%s, %d-bit "
+                    "(%zu bytes)\n",
+                    path, codec_name, img.width(), img.height(),
+                    img.components(), img.components() == 1 ? "" : "s",
+                    img.bit_depth(), resp.payload.size());
+        return 0;
+    }
     if (stream) {
         const auto fin = cli.decode_progressive(
             {cs, 0, net::result_format::pnm, 1}, [&](const net::layer_frame& lf) {
@@ -344,6 +397,59 @@ int run_demo()
         srv.stop();
     }
 
+    std::printf("=== phase 6: a second codec over the same wire ===\n");
+    {
+        // A 16-bit 8-band cube through the CCSDS-123 backend: same framing,
+        // same pool, same cache — the request's codec byte picks the decoder.
+        const codec::image cube = codec::make_test_image(128, 96, 8, 16, 42);
+        const auto ccs = ccsds::encode(cube);
+
+        net::server_config cfg;
+        cfg.service.workers = 2;
+        cfg.service.queue_capacity = 64;
+        cfg.service.cache_bytes = 64u << 20;
+        net::server srv{cfg};
+        srv.start();
+        net::client cli{"127.0.0.1", srv.port()};
+
+        net::request r;
+        r.codestream = ccs;
+        r.format = net::result_format::raw;
+        r.request_id = 1;
+        r.codec = ccsds::k_codec_wire_id;
+        const auto first = cli.decode(r);
+        r.request_id = 2;
+        const auto repeat = cli.decode(r);
+        const bool exact = first.ok() &&
+                           net::decode_image_raw(first.payload) == cube;
+        std::printf("  %zu-byte stream (%.2fx compression) -> %dx%d, 8 bands, "
+                    "16-bit: %s; repeat -> %s\n",
+                    ccs.size(),
+                    double(128 * 96 * 8 * 2) / double(ccs.size()),
+                    cube.width(), cube.height(),
+                    exact ? "bit-exact" : "MISMATCH",
+                    net::status_name(repeat.st));
+
+        net::request unknown;
+        unknown.codestream = ccs;
+        unknown.request_id = 3;
+        unknown.codec = 42;  // nothing registered there
+        const auto rej = cli.decode(unknown);
+        std::printf("  unknown codec byte 42 -> %s (\"%s\")\n",
+                    net::status_name(rej.st), rej.message().c_str());
+
+        const auto m = srv.service().metrics();
+        for (const auto& c : m.by_codec)
+            std::printf("  codec %-9s completed=%llu unsupported=%llu "
+                        "cache hits=%llu misses=%llu\n",
+                        c.name.c_str(),
+                        static_cast<unsigned long long>(c.completed),
+                        static_cast<unsigned long long>(c.unsupported),
+                        static_cast<unsigned long long>(c.cache_hits),
+                        static_cast<unsigned long long>(c.cache_misses));
+        srv.stop();
+    }
+
     const std::size_t evs =
         obs::tracer::instance().write_json_file("decode_server.trace.json");
     std::printf("trace: %zu events written to decode_server.trace.json "
@@ -373,8 +479,17 @@ int main(int argc, char** argv)
         }
         return run_serve(port, cache_bytes, ops_port, shards);
     }
-    if (argc >= 4 && std::strcmp(argv[1], "client") == 0)
+    if (argc >= 4 && std::strcmp(argv[1], "client") == 0) {
+        bool stream = false;
+        const char* codec_name = nullptr;
+        for (int i = 4; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--stream") == 0)
+                stream = true;
+            else if (std::strcmp(argv[i], "--codec") == 0 && i + 1 < argc)
+                codec_name = argv[++i];
+        }
         return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])), argv[3],
-                          argc > 4 && std::strcmp(argv[4], "--stream") == 0);
+                          stream, codec_name);
+    }
     return run_demo();
 }

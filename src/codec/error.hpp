@@ -1,0 +1,22 @@
+// codec/error.hpp — the shared decode-failure contract.
+//
+// Every registered backend promises success-or-codestream_error on hostile
+// input: a malformed, truncated, or resource-bomb stream throws exactly this
+// type (j2k::codestream_error is an alias), never crashes, never allocates
+// from attacker-controlled sizes first.  The net layer maps it to
+// status::malformed_codestream; anything else a decode throws is an internal
+// error.  Keeping the type here — below every codec — is what lets the
+// service and server handle N codecs with one catch clause.
+#pragma once
+
+#include <stdexcept>
+
+namespace codec {
+
+/// Thrown on malformed codestreams, by every backend.
+class codestream_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+}  // namespace codec

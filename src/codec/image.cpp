@@ -1,0 +1,62 @@
+#include "image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace codec {
+
+image make_test_image(int width, int height, int components, int bit_depth,
+                      std::uint32_t seed)
+{
+    image img{width, height, components, bit_depth};
+    const std::int32_t maxv = (1 << bit_depth) - 1;
+    // xorshift32 for deterministic texture
+    std::uint32_t st = seed ? seed : 1u;
+    auto rnd = [&st]() {
+        st ^= st << 13;
+        st ^= st >> 17;
+        st ^= st << 5;
+        return st;
+    };
+    for (int c = 0; c < components; ++c) {
+        plane& p = img.comp(c);
+        for (int y = 0; y < height; ++y) {
+            for (int x = 0; x < width; ++x) {
+                // gradient + sinusoid + block edge + light noise
+                double v = 0.5 * maxv * (static_cast<double>(x) / std::max(1, width - 1));
+                v += 0.25 * maxv *
+                     std::sin(2.0 * 3.14159265358979 * (x + 2 * y + 13 * c) / 23.0);
+                if (((x / 16) + (y / 16)) % 2 == 0) v += 0.15 * maxv;
+                v += static_cast<double>(rnd() % 16) - 8.0;
+                const auto q = static_cast<std::int32_t>(std::lround(v));
+                p.at(x, y) = std::clamp(q, std::int32_t{0}, maxv);
+            }
+        }
+    }
+    return img;
+}
+
+double psnr(const image& a, const image& b)
+{
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.components() != b.components())
+        throw std::invalid_argument{"psnr: image geometry mismatch"};
+    double sse = 0.0;
+    std::size_t n = 0;
+    for (int c = 0; c < a.components(); ++c) {
+        const auto& pa = a.comp(c).samples();
+        const auto& pb = b.comp(c).samples();
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+            const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+            sse += d * d;
+        }
+        n += pa.size();
+    }
+    if (sse == 0.0) return std::numeric_limits<double>::infinity();
+    const double maxv = (1 << a.bit_depth()) - 1;
+    const double mse = sse / static_cast<double>(n);
+    return 10.0 * std::log10(maxv * maxv / mse);
+}
+
+}  // namespace codec

@@ -10,7 +10,9 @@
 #include <j2k/codec.hpp>
 #include <osss/serialization.hpp>
 
-namespace j2k {
+// The plane overloads live in namespace codec (where the type moved when the
+// image currency became codec-neutral) so ADL from osss::serialize finds them.
+namespace codec {
 
 inline void serialize(osss::archive& a, const plane& p)
 {
@@ -28,6 +30,10 @@ inline void deserialize(osss::archive_reader& r, plane& p)
     p = plane{w, h};
     osss::deserialize(r, p.samples());
 }
+
+}  // namespace codec
+
+namespace j2k {
 
 inline void serialize(osss::archive& a, const tile_rect& t)
 {

@@ -1,0 +1,24 @@
+// j2k/backend.hpp — JPEG 2000 as a registered codec::backend.
+//
+// The adapter over codec.hpp/session.hpp that plugs the paper's decoder into
+// the codec registry: wire id 0, the founding codec of the J2NE protocol.
+// The runtime service keeps its specialised j2k fast paths (per-tile pool
+// fan-out, resumable session cache) — this backend is the generic face the
+// registry, capability checks, and codec-agnostic callers see, and its
+// decode() is bit-identical to those paths by construction (both run the
+// same staged pipeline).
+#pragma once
+
+#include <codec/backend.hpp>
+
+namespace j2k {
+
+/// The J2NE codec byte for JPEG 2000 (and the decode_options default).
+inline constexpr std::uint8_t k_codec_wire_id = 0;
+
+/// Register the JPEG 2000 backend with the codec registry.  Idempotent and
+/// thread-safe; called by the serving layer at construction.  Returns the
+/// backend for convenience.
+const codec::backend& ensure_backend_registered();
+
+}  // namespace j2k

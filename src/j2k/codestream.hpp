@@ -10,6 +10,8 @@
 
 #include "quant.hpp"
 
+#include <codec/error.hpp>
+
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -19,11 +21,11 @@
 
 namespace j2k {
 
-/// Thrown on malformed codestreams.
-class codestream_error : public std::runtime_error {
-public:
-    using std::runtime_error::runtime_error;
-};
+/// Thrown on malformed codestreams.  The codec-neutral base type (shared by
+/// every registered backend) lives in codec/error.hpp; the alias keeps every
+/// existing j2k throw/catch site source-identical while letting the serving
+/// layers handle all codecs with one catch clause.
+using codestream_error = codec::codestream_error;
 
 /// Big-endian byte sink.
 class byte_writer {

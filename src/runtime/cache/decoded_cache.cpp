@@ -13,6 +13,7 @@ std::size_t cache_key_hash::operator()(const cache_key& k) const noexcept
 {
     fnv1a h;
     h.u64(k.content_hash);
+    h.u64(k.codec);
     h.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layers)) |
           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.discard_levels))
            << 32));
@@ -115,12 +116,14 @@ std::optional<decoded_cache::flight_result> decoded_cache::begin_flight(
         if (it != images_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second.lru_it);
             ++hits_;
+            ++by_codec_[k.codec].hits;
             OBS_TRACE_INSTANT("cache", "hit");
             return flight_result{it->second.img, nullptr, false};
         }
         auto fit = flights_.find(k);
         if (fit == flights_.end()) {
             ++misses_;
+            ++by_codec_[k.codec].misses;
             OBS_TRACE_INSTANT("cache", "miss");
             flights_.emplace(k, std::make_shared<flight>());
             return std::nullopt;  // caller leads
@@ -189,6 +192,7 @@ decoded_cache::image_ptr decoded_cache::peek(const cache_key& k)
     if (it == images_.end()) return nullptr;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++hits_;
+    ++by_codec_[k.codec].hits;
     return it->second.img;
 }
 
@@ -307,6 +311,11 @@ cache_stats decoded_cache::stats() const
     s.pinned_bytes = pinned_bytes_;
     s.entries = images_.size();
     s.session_entries = sessions_.size();
+    s.by_codec.reserve(by_codec_.size());
+    for (const auto& [id, c] : by_codec_)
+        s.by_codec.push_back({id, c.hits, c.misses});
+    std::sort(s.by_codec.begin(), s.by_codec.end(),
+              [](const auto& a, const auto& b) { return a.codec < b.codec; });
     return s;
 }
 

@@ -64,8 +64,14 @@ namespace runtime {
 /// Cache key of one fully decoded image.  Extensible by design: the ROI
 /// window fields are reserved for region-of-interest serving (all-zero =
 /// full frame) so ROADMAP item 3 widens the key without a format break.
+///
+/// Keys are namespaced by codec wire id: two codecs handed byte-identical
+/// input produce different decoded results, so the codec id participates in
+/// both equality and the hash — a j2k entry can never serve a ccsds123
+/// request (or vice versa) no matter what the content hash says.
 struct cache_key {
     std::uint64_t content_hash = 0;  ///< FNV-1a of the codestream bytes
+    std::uint8_t codec = 0;          ///< codec wire id (0 = j2k)
     std::int32_t layers = 0;         ///< normalised quality-layer depth (>= 1)
     std::int32_t discard_levels = 0;
     std::int32_t max_passes = 0;
@@ -91,6 +97,15 @@ struct cache_stats {
     std::uint64_t pinned_bytes = 0;   ///< subset of `bytes` exempt from eviction
     std::uint64_t entries = 0;        ///< image entries resident
     std::uint64_t session_entries = 0;
+
+    /// Hit/miss split per codec wire id (sorted by id; only ids that have
+    /// seen traffic appear).  Sums to `hits`/`misses`.
+    struct codec_split {
+        std::uint8_t codec = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    std::vector<codec_split> by_codec;
 };
 
 class decoded_cache {
@@ -210,6 +225,12 @@ private:
     std::uint64_t evictions_ = 0;
     std::uint64_t session_resumes_ = 0;
     std::uint64_t session_deposits_ = 0;
+    /// Per-codec hit/miss split, keyed by cache_key::codec.
+    struct codec_counters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    std::unordered_map<std::uint8_t, codec_counters> by_codec_;
 };
 
 /// Exact resident payload bytes of one cached image (sample storage).

@@ -1,11 +1,22 @@
 #include "metrics.hpp"
 
+#include <codec/backend.hpp>
+
 #include <chrono>
 #include <cstdio>
 
 namespace runtime {
 
 namespace {
+
+/// Exposition name for a codec wire id: the registry name when the id is
+/// registered, the decimal id otherwise (unsupported-codec traffic has no
+/// backend to ask).
+std::string codec_metric_name(std::uint8_t id)
+{
+    if (const codec::backend* b = codec::find_backend(id)) return std::string{b->name()};
+    return std::to_string(static_cast<int>(id));
+}
 
 // Captured at static initialisation — close enough to process start for an
 // uptime metric, and free of any clock syscall on the read path's hot side.
@@ -72,9 +83,57 @@ service_metrics::service_metrics()
     }
 }
 
+service_metrics::codec_counters& service_metrics::codec_slot(std::uint8_t codec) noexcept
+{
+    // Caller holds codec_m_.  Counters register against reg_ with a
+    // Prometheus label block in the name, which the generic expositions pass
+    // through verbatim (see ops_server's extra-counter handling).
+    const std::string name = codec_metric_name(codec);
+    auto it = codec_.find(name);
+    if (it == codec_.end()) {
+        codec_counters c;
+        c.completed = &reg_.get_counter("codec_jobs_completed{codec=\"" + name + "\"}");
+        c.failed = &reg_.get_counter("codec_jobs_failed{codec=\"" + name + "\"}");
+        c.unsupported =
+            &reg_.get_counter("codec_jobs_unsupported{codec=\"" + name + "\"}");
+        it = codec_.emplace(name, c).first;
+    }
+    return it->second;
+}
+
+void service_metrics::on_codec_completed(std::uint8_t codec) noexcept
+{
+    std::lock_guard lk{codec_m_};
+    codec_slot(codec).completed->add();
+}
+
+void service_metrics::on_codec_failed(std::uint8_t codec) noexcept
+{
+    std::lock_guard lk{codec_m_};
+    codec_slot(codec).failed->add();
+}
+
+void service_metrics::on_codec_unsupported(std::uint8_t codec) noexcept
+{
+    std::lock_guard lk{codec_m_};
+    codec_slot(codec).unsupported->add();
+}
+
 metrics_snapshot service_metrics::snapshot() const
 {
     metrics_snapshot s;
+    {
+        std::lock_guard lk{codec_m_};
+        s.by_codec.reserve(codec_.size());
+        for (const auto& [name, c] : codec_) {
+            metrics_snapshot::codec_entry e;
+            e.name = name;
+            e.completed = c.completed->value();
+            e.failed = c.failed->value();
+            e.unsupported = c.unsupported->value();
+            s.by_codec.push_back(std::move(e));
+        }
+    }
     s.jobs_submitted = submitted_.value();
     s.jobs_completed = completed_.value();
     s.jobs_failed = failed_.value();
@@ -217,7 +276,7 @@ std::string metrics_snapshot::to_json() const
         "\"latency_p50_us\":%.1f,\"latency_p95_us\":%.1f,\"latency_p99_us\":%.1f,"
         "\"latency_max_us\":%llu,"
         "\"latency_interactive\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f},"
-        "\"latency_batch\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f}}",
+        "\"latency_batch\":{\"count\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f}",
         static_cast<unsigned long long>(jobs_submitted),
         static_cast<unsigned long long>(jobs_completed),
         static_cast<unsigned long long>(jobs_failed),
@@ -260,7 +319,27 @@ std::string metrics_snapshot::to_json() const
         latency_by_priority[0].p50_us, latency_by_priority[0].p99_us,
         static_cast<unsigned long long>(latency_by_priority[1].count),
         latency_by_priority[1].p50_us, latency_by_priority[1].p99_us);
-    return std::string{proc} + buf;
+
+    std::string codecs = ",\"by_codec\":{";
+    bool first = true;
+    for (const auto& c : by_codec) {
+        if (!first) codecs += ',';
+        first = false;
+        char cb[256];
+        std::snprintf(cb, sizeof cb,
+                      "%s:{\"completed\":%llu,\"failed\":%llu,"
+                      "\"unsupported\":%llu,\"cache_hits\":%llu,"
+                      "\"cache_misses\":%llu}",
+                      obs::json_quote(c.name).c_str(),
+                      static_cast<unsigned long long>(c.completed),
+                      static_cast<unsigned long long>(c.failed),
+                      static_cast<unsigned long long>(c.unsupported),
+                      static_cast<unsigned long long>(c.cache_hits),
+                      static_cast<unsigned long long>(c.cache_misses));
+        codecs += cb;
+    }
+    codecs += "}}";
+    return std::string{proc} + buf + codecs;
 }
 
 }  // namespace runtime

@@ -14,7 +14,10 @@
 #include <obs/obs.hpp>
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace runtime {
 
@@ -121,6 +124,19 @@ struct metrics_snapshot {
     };
     priority_latency latency_by_priority[priority_count];
 
+    /// Per-codec job and cache split (sorted by codec name; only codecs that
+    /// have seen traffic appear).  `name` is the registry name for known wire
+    /// ids, the decimal id otherwise (`unsupported` traffic has no backend).
+    struct codec_entry {
+        std::string name;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t unsupported = 0;  ///< jobs refused: id not registered
+        std::uint64_t cache_hits = 0;   ///< merged by decode_service::metrics()
+        std::uint64_t cache_misses = 0;
+    };
+    std::vector<codec_entry> by_codec;
+
     /// Multi-line human-readable dump.
     [[nodiscard]] std::string dump() const;
     /// Single JSON object (stable keys, machine-readable).
@@ -158,6 +174,13 @@ public:
     void add_t1_segment_bytes(std::uint64_t n) noexcept { t1_bytes_.add(n); }
     void on_pool_submission() noexcept { pool_submissions_.add(); }
     void on_tile_decoded() noexcept { tiles_.add(); }
+
+    // Per-codec outcome counters, keyed by codec wire id and resolved to the
+    // registry name once at first sight (see metrics.cpp).  Registered lazily
+    // so only codecs that actually see traffic appear in expositions.
+    void on_codec_completed(std::uint8_t codec) noexcept;
+    void on_codec_failed(std::uint8_t codec) noexcept;
+    void on_codec_unsupported(std::uint8_t codec) noexcept;
 
     void record_queue_depth(std::size_t depth) noexcept
     {
@@ -212,6 +235,18 @@ private:
     obs::counter* prio_dropped_[priority_count];
     obs::log2_histogram& latency_;
     obs::log2_histogram* prio_latency_[priority_count];
+
+    /// Lazily-bound per-codec counters (completed / failed / unsupported),
+    /// keyed by the codec's exposition name.  The mutex guards map shape
+    /// only; the counters themselves are the usual relaxed atomics.
+    struct codec_counters {
+        obs::counter* completed = nullptr;
+        obs::counter* failed = nullptr;
+        obs::counter* unsupported = nullptr;
+    };
+    codec_counters& codec_slot(std::uint8_t codec) noexcept;
+    mutable std::mutex codec_m_;
+    std::map<std::string, codec_counters> codec_;
 };
 
 }  // namespace runtime

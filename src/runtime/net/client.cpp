@@ -51,6 +51,7 @@ void append_frame(std::vector<std::uint8_t>& out, const request& r)
     h.flags = static_cast<std::uint8_t>((r.progressive ? k_flag_progressive : 0) |
                                         (r.cache_bypass ? k_flag_cache_bypass : 0) |
                                         (r.cache_pin ? k_flag_cache_pin : 0));
+    h.codec = r.codec;
     h.request_id = r.request_id;
     h.payload_len = static_cast<std::uint32_t>(r.codestream.size());
     const std::size_t base = out.size();
@@ -125,6 +126,7 @@ response client::recv()
     if (!h) throw std::runtime_error{"malformed response header"};
     response r;
     r.st = h->st;
+    r.codec = h->codec;
     r.request_id = h->request_id;
     r.payload.resize(h->payload_len);
     if (h->payload_len) recv_all(fd_, r.payload.data(), r.payload.size());

@@ -26,11 +26,13 @@ struct request {
     bool progressive = false;   ///< stream one response per quality layer
     bool cache_bypass = false;  ///< decode without the server's result cache
     bool cache_pin = false;     ///< pin the cached entry (exclusive with bypass)
+    std::uint8_t codec = 0;     ///< codec wire id (0 = j2k, 1 = ccsds123)
 };
 
 /// One response off the wire.
 struct response {
     status st = status::ok;
+    std::uint8_t codec = 0;  ///< echo of the request's codec byte
     std::uint32_t request_id = 0;
     std::vector<std::uint8_t> payload;  ///< image bytes (ok) or diagnostic text
 

@@ -30,8 +30,12 @@ void encode_request_header(const request_header& h, std::uint8_t out[k_header_si
     out[5] = h.priority_raw;
     out[6] = h.format_raw;
     out[7] = h.flags;
-    put_u32(out + 8, h.request_id);
-    put_u32(out + 12, h.payload_len);
+    out[8] = h.codec;
+    out[9] = 0;
+    out[10] = 0;
+    out[11] = 0;
+    put_u32(out + 12, h.request_id);
+    put_u32(out + 16, h.payload_len);
 }
 
 std::optional<request_header> decode_request_header(std::span<const std::uint8_t> in,
@@ -52,8 +56,11 @@ std::optional<request_header> decode_request_header(std::span<const std::uint8_t
     h.flags = in[7];
     if ((h.flags & ~k_flag_known_mask) != 0) return fail("unknown flag bits");
     if (h.cache_bypass() && h.cache_pin()) return fail("bypass+pin flags conflict");
-    h.request_id = get_u32(in.data() + 8);
-    h.payload_len = get_u32(in.data() + 12);
+    h.codec = in[8];  // any id is structurally valid; the server answers
+                      // unknown ones with status::unsupported_codec
+    if (in[9] != 0 || in[10] != 0 || in[11] != 0) return fail("nonzero reserved bytes");
+    h.request_id = get_u32(in.data() + 12);
+    h.payload_len = get_u32(in.data() + 16);
     return h;
 }
 
@@ -62,10 +69,11 @@ void encode_response_header(const response_header& h, std::uint8_t out[k_header_
     put_u32(out, k_magic);
     out[4] = k_version;
     out[5] = static_cast<std::uint8_t>(h.st);
-    out[6] = 0;
+    out[6] = h.codec;
     out[7] = 0;
-    put_u32(out + 8, h.request_id);
-    put_u32(out + 12, h.payload_len);
+    put_u32(out + 8, 0);
+    put_u32(out + 12, h.request_id);
+    put_u32(out + 16, h.payload_len);
 }
 
 std::optional<response_header> decode_response_header(std::span<const std::uint8_t> in)
@@ -73,11 +81,13 @@ std::optional<response_header> decode_response_header(std::span<const std::uint8
     if (in.size() < k_header_size) return std::nullopt;
     if (get_u32(in.data()) != k_magic) return std::nullopt;
     if (in[4] != k_version) return std::nullopt;
-    if (in[5] > static_cast<std::uint8_t>(status::streaming)) return std::nullopt;
+    if (in[5] > static_cast<std::uint8_t>(status::unsupported_codec))
+        return std::nullopt;
     response_header h;
     h.st = static_cast<status>(in[5]);
-    h.request_id = get_u32(in.data() + 8);
-    h.payload_len = get_u32(in.data() + 12);
+    h.codec = in[6];
+    h.request_id = get_u32(in.data() + 12);
+    h.payload_len = get_u32(in.data() + 16);
     return h;
 }
 
@@ -140,7 +150,9 @@ j2k::image decode_image_raw(std::span<const std::uint8_t> in)
     const int h = static_cast<int>(get_u32(in.data() + 4));
     const int comps = in[8];
     const int depth = in[9];
-    if (w <= 0 || h <= 0 || comps < 1 || comps > 4 || depth < 1 || depth > 16)
+    // comps is a u8, so the structural ceiling is codec::k_max_components
+    // (255) — multispectral payloads carry every band the container allows.
+    if (w <= 0 || h <= 0 || comps < 1 || depth < 1 || depth > 16)
         throw std::runtime_error{"raw image: bad geometry"};
     const bool wide = depth > 8;
     const std::size_t samples =

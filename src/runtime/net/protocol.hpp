@@ -7,28 +7,38 @@
 // exactly as the OSSS RMI channel marshals method calls onto the shared
 // object.  All integers are big-endian, mirroring the codestream container.
 //
-// Request frame (16-byte header + payload):
+// Request frame (20-byte header + payload, protocol version 2 — version 2
+// widened both headers from 16 bytes to carry the codec id):
 //
 //   u32 magic      'J2NE'
-//   u8  version    1
+//   u8  version    2
 //   u8  priority   0 = interactive, 1 = batch
 //   u8  format     0 = raw planar samples, 1 = PNM (PGM/PPM)
 //   u8  flags      bit 0 = progressive (stream one response per quality
 //                  layer); bit 1 = cache bypass; bit 2 = cache pin
 //                  (bits 1+2 together, or any other bit, reject the frame)
+//   u8  codec      codec wire id (0 = j2k, 1 = ccsds123, ...).  Any value is
+//                  structurally valid; ids absent from the server's codec
+//                  registry elicit a typed `unsupported_codec` response, not
+//                  a connection close — the frame itself is well-formed.
+//   u8  reserved   ×3, must be zero (rejected otherwise)
 //   u32 request_id echoed verbatim in the response (pipelining correlation)
 //   u32 payload_len
-//   ... payload_len bytes of J2K codestream
+//   ... payload_len bytes of codestream for the named codec
 //
-// Response frame (16-byte header + payload):
+// Response frame (20-byte header + payload):
 //
 //   u32 magic      'J2NE'
-//   u8  version    1
+//   u8  version    2
 //   u8  status     see `status` below
-//   u16 reserved   0
+//   u8  codec      echo of the request's codec byte
+//   u8  reserved   0
+//   u32 reserved   0
 //   u32 request_id
 //   u32 payload_len
 //   ... decoded image (ok) or an ASCII diagnostic message (errors)
+//
+// request_id and payload_len sit at offsets 12/16 in both directions.
 //
 // A progressive request elicits a *sequence* of `streaming` responses with
 // the same request_id — one per completed quality layer, in layer order.
@@ -57,8 +67,8 @@
 namespace runtime::net {
 
 inline constexpr std::uint32_t k_magic = 0x4A324E45u;  // "J2NE"
-inline constexpr std::uint8_t k_version = 1;
-inline constexpr std::size_t k_header_size = 16;
+inline constexpr std::uint8_t k_version = 2;
+inline constexpr std::size_t k_header_size = 20;
 
 /// Requested result encoding.
 enum class result_format : std::uint8_t {
@@ -69,13 +79,15 @@ enum class result_format : std::uint8_t {
 /// Response status byte.
 enum class status : std::uint8_t {
     ok = 0,
-    malformed_codestream = 1,  ///< decode threw j2k::codestream_error
+    malformed_codestream = 1,  ///< decode threw codec::codestream_error
     shed = 2,                  ///< admission rejected or job evicted (overload)
     too_large = 3,             ///< payload_len above the server's limit
     bad_frame = 4,             ///< bad magic / version / priority / format
     stopped = 5,               ///< server shutting down
     internal_error = 6,        ///< anything else (message in payload)
     streaming = 7,             ///< one refinement of a progressive request
+    unsupported_codec = 8,     ///< codec id not in the registry, or the codec
+                               ///< cannot honour the requested flags
 };
 
 [[nodiscard]] constexpr const char* status_name(status s) noexcept
@@ -89,6 +101,7 @@ enum class status : std::uint8_t {
     case status::stopped: return "stopped";
     case status::internal_error: return "internal_error";
     case status::streaming: return "streaming";
+    case status::unsupported_codec: return "unsupported_codec";
     }
     return "?";
 }
@@ -108,6 +121,7 @@ struct request_header {
     std::uint8_t priority_raw = 1;  ///< runtime::priority as a byte
     std::uint8_t format_raw = 0;    ///< result_format as a byte
     std::uint8_t flags = 0;         ///< k_flag_* bits; unknown bits rejected
+    std::uint8_t codec = 0;         ///< codec wire id (0 = j2k); any value parses
     std::uint32_t request_id = 0;
     std::uint32_t payload_len = 0;
 
@@ -127,6 +141,7 @@ struct request_header {
 
 struct response_header {
     status st = status::ok;
+    std::uint8_t codec = 0;  ///< echo of the request's codec byte
     std::uint32_t request_id = 0;
     std::uint32_t payload_len = 0;
 };

@@ -2,6 +2,7 @@
 
 #include "poller.hpp"
 
+#include <codec/error.hpp>
 #include <j2k/codestream.hpp>
 #include <j2k/pnm.hpp>
 #include <obs/obs.hpp>
@@ -462,18 +463,23 @@ struct server::impl {
             opt.cache = c.hdr.cache_bypass()  ? cache_policy::bypass
                         : c.hdr.cache_pin()   ? cache_policy::pin
                                               : cache_policy::use;
+            // The codec byte routes the job; ids the registry doesn't know
+            // (and codec/flag mismatches) come back as typed
+            // unsupported_codec errors through the normal completion, so the
+            // connection stays open — the frame itself was well-formed.
+            opt.codec = c.hdr.codec;
             if (c.hdr.progressive()) {
                 // Streaming requests are never coalesced: each one produces a
                 // whole response sequence and holds a worker for its duration.
                 progressive_streams_.fetch_add(1, std::memory_order_relaxed);
                 service().submit_progressive(
                     std::move(payload), opt,
-                    make_layer_completion(c.id, c.hdr.request_id,
+                    make_layer_completion(c.id, c.hdr.request_id, c.hdr.codec,
                                           static_cast<result_format>(c.hdr.format_raw),
                                           trace_id, c.alive));
                 return;
             }
-            auto done = make_completion(c.id, c.hdr.request_id,
+            auto done = make_completion(c.id, c.hdr.request_id, c.hdr.codec,
                                         static_cast<result_format>(c.hdr.format_raw),
                                         trace_id);
             if (payload.size() < cfg().small_job_threshold) {
@@ -509,13 +515,15 @@ struct server::impl {
         /// owning shard via its completion queue + wake pipe.
         decode_service::completion make_completion(std::uint64_t conn_id,
                                                    std::uint32_t request_id,
+                                                   std::uint8_t codec,
                                                    result_format fmt,
                                                    std::uint64_t trace_id)
         {
-            return [this, conn_id, request_id, fmt, trace_id](j2k::image&& img,
-                                                              std::exception_ptr err) {
+            return [this, conn_id, request_id, codec, fmt,
+                    trace_id](j2k::image&& img, std::exception_ptr err) {
                 response_header rh;
                 rh.request_id = request_id;
+                rh.codec = codec;
                 std::vector<std::uint8_t> body;
                 if (!err) {
                     rh.st = status::ok;
@@ -540,9 +548,14 @@ struct server::impl {
         {
             try {
                 std::rethrow_exception(std::move(err));
-            } catch (const j2k::codestream_error& e) {
+            } catch (const codec::codestream_error& e) {
+                // One catch covers every codec: j2k::codestream_error is an
+                // alias of the codec-neutral base.
                 body.assign(e.what(), e.what() + std::strlen(e.what()));
                 return status::malformed_codestream;
+            } catch (const unsupported_codec& e) {
+                body.assign(e.what(), e.what() + std::strlen(e.what()));
+                return status::unsupported_codec;
             } catch (const admission_rejected&) {
                 return status::shed;
             } catch (const job_dropped&) {
@@ -576,10 +589,11 @@ struct server::impl {
         /// error becomes a plain error frame; a vanished client cancels the rest
         /// of the session by returning false.
         decode_service::progressive_completion make_layer_completion(
-            std::uint64_t conn_id, std::uint32_t request_id, result_format fmt,
-            std::uint64_t trace_id, std::shared_ptr<std::atomic<bool>> alive)
+            std::uint64_t conn_id, std::uint32_t request_id, std::uint8_t codec,
+            result_format fmt, std::uint64_t trace_id,
+            std::shared_ptr<std::atomic<bool>> alive)
         {
-            return [this, conn_id, request_id, fmt, trace_id,
+            return [this, conn_id, request_id, codec, fmt, trace_id,
                     alive = std::move(alive)](decode_service::layer_event&& ev,
                                               std::exception_ptr err) -> bool {
                 if (!alive->load(std::memory_order_acquire)) {
@@ -590,6 +604,7 @@ struct server::impl {
                 }
                 response_header rh;
                 rh.request_id = request_id;
+                rh.codec = codec;
                 std::vector<std::uint8_t> body;
                 bool last = true;
                 if (!err) {

@@ -514,6 +514,32 @@ struct ops_server::impl {
         emitf("%s_cache_entries %llu\n", P, u(s.cache_entries));
         emitf("%s_cache_session_entries %llu\n", P, u(s.cache_session_entries));
 
+        // Per-codec split, labelled by registered backend name.  The cache
+        // hit/miss breakdown rides along so a dashboard can tell a cold codec
+        // from an unused one.
+        if (!s.by_codec.empty()) {
+            emitf("# TYPE %s_codec_jobs_completed_total counter\n", P);
+            for (const auto& c : s.by_codec)
+                emitf("%s_codec_jobs_completed_total{codec=\"%s\"} %llu\n", P,
+                      label_escape(c.name).c_str(), u(c.completed));
+            emitf("# TYPE %s_codec_jobs_failed_total counter\n", P);
+            for (const auto& c : s.by_codec)
+                emitf("%s_codec_jobs_failed_total{codec=\"%s\"} %llu\n", P,
+                      label_escape(c.name).c_str(), u(c.failed));
+            emitf("# TYPE %s_codec_jobs_unsupported_total counter\n", P);
+            for (const auto& c : s.by_codec)
+                emitf("%s_codec_jobs_unsupported_total{codec=\"%s\"} %llu\n", P,
+                      label_escape(c.name).c_str(), u(c.unsupported));
+            emitf("# TYPE %s_codec_cache_hits_total counter\n", P);
+            for (const auto& c : s.by_codec)
+                emitf("%s_codec_cache_hits_total{codec=\"%s\"} %llu\n", P,
+                      label_escape(c.name).c_str(), u(c.cache_hits));
+            emitf("# TYPE %s_codec_cache_misses_total counter\n", P);
+            for (const auto& c : s.by_codec)
+                emitf("%s_codec_cache_misses_total{codec=\"%s\"} %llu\n", P,
+                      label_escape(c.name).c_str(), u(c.cache_misses));
+        }
+
         // Kernel dispatch (an info-style gauge: the selected ISA as a label)
         // and the per-job arena pool.
         emitf("# TYPE %s_kernel_dispatch gauge\n%s_kernel_dispatch{isa=\"%s\"} 1\n",

@@ -3,11 +3,16 @@
 #include "cache/decoded_cache.hpp"
 #include "hash.hpp"
 
+#include <ccsds/ccsds123.hpp>
+#include <codec/backend.hpp>
+#include <j2k/backend.hpp>
 #include <j2k/image.hpp>
 #include <j2k/kernels.hpp>
 #include <j2k/session.hpp>
 #include <obs/obs.hpp>
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace runtime {
@@ -33,6 +38,10 @@ decode_service::decode_service(service_config cfg)
                                  : nullptr},
       pool_{std::make_unique<thread_pool>(cfg.workers)}
 {
+    // The serving layer guarantees the built-in codecs are registered before
+    // any job can name them (idempotent; static-init order plays no part).
+    j2k::ensure_backend_registered();
+    ccsds::ensure_backend_registered();
     // One arena per worker: jobs in flight never exceed the worker count, so
     // with the pool sized this way acquire() never runs dry in steady state.
     if (cfg_.arena_bytes > 0)
@@ -249,6 +258,23 @@ void decode_service::finish_one()
 
 void decode_service::run_job(job& j)
 {
+    // Non-j2k codecs take the generic backend path (progressive included:
+    // the backend either opens a session or the request fails typed).  j2k
+    // stays on its specialised fast paths, bit-identical to before the codec
+    // registry existed.
+    if (j.opt.codec != j2k::k_codec_wire_id) {
+        const codec::backend* be = codec::find_backend(j.opt.codec);
+        if (be == nullptr) {
+            metrics_.on_failed();
+            metrics_.on_codec_unsupported(j.opt.codec);
+            OBS_TRACE_INSTANT("runtime", "job_unsupported_codec");
+            settle(j, std::make_exception_ptr(unsupported_codec{j.opt.codec}));
+            OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+            return;
+        }
+        run_backend_job(j, *be);
+        return;
+    }
     if (j.on_layer) {
         run_progressive_job(j);
         return;
@@ -270,6 +296,7 @@ void decode_service::run_job(job& j)
                   : decode_tiled(dec, scratch.resource());
     } catch (...) {
         metrics_.on_failed();
+        metrics_.on_codec_failed(j.opt.codec);
         OBS_TRACE_INSTANT("runtime", "job_failed");
         settle(j, std::current_exception());
         OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
@@ -278,6 +305,7 @@ void decode_service::run_job(job& j)
     metrics_.record_latency_us(
         j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
     metrics_.on_completed();
+    metrics_.on_codec_completed(j.opt.codec);
     settle(j, std::move(img));
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
@@ -296,6 +324,7 @@ void decode_service::run_cached_job(job& j)
         // one entry with explicit full-depth requests.
         cache_key key;
         key.content_hash = fnv1a_bytes(j.bytes);
+        key.codec = j2k::k_codec_wire_id;
         const int total = dec.info().quality_layers;
         const int cap = j.opt.max_quality_layers;
         key.layers = (cap <= 0 || cap >= total) ? total : cap;
@@ -320,6 +349,7 @@ void decode_service::run_cached_job(job& j)
         }
     } catch (...) {
         metrics_.on_failed();
+        metrics_.on_codec_failed(j.opt.codec);
         OBS_TRACE_INSTANT("runtime", "job_failed");
         settle(j, std::current_exception());
         OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
@@ -328,7 +358,117 @@ void decode_service::run_cached_job(job& j)
     metrics_.record_latency_us(
         j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
     metrics_.on_completed();
+    metrics_.on_codec_completed(j.opt.codec);
     settle(j, j2k::image{*shared});  // each caller gets its own copy
+    OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+}
+
+void decode_service::run_backend_job(job& j, const codec::backend& be)
+{
+    OBS_TRACE_SCOPE("runtime", "decode_job");
+    const std::uint8_t id = j.opt.codec;
+    const codec::capabilities caps = be.caps();
+    decoded_cache::image_ptr shared;
+    try {
+        // Capability gate: flags the codec cannot honour are a typed
+        // rejection (same status as an unknown id on the wire), not a
+        // silently ignored knob and not a generic decode failure.
+        if (j.on_layer && !caps.progressive)
+            throw unsupported_codec{id, "does not support progressive refinement"};
+        if (j.opt.discard_levels > 0 && !caps.resolution_reduction)
+            throw unsupported_codec{id, "does not support resolution reduction"};
+        if (j.opt.max_quality_layers > 0 && !caps.quality_layers)
+            throw unsupported_codec{id, "does not support quality-layer caps"};
+        if (j.opt.max_passes > 0 && !caps.pass_cap)
+            throw unsupported_codec{id, "does not support pass caps"};
+
+        const arena_pool::lease scratch = acquire_arena();
+
+        if (j.on_layer) {
+            // Generic progressive: the backend's session, no prefix cache
+            // (resumable-prefix caching is a j2k specialisation for now).
+            metrics_.on_progressive_started();
+            auto finished = [&] { metrics_.on_progressive_finished(); };
+            try {
+                auto sess = be.open_session(j.bytes);
+                const int stream_layers = sess->total_layers();
+                const int cap = j.opt.max_quality_layers;
+                const int total =
+                    cap > 0 && cap < stream_layers ? cap : stream_layers;
+                for (int l = 1; l <= total; ++l) {
+                    codec::image img = sess->advance_to(l);
+                    metrics_.on_layer_emitted();
+                    const bool more = j.on_layer(
+                        layer_event{l, total, l == total, std::move(img)}, nullptr);
+                    if (!more && l < total) {
+                        metrics_.on_progressive_cancelled();
+                        break;
+                    }
+                }
+            } catch (...) {
+                finished();
+                throw;
+            }
+            finished();
+            metrics_.record_latency_us(
+                j.opt.prio,
+                ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+            metrics_.on_completed();
+            metrics_.on_codec_completed(id);
+            j.settled.store(true, std::memory_order_release);
+            OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+            return;
+        }
+
+        const codec::decode_request req{j.opt.discard_levels,
+                                        j.opt.max_quality_layers, j.opt.max_passes};
+        if (cache_ && j.opt.cache != cache_policy::bypass) {
+            cache_key key;
+            key.content_hash = fnv1a_bytes(j.bytes);
+            key.codec = id;  // namespaced: byte-identical input under another
+                             // codec id is a different key
+            key.layers = j.opt.max_quality_layers;
+            key.discard_levels = j.opt.discard_levels;
+            key.max_passes = j.opt.max_passes;
+            if (auto r = cache_->begin_flight(key)) {
+                if (r->error) std::rethrow_exception(r->error);
+                shared = std::move(r->image);
+            } else {
+                try {
+                    auto img = std::make_shared<const codec::image>(
+                        be.decode(j.bytes, req, scratch.resource()));
+                    cache_->complete_flight(key, img,
+                                            j.opt.cache == cache_policy::pin);
+                    shared = std::move(img);
+                } catch (...) {
+                    cache_->abort_flight(key, std::current_exception());
+                    throw;
+                }
+            }
+        } else {
+            shared = std::make_shared<const codec::image>(
+                be.decode(j.bytes, req, scratch.resource()));
+        }
+    } catch (const unsupported_codec&) {
+        metrics_.on_failed();
+        metrics_.on_codec_unsupported(id);
+        OBS_TRACE_INSTANT("runtime", "job_unsupported_codec");
+        settle(j, std::current_exception());
+        OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+        return;
+    } catch (...) {
+        metrics_.on_failed();
+        metrics_.on_codec_failed(id);
+        OBS_TRACE_INSTANT("runtime", "job_failed");
+        settle(j, std::current_exception());
+        OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
+        return;
+    }
+    metrics_.record_latency_us(
+        j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
+    metrics_.on_completed();
+    metrics_.on_codec_completed(id);
+    settle(j, codec::image{*shared});
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
 }
 
@@ -427,6 +567,7 @@ void decode_service::run_progressive_job(job& j)
         }
     } catch (...) {
         metrics_.on_failed();
+        metrics_.on_codec_failed(j.opt.codec);
         metrics_.on_progressive_finished();
         OBS_TRACE_INSTANT("runtime", "job_failed");
         settle(j, std::current_exception());  // routed through on_layer
@@ -436,6 +577,7 @@ void decode_service::run_progressive_job(job& j)
     metrics_.record_latency_us(
         j.opt.prio, ns_between(j.submitted_at, std::chrono::steady_clock::now()) / 1000);
     metrics_.on_completed();
+    metrics_.on_codec_completed(j.opt.codec);
     metrics_.on_progressive_finished();
     j.settled.store(true, std::memory_order_release);  // all layers delivered
     OBS_TRACE_ASYNC_END("job", "job", j.trace_id);
@@ -526,6 +668,22 @@ metrics_snapshot decode_service::metrics() const
         s.cache_pinned_bytes = cs.pinned_bytes;
         s.cache_entries = cs.entries;
         s.cache_session_entries = cs.session_entries;
+        // Merge the cache's per-codec split into the job split, resolving
+        // wire ids to the same exposition names service_metrics uses.
+        for (const auto& bc : cs.by_codec) {
+            const codec::backend* be = codec::find_backend(bc.codec);
+            const std::string name =
+                be ? std::string{be->name()} : std::to_string(int{bc.codec});
+            auto it = std::find_if(s.by_codec.begin(), s.by_codec.end(),
+                                   [&](const auto& e) { return e.name == name; });
+            if (it == s.by_codec.end()) {
+                metrics_snapshot::codec_entry e;
+                e.name = name;
+                it = s.by_codec.insert(s.by_codec.end(), std::move(e));
+            }
+            it->cache_hits = bc.hits;
+            it->cache_misses = bc.misses;
+        }
     }
     return s;
 }

@@ -37,6 +37,10 @@
 #include <stdexcept>
 #include <vector>
 
+namespace codec {
+class backend;  // codec/backend.hpp
+}
+
 namespace runtime {
 
 class decoded_cache;  // cache/decoded_cache.hpp
@@ -66,6 +70,23 @@ public:
     service_stopped() : service_error{"decode_service: service is shut down"} {}
 };
 
+/// The request named a codec wire id absent from the registry, or asked a
+/// registered codec for a capability it does not have (e.g. progressive
+/// refinement from a lossless codec).  Typed so front-ends can answer with a
+/// protocol-level rejection instead of a generic internal error.
+class unsupported_codec : public service_error {
+public:
+    explicit unsupported_codec(std::uint8_t id, const char* why = "not registered")
+        : service_error{"decode_service: codec " + std::to_string(int{id}) + " " + why},
+          id_{id}
+    {
+    }
+    [[nodiscard]] std::uint8_t id() const noexcept { return id_; }
+
+private:
+    std::uint8_t id_;
+};
+
 /// Per-request policy toward the decoded-result cache (no-op when the
 /// service runs without one).
 enum class cache_policy : std::uint8_t {
@@ -83,6 +104,10 @@ struct decode_options {
     priority prio = priority::batch;
     /// Decoded-result cache policy for this job.
     cache_policy cache = cache_policy::use;
+    /// Codec wire id the payload is encoded with (0 = j2k, the founding
+    /// codec).  Ids absent from the codec registry fail the job with a typed
+    /// unsupported_codec error at execution time.
+    std::uint8_t codec = 0;
 };
 
 struct service_config {
@@ -250,6 +275,11 @@ private:
     void run_job(job& j);
     void run_cached_job(job& j);
     void run_progressive_job(job& j);
+    /// Generic codec path: every non-j2k codec decodes through its registered
+    /// backend — same pool, same cache (keys namespaced by codec id, same
+    /// single-flight collapsing), same metrics.  j2k keeps its specialised
+    /// fast paths above (per-tile fan-out, resumable session cache).
+    void run_backend_job(job& j, const codec::backend& be);
     /// The single-flight leader's decode: through a resumable session for
     /// layered streams (depositing the prefix for later requests), through
     /// the classic tiled path otherwise.

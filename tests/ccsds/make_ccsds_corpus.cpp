@@ -1,0 +1,62 @@
+// Regenerates the golden corpus under tests/ccsds/corpus/ and prints the
+// FNV-1a hash of each decoded cube — paste those into test_ccsds_golden.cpp
+// when the stream format changes on purpose.
+//
+//   ./ccsds_corpus_gen <output-dir>
+//
+// The cubes come from make_test_image (deterministic by seed), so the corpus
+// is fully reproducible from this source file alone.
+#include <ccsds/ccsds123.hpp>
+#include <codec/image.hpp>
+#include <runtime/hash.hpp>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using runtime::fnv1a_image;
+
+void emit(const std::string& dir, const char* name,
+          const std::vector<std::uint8_t>& cs)
+{
+    const std::string path = dir + "/" + name;
+    std::ofstream out{path, std::ios::binary};
+    out.write(reinterpret_cast<const char*>(cs.data()),
+              static_cast<std::streamsize>(cs.size()));
+    const codec::image img = ccsds::decode(cs);
+    std::printf("%-24s %6zu bytes  fnv1a=0x%016llXull\n", name, cs.size(),
+                static_cast<unsigned long long>(fnv1a_image(img)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "tests/ccsds/corpus";
+
+    {  // the README quickstart cube: 8 bands, 16-bit, default predictor
+        emit(dir, "cube_8b16_full.c123",
+             ccsds::encode(codec::make_test_image(64, 48, 8, 16, 42)));
+    }
+    {  // narrow local sums, deep predictor order
+        ccsds::params p;
+        p.pred_bands = 15;
+        p.mode = ccsds::neighbor_mode::narrow;
+        emit(dir, "cube_17b12_narrow_p15.c123",
+             ccsds::encode(codec::make_test_image(40, 40, 17, 12, 7), p));
+    }
+    {  // single band: purely spatial prediction
+        ccsds::params p;
+        p.pred_bands = 0;
+        emit(dir, "mono_16_p0.c123",
+             ccsds::encode(codec::make_test_image(96, 64, 1, 16, 13), p));
+    }
+    {  // odd geometry, shallow depth
+        emit(dir, "odd_5b2_33x17.c123",
+             ccsds::encode(codec::make_test_image(33, 17, 5, 2, 21)));
+    }
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include <runtime/hash.hpp>
 #include <runtime/service.hpp>
 
+#include <ccsds/ccsds123.hpp>
 #include <j2k/j2k.hpp>
 #include <j2k/session.hpp>
 
@@ -395,6 +396,122 @@ TEST(DecodeService, ProgressiveJobDepositsItsPrefixForLaterSubmits)
     EXPECT_EQ(svc.submit(cs).get(), j2k::decoder{cs}.decode_all());
     m = svc.metrics();
     EXPECT_GE(m.cache_session_resumes, 1u);
+}
+
+// ---- codec-namespaced keys -------------------------------------------------
+
+TEST(DecodedCache, SameContentHashUnderTwoCodecsNeverCollides)
+{
+    // Regression for the multi-codec refactor: the codec byte participates in
+    // key equality and hashing, so byte-identical input decoded by two codecs
+    // yields two entries — a hit under one codec must never serve the other.
+    decoded_cache cache{1u << 20};
+    cache_key j2k_key = key_of(0xFEEDu);
+    j2k_key.codec = 0;
+    cache_key ccsds_key = j2k_key;
+    ccsds_key.codec = 1;
+    ASSERT_FALSE(j2k_key == ccsds_key);
+
+    const auto j2k_img = make_image(16, 16);
+    const auto ccsds_img = make_image(8, 8);
+    cache.insert(j2k_key, j2k_img);
+    EXPECT_EQ(cache.peek(ccsds_key), nullptr);  // namespaced miss
+    cache.insert(ccsds_key, ccsds_img);
+    EXPECT_EQ(cache.peek(j2k_key), j2k_img);
+    EXPECT_EQ(cache.peek(ccsds_key), ccsds_img);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(DecodedCache, StatsSplitHitsAndMissesByCodec)
+{
+    decoded_cache cache{1u << 20};
+    cache_key k0 = key_of(1);
+    k0.codec = 0;
+    cache_key k1 = key_of(1);
+    k1.codec = 1;
+
+    ASSERT_FALSE(cache.begin_flight(k0).has_value());  // miss, codec 0 leads
+    cache.complete_flight(k0, make_image(8, 8));
+    (void)cache.peek(k0);                              // hit, codec 0
+    ASSERT_FALSE(cache.begin_flight(k1).has_value());  // miss, codec 1
+    cache.abort_flight(k1, nullptr);
+
+    const auto st = cache.stats();
+    ASSERT_EQ(st.by_codec.size(), 2u);
+    EXPECT_EQ(st.by_codec[0].codec, 0);
+    EXPECT_EQ(st.by_codec[0].hits, 1u);
+    EXPECT_EQ(st.by_codec[0].misses, 1u);
+    EXPECT_EQ(st.by_codec[1].codec, 1);
+    EXPECT_EQ(st.by_codec[1].hits, 0u);
+    EXPECT_EQ(st.by_codec[1].misses, 1u);
+}
+
+TEST(DecodeService, CcsdsDecodesAreCachedInTheirOwnNamespace)
+{
+    // The same physical bytes through the ccsds backend: first submit is a
+    // miss that populates, the repeat hits — and the per-codec metrics carry
+    // the split under the backend's registered name.
+    const codec::image cube = codec::make_test_image(32, 24, 6, 16, 3);
+    const auto cs = ccsds::encode(cube);
+
+    decode_service svc{{.workers = 2, .cache_bytes = 16u << 20}};
+    decode_options opt;
+    opt.codec = ccsds::k_codec_wire_id;
+    EXPECT_EQ(svc.submit(cs, opt).get(), cube);
+    EXPECT_EQ(svc.submit(cs, opt).get(), cube);
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 1u);
+    EXPECT_EQ(m.cache_hits, 1u);
+    bool found = false;
+    for (const auto& c : m.by_codec)
+        if (c.name == "ccsds123") {
+            found = true;
+            EXPECT_EQ(c.completed, 2u);
+            EXPECT_EQ(c.failed, 0u);
+            EXPECT_EQ(c.cache_hits, 1u);
+            EXPECT_EQ(c.cache_misses, 1u);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(DecodeService, ConcurrentIdenticalCcsdsSubmitsCollapseToOneDecode)
+{
+    // Single-flight collapsing is codec-agnostic: N identical multispectral
+    // requests in flight at once cost exactly one ccsds decode, and every
+    // waiter gets the bit-exact cube.
+    const codec::image cube = codec::make_test_image(48, 40, 8, 16, 11);
+    const auto cs = ccsds::encode(cube);
+
+    decode_service svc{{.workers = 4, .cache_bytes = 16u << 20}};
+    decode_options opt;
+    opt.codec = ccsds::k_codec_wire_id;
+    constexpr int n = 16;
+    std::vector<std::future<j2k::image>> futs;
+    for (int i = 0; i < n; ++i) futs.push_back(svc.submit(cs, opt));
+    for (auto& f : futs) EXPECT_EQ(f.get(), cube);
+
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 1u);
+    EXPECT_EQ(m.cache_hits + m.cache_collapses, static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(DecodeService, UnknownCodecIdFailsTypedWithoutTouchingTheCache)
+{
+    const auto cs = make_stream(64, 64, 1, 32);
+    decode_service svc{{.workers = 2, .cache_bytes = 16u << 20}};
+    decode_options opt;
+    opt.codec = 200;  // nothing registered there
+    auto fut = svc.submit(cs, opt);
+    try {
+        (void)fut.get();
+        FAIL() << "unsupported codec id decoded";
+    } catch (const runtime::unsupported_codec& e) {
+        EXPECT_EQ(e.id(), 200);
+    }
+    const auto m = svc.metrics();
+    EXPECT_EQ(m.cache_misses, 0u);
+    EXPECT_EQ(m.cache_entries, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <runtime/net/client.hpp>
 #include <runtime/net/server.hpp>
 
+#include <ccsds/ccsds123.hpp>
 #include <j2k/j2k.hpp>
 
 #include <gtest/gtest.h>
@@ -106,6 +107,45 @@ TEST(NetProtocol, RequestHeaderRoundTripsAndValidates)
     EXPECT_FALSE(back->cache_pin());
 }
 
+TEST(NetProtocol, CodecByteRoundTripsAndReservedBytesMustBeZero)
+{
+    net::request_header h;
+    h.codec = 42;  // any value parses — unknown ids are rejected typed, later
+    h.request_id = 9;
+    h.payload_len = 10;
+    std::uint8_t buf[net::k_header_size];
+    net::encode_request_header(h, buf);
+    const auto back = net::decode_request_header(buf);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->codec, 42);
+
+    // The three bytes after the codec id are reserved-zero in v2; a nonzero
+    // value is a structural rejection, which is what lets them become fields
+    // later without ambiguity.
+    for (const std::size_t off : {std::size_t{9}, std::size_t{10}, std::size_t{11}}) {
+        std::uint8_t bad[net::k_header_size];
+        std::memcpy(bad, buf, sizeof bad);
+        bad[off] = 1;
+        const char* reason = nullptr;
+        EXPECT_FALSE(net::decode_request_header(bad, &reason)) << off;
+        ASSERT_NE(reason, nullptr);
+        EXPECT_STREQ(reason, "nonzero reserved bytes");
+    }
+
+    // The response header echoes the codec byte.
+    net::response_header rh;
+    rh.st = net::status::ok;
+    rh.codec = 42;
+    rh.request_id = 9;
+    rh.payload_len = 0;
+    std::uint8_t rbuf[net::k_header_size];
+    net::encode_response_header(rh, rbuf);
+    const auto rback = net::decode_response_header(rbuf);
+    ASSERT_TRUE(rback);
+    EXPECT_EQ(rback->codec, 42);
+    EXPECT_EQ(rback->st, net::status::ok);
+}
+
 TEST(NetProtocol, LayerHeaderRoundTripsAndValidates)
 {
     net::layer_header h;
@@ -169,6 +209,17 @@ TEST(NetProtocol, RawImagePayloadRoundTrips)
                  std::runtime_error);
 }
 
+TEST(NetProtocol, RawImagePayloadCarriesMultispectralCubes)
+{
+    // The 4-component ceiling is gone: any band count the image currency
+    // admits frames and parses.
+    for (const int bands : {5, 17, 255}) {
+        const codec::image cube = codec::make_test_image(7, 5, bands, 16, 3);
+        EXPECT_EQ(net::decode_image_raw(net::encode_image_raw(cube)), cube)
+            << bands;
+    }
+}
+
 // ---- loopback end-to-end ---------------------------------------------------
 
 TEST(NetServer, LoopbackDecodeRoundTripRawAndPnm)
@@ -194,6 +245,83 @@ TEST(NetServer, LoopbackDecodeRoundTripRawAndPnm)
     EXPECT_EQ(st.responses_out, 2u);
     EXPECT_GT(st.bytes_in, cs.size());
     EXPECT_GT(st.bytes_out, 0u);
+}
+
+TEST(NetServer, CcsdsCubesDecodeOverTheSameWireAndCache)
+{
+    // The second registered codec through the identical serving stack: same
+    // framing, same pool, same result cache — only the codec byte differs.
+    const codec::image cube = codec::make_test_image(48, 32, 8, 16, 42);
+    const auto cs = ccsds::encode(cube);
+
+    net::server_config cfg = quiet_config();
+    cfg.service.cache_bytes = 16u << 20;
+    net::server srv{cfg};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+
+    net::request r;
+    r.codestream = cs;
+    r.request_id = 1;
+    r.codec = ccsds::k_codec_wire_id;
+    const auto first = cli.decode(r);
+    ASSERT_TRUE(first.ok()) << first.message();
+    EXPECT_EQ(first.codec, ccsds::k_codec_wire_id);
+    EXPECT_EQ(net::decode_image_raw(first.payload), cube);  // lossless e2e
+
+    r.request_id = 2;
+    const auto repeat = cli.decode(r);
+    ASSERT_TRUE(repeat.ok()) << repeat.message();
+    EXPECT_EQ(repeat.payload, first.payload);
+
+    const auto m = srv.service().metrics();
+    EXPECT_EQ(m.cache_misses, 1u);
+    EXPECT_EQ(m.cache_hits, 1u);
+    bool found = false;
+    for (const auto& c : m.by_codec)
+        if (c.name == "ccsds123") {
+            found = true;
+            EXPECT_EQ(c.completed, 2u);
+            EXPECT_EQ(c.cache_hits, 1u);
+            EXPECT_EQ(c.cache_misses, 1u);
+        }
+    EXPECT_TRUE(found);
+
+    // Both codecs interleave on one connection without crosstalk.
+    const auto jcs = make_stream(64, 64, 1, 64);
+    net::request jr;
+    jr.codestream = jcs;
+    jr.request_id = 3;
+    const auto jres = cli.decode(jr);
+    ASSERT_TRUE(jres.ok()) << jres.message();
+    EXPECT_EQ(net::decode_image_raw(jres.payload), j2k::decoder{jcs}.decode_all());
+    srv.stop();
+}
+
+TEST(NetServer, UnknownCodecIdIsATypedRejectionNotAClosedConnection)
+{
+    const auto cs = make_stream(64, 64, 1, 64);
+    net::server srv{quiet_config()};
+    srv.start();
+    net::client cli{"127.0.0.1", srv.port()};
+
+    net::request r;
+    r.codestream = cs;
+    r.request_id = 31;
+    r.codec = 200;
+    const auto rej = cli.decode(r);
+    EXPECT_EQ(rej.st, net::status::unsupported_codec);
+    EXPECT_EQ(rej.codec, 200);
+    EXPECT_NE(rej.message().find("codec 200"), std::string::npos)
+        << rej.message();
+
+    // The frame was structurally valid, so the connection still serves.
+    r.codec = 0;
+    r.request_id = 32;
+    const auto ok = cli.decode(r);
+    ASSERT_TRUE(ok.ok()) << ok.message();
+    EXPECT_EQ(ok.request_id, 32u);
+    srv.stop();
 }
 
 TEST(NetServer, TornFramesReassembleAcrossManySends)

@@ -12,6 +12,7 @@
 #include <runtime/net/client.hpp>
 #include <runtime/net/server.hpp>
 
+#include <ccsds/ccsds123.hpp>
 #include <j2k/j2k.hpp>
 
 #include <gtest/gtest.h>
@@ -85,7 +86,7 @@ std::vector<std::uint8_t> make_frame(const std::vector<std::uint8_t>& cs,
     return frame;
 }
 
-/// Apply one randomly chosen mutation, skewed toward the 16-byte header
+/// Apply one randomly chosen mutation, skewed toward the 20-byte header
 /// where a flipped byte changes framing control flow rather than payload.
 std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
                                  xorshift64& rng)
@@ -242,6 +243,77 @@ TEST(NetFuzz, MutatedRequestFramesNeverCrashOrHangTheServer)
     srv.stop();
 }
 
+/// Codec-byte sweep on one live connection: every possible codec id on an
+/// otherwise valid frame.  Known codecs answer ok or a typed decode error
+/// (a j2k payload is garbage to ccsds — that is malformed_codestream, not a
+/// crash); every unknown id is a typed unsupported_codec rejection.  The
+/// connection must survive all 256, because a structurally valid frame never
+/// costs the client its connection.
+TEST(NetFuzz, CodecByteSweepAnswersTypedOnOneSurvivingConnection)
+{
+    net::server_config cfg;
+    cfg.service.workers = 2;
+    net::server srv{cfg};
+    srv.start();
+    const auto cs = make_stream(1);
+    const j2k::image serial = j2k::decoder{cs}.decode_all();
+
+    net::client cli{"127.0.0.1", srv.port()};
+    for (int c = 0; c < 256; ++c) {
+        net::request r;
+        r.codestream = cs;
+        r.request_id = static_cast<std::uint32_t>(c);
+        r.codec = static_cast<std::uint8_t>(c);
+        const auto resp = cli.decode(r);
+        EXPECT_EQ(resp.request_id, static_cast<std::uint32_t>(c));
+        EXPECT_EQ(resp.codec, static_cast<std::uint8_t>(c))
+            << "response must echo the request codec byte";
+        if (c == 0) {
+            ASSERT_TRUE(resp.ok()) << resp.message();
+            EXPECT_EQ(net::decode_image_raw(resp.payload), serial);
+        } else if (c == 1) {
+            EXPECT_EQ(resp.st, net::status::malformed_codestream)
+                << "codec " << c << ": " << resp.message();
+        } else {
+            EXPECT_EQ(resp.st, net::status::unsupported_codec)
+                << "codec " << c << ": " << resp.message();
+            EXPECT_FALSE(resp.message().empty());
+        }
+    }
+    srv.stop();
+}
+
+/// Codec/flag mismatch: progressive streaming requested from a codec whose
+/// capabilities say no.  Typed rejection, connection survives, and a plain
+/// decode of the same bytes still succeeds afterwards.
+TEST(NetFuzz, ProgressiveFlagOnNonProgressiveCodecIsTypedNotFatal)
+{
+    net::server_config cfg;
+    cfg.service.workers = 2;
+    net::server srv{cfg};
+    srv.start();
+
+    const codec::image cube = codec::make_test_image(24, 16, 4, 16, 17);
+    const auto cs = ccsds::encode(cube);
+
+    net::client cli{"127.0.0.1", srv.port()};
+    net::request r;
+    r.codestream = cs;
+    r.request_id = 5;
+    r.codec = ccsds::k_codec_wire_id;
+    r.progressive = true;
+    const auto rej = cli.decode(r);
+    EXPECT_EQ(rej.st, net::status::unsupported_codec) << rej.message();
+    EXPECT_FALSE(rej.message().empty());
+
+    r.progressive = false;
+    r.request_id = 6;
+    const auto ok = cli.decode(r);
+    ASSERT_TRUE(ok.ok()) << ok.message();
+    EXPECT_EQ(net::decode_image_raw(ok.payload), cube);
+    srv.stop();
+}
+
 /// Client-side parsers against mutated streaming payloads: the layer
 /// sub-header validates or rejects, and the raw-image parser either returns
 /// an image or throws std::runtime_error — nothing else escapes.
@@ -284,10 +356,11 @@ TEST(NetFuzz, TruncatedStreamedResponsesPartCleanly)
     net::encode_layer_header({1, 1, 1}, payload.data());
     const auto raw = net::encode_image_raw(img);
     payload.insert(payload.end(), raw.begin(), raw.end());
-    net::encode_response_header(
-        {net::status::streaming, 7,
-         static_cast<std::uint32_t>(payload.size())},
-        wire.data());
+    net::response_header rh;
+    rh.st = net::status::streaming;
+    rh.request_id = 7;
+    rh.payload_len = static_cast<std::uint32_t>(payload.size());
+    net::encode_response_header(rh, wire.data());
     wire.insert(wire.end(), payload.begin(), payload.end());
 
     for (std::size_t cut = 0; cut <= wire.size(); ++cut) {

@@ -6,6 +6,8 @@
 #include <runtime/ops/http_client.hpp>
 #include <runtime/ops/ops_server.hpp>
 
+#include <ccsds/ccsds123.hpp>
+
 #include <j2k/j2k.hpp>
 #include <obs/obs.hpp>
 
@@ -263,6 +265,42 @@ TEST(OpsServer, MetricsExposesPrometheusTextAndJson)
     EXPECT_NE(json.body.find("\"jobs_submitted\":3"), std::string::npos);
     EXPECT_NE(json.body.find("\"stages\":{"), std::string::npos);
     EXPECT_NE(json.body.find("\"ops\":{"), std::string::npos);
+}
+
+TEST(OpsServer, PerCodecFamiliesCarryTheCodecLabel)
+{
+    ops_fixture f;
+    // One job per codec, plus one aimed at an id nothing registered — the
+    // split must expose completed work under each backend's name and the
+    // unknown id under its decimal spelling.
+    (void)f.svc.submit(test_stream()).get();
+    const codec::image cube = codec::make_test_image(16, 12, 3, 16, 5);
+    const auto ccs = ccsds::encode(cube);
+    runtime::decode_options opt;
+    opt.codec = ccsds::k_codec_wire_id;
+    EXPECT_EQ(f.svc.submit(ccs, opt).get(), cube);
+    opt.codec = 99;
+    EXPECT_THROW((void)f.svc.submit(ccs, opt).get(), runtime::unsupported_codec);
+
+    const std::string text = f.get("/metrics").body;
+    EXPECT_NE(text.find("j2k_codec_jobs_completed_total{codec=\"j2k\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("j2k_codec_jobs_completed_total{codec=\"ccsds123\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("j2k_codec_jobs_unsupported_total{codec=\"99\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("j2k_codec_jobs_failed_total{codec=\"ccsds123\"} 0"),
+              std::string::npos);
+    // The per-codec cache split is present (zeroes here: no cache configured).
+    EXPECT_NE(text.find("j2k_codec_cache_hits_total{codec=\"ccsds123\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("j2k_codec_cache_misses_total{codec=\"j2k\"} 0"),
+              std::string::npos);
+
+    // The JSON document carries the same split.
+    const std::string json = f.get("/metrics?format=json").body;
+    EXPECT_NE(json.find("\"ccsds123\""), std::string::npos);
 }
 
 TEST(OpsServer, RollingStageWindowsGoLiveUnderTracedLoad)
